@@ -1,0 +1,21 @@
+//! Transaction-level models of the AXI interfaces Coyote v2 is built around.
+//!
+//! §7.1 of the paper: "The interfaces ... are built around the
+//! industry-standard AXI specification": an AXI4-Lite control bus per vFPGA,
+//! and parallel AXI4-Stream interfaces towards host memory, card memory and
+//! the network. This crate models those at *beat* granularity:
+//!
+//! * [`AxiBeat`] — one bus transfer: up to `width` data bytes plus the
+//!   `TID`/`TDEST`/`TLAST` sideband signals Coyote v2 uses for multi-
+//!   threading (the thread id rides in `TID`, §9.5) and stream routing.
+//! * [`AxiStream`] — an ordered queue of beats with a fixed bus width,
+//!   including packing/reassembly helpers.
+//! * [`RegisterFile`] — an AXI4-Lite register block with per-register access
+//!   modes, used for the user-defined control/status registers (`setCSR` /
+//!   `getCSR` in the software API).
+
+pub mod lite;
+pub mod stream;
+
+pub use lite::{AccessMode, LiteError, RegisterFile};
+pub use stream::{AxiBeat, AxiStream, StreamError, DEFAULT_BUS_BYTES};

@@ -1,0 +1,225 @@
+//! AXI4-Lite register files.
+//!
+//! §7.1: "Control bus: enables software control over the deployed user
+//! applications. This interface is built around an AXI4 Lite bus, which is
+//! memory-mapped for each vFPGA directly into the user space ... On the
+//! hardware, this interface connects to a set of control and status
+//! registers, whose functionality is application-specific and user-defined."
+//!
+//! [`RegisterFile`] models such a block: 64-bit registers at 8-byte-aligned
+//! offsets with per-register access modes.
+
+use std::collections::BTreeMap;
+
+/// Access semantics of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read/write from software; the common CSR case.
+    ReadWrite,
+    /// Read-only from software (status registers written by hardware).
+    ReadOnly,
+    /// Write-1-to-clear: writing a bit pattern clears those bits (interrupt
+    /// status registers).
+    WriteOneToClear,
+}
+
+/// Errors raised by AXI4-Lite accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiteError {
+    /// Access to an offset with no register behind it (`SLVERR`).
+    Unmapped { offset: u64 },
+    /// Unaligned access; the bus requires 8-byte alignment in this model.
+    Unaligned { offset: u64 },
+    /// Software write to a read-only register.
+    ReadOnlyWrite { offset: u64 },
+}
+
+impl std::fmt::Display for LiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiteError::Unmapped { offset } => write!(f, "unmapped register offset {offset:#x}"),
+            LiteError::Unaligned { offset } => write!(f, "unaligned access at {offset:#x}"),
+            LiteError::ReadOnlyWrite { offset } => {
+                write!(f, "write to read-only register {offset:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiteError {}
+
+#[derive(Debug, Clone)]
+struct Register {
+    value: u64,
+    mode: AccessMode,
+}
+
+/// A block of 64-bit registers on an AXI4-Lite bus.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterFile {
+    regs: BTreeMap<u64, Register>,
+    reads: u64,
+    writes: u64,
+}
+
+impl RegisterFile {
+    /// An empty register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a register at `offset` (8-byte aligned) with a reset value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unaligned offset or a duplicate definition — both are
+    /// design-time errors in the register map.
+    pub fn define(&mut self, offset: u64, mode: AccessMode, reset: u64) -> &mut Self {
+        assert_eq!(offset % 8, 0, "register offset {offset:#x} not 8-byte aligned");
+        let prev = self.regs.insert(offset, Register { value: reset, mode });
+        assert!(prev.is_none(), "duplicate register at {offset:#x}");
+        self
+    }
+
+    /// Define `n` consecutive read/write registers starting at `base`.
+    pub fn define_bank(&mut self, base: u64, n: u64) -> &mut Self {
+        for i in 0..n {
+            self.define(base + i * 8, AccessMode::ReadWrite, 0);
+        }
+        self
+    }
+
+    /// Number of defined registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True if no registers are defined.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    fn check_align(offset: u64) -> Result<(), LiteError> {
+        if offset % 8 != 0 {
+            Err(LiteError::Unaligned { offset })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Software read.
+    pub fn read(&mut self, offset: u64) -> Result<u64, LiteError> {
+        Self::check_align(offset)?;
+        self.reads += 1;
+        self.regs.get(&offset).map(|r| r.value).ok_or(LiteError::Unmapped { offset })
+    }
+
+    /// Software write, honoring the register's access mode.
+    pub fn write(&mut self, offset: u64, value: u64) -> Result<(), LiteError> {
+        Self::check_align(offset)?;
+        self.writes += 1;
+        let reg = self.regs.get_mut(&offset).ok_or(LiteError::Unmapped { offset })?;
+        match reg.mode {
+            AccessMode::ReadWrite => reg.value = value,
+            AccessMode::ReadOnly => return Err(LiteError::ReadOnlyWrite { offset }),
+            AccessMode::WriteOneToClear => reg.value &= !value,
+        }
+        Ok(())
+    }
+
+    /// Hardware-side update, ignoring software access modes (the kernel
+    /// logic updating a status register or latching an interrupt bit).
+    pub fn hw_set(&mut self, offset: u64, value: u64) {
+        if let Some(reg) = self.regs.get_mut(&offset) {
+            reg.value = value;
+        }
+    }
+
+    /// Hardware-side OR-in of status bits.
+    pub fn hw_or(&mut self, offset: u64, bits: u64) {
+        if let Some(reg) = self.regs.get_mut(&offset) {
+            reg.value |= bits;
+        }
+    }
+
+    /// Hardware-side peek (no access counting).
+    pub fn hw_get(&self, offset: u64) -> Option<u64> {
+        self.regs.get(&offset).map(|r| r.value)
+    }
+
+    /// Total software accesses, for the "bypassing the kernel space" latency
+    /// accounting in the control path.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_register_roundtrip() {
+        let mut rf = RegisterFile::new();
+        rf.define(0x00, AccessMode::ReadWrite, 0);
+        rf.write(0x00, 0x6167_717a_7a76_7668).unwrap(); // The AES key from Code 1.
+        assert_eq!(rf.read(0x00).unwrap(), 0x6167_717a_7a76_7668);
+    }
+
+    #[test]
+    fn read_only_rejects_software_writes_but_not_hw() {
+        let mut rf = RegisterFile::new();
+        rf.define(0x08, AccessMode::ReadOnly, 7);
+        assert_eq!(rf.read(0x08).unwrap(), 7);
+        assert!(matches!(rf.write(0x08, 1), Err(LiteError::ReadOnlyWrite { .. })));
+        rf.hw_set(0x08, 42);
+        assert_eq!(rf.read(0x08).unwrap(), 42);
+    }
+
+    #[test]
+    fn w1c_clears_bits() {
+        let mut rf = RegisterFile::new();
+        rf.define(0x10, AccessMode::WriteOneToClear, 0);
+        rf.hw_or(0x10, 0b1011);
+        rf.write(0x10, 0b0010).unwrap();
+        assert_eq!(rf.read(0x10).unwrap(), 0b1001);
+    }
+
+    #[test]
+    fn unmapped_and_unaligned_error() {
+        let mut rf = RegisterFile::new();
+        rf.define(0x00, AccessMode::ReadWrite, 0);
+        assert!(matches!(rf.read(0x20), Err(LiteError::Unmapped { .. })));
+        assert!(matches!(rf.read(0x04), Err(LiteError::Unaligned { .. })));
+        assert!(matches!(rf.write(0x03, 0), Err(LiteError::Unaligned { .. })));
+    }
+
+    #[test]
+    fn define_bank_lays_out_consecutively() {
+        let mut rf = RegisterFile::new();
+        rf.define_bank(0x100, 4);
+        assert_eq!(rf.len(), 4);
+        for i in 0..4 {
+            rf.write(0x100 + i * 8, i).unwrap();
+        }
+        assert_eq!(rf.read(0x118).unwrap(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate register")]
+    fn duplicate_definition_panics() {
+        let mut rf = RegisterFile::new();
+        rf.define(0, AccessMode::ReadWrite, 0);
+        rf.define(0, AccessMode::ReadOnly, 0);
+    }
+
+    #[test]
+    fn access_counts_track() {
+        let mut rf = RegisterFile::new();
+        rf.define(0, AccessMode::ReadWrite, 0);
+        rf.read(0).unwrap();
+        rf.write(0, 1).unwrap();
+        rf.write(0, 2).unwrap();
+        assert_eq!(rf.access_counts(), (1, 2));
+    }
+}

@@ -1,0 +1,286 @@
+//! AXI4-Stream modeling.
+//!
+//! Coyote v2 moves data in 512-bit (64-byte) beats on its internal streams
+//! (§9.5: "Coyote v2 transfers data in 512-bit chunks"). A *transfer* on the
+//! bus is an [`AxiBeat`]; a sequence of beats ending in `tlast` forms a
+//! packet. The `TID` sideband carries the cThread id, `TDEST` the routing
+//! destination (which parallel stream of the vFPGA the beat targets).
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// Native bus width of the Coyote v2 datapath: 512 bits.
+pub const DEFAULT_BUS_BYTES: usize = 64;
+
+/// Errors raised by stream operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A beat carried more bytes than the bus width.
+    BeatTooWide { len: usize, width: usize },
+    /// A non-final beat was narrower than the bus (AXI only permits a
+    /// partial `tkeep` on the last beat of a packet).
+    PartialMidBeat { len: usize, width: usize },
+    /// Reassembly ran out of beats before seeing `tlast`.
+    TruncatedPacket,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BeatTooWide { len, width } => {
+                write!(f, "beat of {len} bytes exceeds bus width {width}")
+            }
+            StreamError::PartialMidBeat { len, width } => {
+                write!(f, "non-final beat of {len} bytes on a {width}-byte bus")
+            }
+            StreamError::TruncatedPacket => write!(f, "stream ended before tlast"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// One AXI4-Stream transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxiBeat {
+    /// Payload bytes; length ≤ bus width, and equal to it except on a
+    /// `tlast` beat (modeling `tkeep`).
+    pub data: Bytes,
+    /// Thread id sideband (`TID`); Coyote v2 maps cThread ids here.
+    pub tid: u16,
+    /// Destination sideband (`TDEST`); selects the parallel interface.
+    pub tdest: u16,
+    /// Packet delimiter (`TLAST`).
+    pub tlast: bool,
+}
+
+impl AxiBeat {
+    /// Number of valid payload bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-byte beat (legal on AXI as a null beat; we forbid
+    /// them in packing but tolerate them in parsing).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// An ordered AXI4-Stream channel of a fixed bus width.
+#[derive(Debug, Clone)]
+pub struct AxiStream {
+    width: usize,
+    beats: VecDeque<AxiBeat>,
+    /// Total payload bytes ever pushed, for throughput accounting.
+    bytes_pushed: u64,
+}
+
+impl AxiStream {
+    /// A stream with the default 512-bit Coyote v2 datapath width.
+    pub fn new() -> Self {
+        Self::with_width(DEFAULT_BUS_BYTES)
+    }
+
+    /// A stream with an explicit bus width in bytes.
+    pub fn with_width(width: usize) -> Self {
+        assert!(width > 0 && width <= 512, "unreasonable bus width {width}");
+        AxiStream { width, beats: VecDeque::new(), bytes_pushed: 0 }
+    }
+
+    /// Bus width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Queued beats.
+    pub fn len(&self) -> usize {
+        self.beats.len()
+    }
+
+    /// True if no beats are queued.
+    pub fn is_empty(&self) -> bool {
+        self.beats.is_empty()
+    }
+
+    /// Total payload bytes pushed over the stream's lifetime.
+    pub fn bytes_pushed(&self) -> u64 {
+        self.bytes_pushed
+    }
+
+    /// Push one beat, validating AXI width rules.
+    pub fn push(&mut self, beat: AxiBeat) -> Result<(), StreamError> {
+        if beat.len() > self.width {
+            return Err(StreamError::BeatTooWide { len: beat.len(), width: self.width });
+        }
+        if !beat.tlast && beat.len() != self.width {
+            return Err(StreamError::PartialMidBeat { len: beat.len(), width: self.width });
+        }
+        self.bytes_pushed += beat.len() as u64;
+        self.beats.push_back(beat);
+        Ok(())
+    }
+
+    /// Pop the oldest beat.
+    pub fn pop(&mut self) -> Option<AxiBeat> {
+        self.beats.pop_front()
+    }
+
+    /// Pack `payload` into beats and push them as one packet.
+    ///
+    /// The final beat carries `tlast` and may be partial. An empty payload
+    /// produces a single empty `tlast` beat (a zero-length packet).
+    pub fn push_packet(&mut self, payload: &[u8], tid: u16, tdest: u16) -> Result<usize, StreamError> {
+        let beats = pack(payload, self.width, tid, tdest);
+        let n = beats.len();
+        for b in beats {
+            self.push(b)?;
+        }
+        Ok(n)
+    }
+
+    /// Pop beats up to and including the next `tlast`, reassembling the
+    /// packet payload. Returns the payload and the `tid` of its first beat.
+    pub fn pop_packet(&mut self) -> Result<Option<(Vec<u8>, u16)>, StreamError> {
+        if self.beats.is_empty() {
+            return Ok(None);
+        }
+        let mut out = Vec::new();
+        let tid = self.beats.front().map(|b| b.tid).unwrap_or(0);
+        loop {
+            match self.beats.pop_front() {
+                Some(beat) => {
+                    out.extend_from_slice(&beat.data);
+                    if beat.tlast {
+                        return Ok(Some((out, tid)));
+                    }
+                }
+                None => return Err(StreamError::TruncatedPacket),
+            }
+        }
+    }
+}
+
+impl Default for AxiStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pack a payload into a vector of beats (the final one marked `tlast`).
+pub fn pack(payload: &[u8], width: usize, tid: u16, tdest: u16) -> Vec<AxiBeat> {
+    assert!(width > 0, "zero bus width");
+    if payload.is_empty() {
+        return vec![AxiBeat { data: Bytes::new(), tid, tdest, tlast: true }];
+    }
+    let mut beats = Vec::with_capacity(payload.len().div_ceil(width));
+    let mut chunks = payload.chunks(width).peekable();
+    while let Some(chunk) = chunks.next() {
+        beats.push(AxiBeat {
+            data: Bytes::copy_from_slice(chunk),
+            tid,
+            tdest,
+            tlast: chunks.peek().is_none(),
+        });
+    }
+    beats
+}
+
+/// Number of beats a payload of `len` bytes occupies on a `width`-byte bus.
+pub fn beats_for(len: usize, width: usize) -> usize {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_and_reassemble_roundtrip() {
+        let mut s = AxiStream::new();
+        let payload: Vec<u8> = (0..200u8).collect();
+        let n = s.push_packet(&payload, 3, 1).unwrap();
+        assert_eq!(n, 4, "200 bytes on a 64-byte bus is 4 beats");
+        let (out, tid) = s.pop_packet().unwrap().unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(tid, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn exact_multiple_has_full_last_beat() {
+        let beats = pack(&[0u8; 128], 64, 0, 0);
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[1].len(), 64);
+        assert!(beats[1].tlast);
+        assert!(!beats[0].tlast);
+    }
+
+    #[test]
+    fn empty_payload_is_null_packet() {
+        let mut s = AxiStream::new();
+        s.push_packet(&[], 7, 0).unwrap();
+        let (out, tid) = s.pop_packet().unwrap().unwrap();
+        assert!(out.is_empty());
+        assert_eq!(tid, 7);
+    }
+
+    #[test]
+    fn mid_packet_partial_beat_rejected() {
+        let mut s = AxiStream::with_width(64);
+        let err = s
+            .push(AxiBeat { data: Bytes::from(vec![0u8; 10]), tid: 0, tdest: 0, tlast: false })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::PartialMidBeat { len: 10, width: 64 }));
+    }
+
+    #[test]
+    fn oversized_beat_rejected() {
+        let mut s = AxiStream::with_width(16);
+        let err = s
+            .push(AxiBeat { data: Bytes::from(vec![0u8; 17]), tid: 0, tdest: 0, tlast: true })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::BeatTooWide { .. }));
+    }
+
+    #[test]
+    fn truncated_packet_detected() {
+        let mut s = AxiStream::with_width(8);
+        s.push(AxiBeat { data: Bytes::from(vec![0u8; 8]), tid: 0, tdest: 0, tlast: false })
+            .unwrap();
+        assert_eq!(s.pop_packet(), Err(StreamError::TruncatedPacket));
+    }
+
+    #[test]
+    fn interleaved_tids_stay_ordered_within_stream() {
+        // Beats from different threads share the physical stream; order is
+        // preserved overall (in-order packet handling, §6.3).
+        let mut s = AxiStream::with_width(4);
+        s.push_packet(&[1, 1, 1, 1], 1, 0).unwrap();
+        s.push_packet(&[2, 2], 2, 0).unwrap();
+        let (p1, t1) = s.pop_packet().unwrap().unwrap();
+        let (p2, t2) = s.pop_packet().unwrap().unwrap();
+        assert_eq!((p1.as_slice(), t1), (&[1u8, 1, 1, 1][..], 1));
+        assert_eq!((p2.as_slice(), t2), (&[2u8, 2][..], 2));
+    }
+
+    #[test]
+    fn beats_for_matches_pack() {
+        for len in [0usize, 1, 63, 64, 65, 4096] {
+            let payload = vec![0u8; len];
+            assert_eq!(pack(&payload, 64, 0, 0).len(), beats_for(len, 64), "len {len}");
+        }
+    }
+
+    #[test]
+    fn bytes_pushed_accumulates() {
+        let mut s = AxiStream::new();
+        s.push_packet(&[0u8; 100], 0, 0).unwrap();
+        s.push_packet(&[0u8; 28], 0, 0).unwrap();
+        assert_eq!(s.bytes_pushed(), 128);
+    }
+}

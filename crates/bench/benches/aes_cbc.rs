@@ -1,0 +1,35 @@
+//! Figs. 10(a)/(b): the CBC message-size and thread sweeps.
+
+use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
+use coyote_apps::AesCbcKernel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run(threads: usize, len: u64) -> usize {
+    let mut p = Platform::load(ShellConfig::host_only(1)).unwrap();
+    p.load_kernel(0, Box::new(AesCbcKernel::new())).unwrap();
+    let mut work = Vec::new();
+    for i in 0..threads {
+        let t = CThread::create(&mut p, 0, 1 + i as u32).unwrap();
+        let src = t.get_mem(&mut p, len).unwrap();
+        let dst = t.get_mem(&mut p, len).unwrap();
+        t.write(&mut p, src, &vec![7u8; len as usize]).unwrap();
+        work.push((t, SgEntry::local(src, dst, len)));
+    }
+    for (t, sg) in &work {
+        t.invoke(&mut p, Oper::LocalTransfer, sg).unwrap();
+    }
+    p.drain().unwrap().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_aes_cbc");
+    group.sample_size(10);
+    group.bench_function("fig10a_single_thread_32KB", |b| b.iter(|| black_box(run(1, 32 << 10))));
+    group.bench_function("fig10a_single_thread_1MB", |b| b.iter(|| black_box(run(1, 1 << 20))));
+    group.bench_function("fig10b_8_threads_32KB", |b| b.iter(|| black_box(run(8, 32 << 10))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 7(b): the shell and app build flows on the smallest configuration
+//! (the larger ones are exercised by the harness; these keep Criterion
+//! iterations tractable).
+
+use coyote_synth::{app_flow, fig7b_configs, shell_flow};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (_, req) = fig7b_configs().remove(0);
+    let shell = shell_flow(&req).unwrap();
+    let mut group = c.benchmark_group("fig7b_build_flows");
+    group.sample_size(10);
+    group.bench_function("shell_flow_passthrough", |b| {
+        b.iter(|| black_box(shell_flow(black_box(&req)).unwrap()))
+    });
+    group.bench_function("app_flow_passthrough", |b| {
+        b.iter(|| black_box(app_flow(&req.apps[0], 0, &shell.checkpoint).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

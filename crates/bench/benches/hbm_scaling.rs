@@ -1,0 +1,30 @@
+//! Fig. 7(a): the HBM pass-through sweep at two channel counts.
+
+use coyote::kernel::Passthrough;
+use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run(channels: usize, len: u64) -> coyote::Completion {
+    let mut p = Platform::load(ShellConfig::host_memory(1, channels)).unwrap();
+    p.load_kernel(0, Box::new(Passthrough::with_streams(channels as u32))).unwrap();
+    let t = CThread::create(&mut p, 0, 1).unwrap();
+    let src = t.get_card_mem(&mut p, len).unwrap();
+    let dst = t.get_card_mem(&mut p, len).unwrap();
+    t.write(&mut p, src, &vec![1u8; len as usize]).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_hbm_scaling");
+    group.sample_size(10);
+    for channels in [1usize, 8, 32] {
+        group.bench_function(format!("{channels}_channels_4MB"), |b| {
+            b.iter(|| black_box(run(channels, 4 << 20)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 11: HyperLogLog streaming through the shell, v2 vs the v1 baseline.
+
+use coyote::v1::V1Platform;
+use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
+use coyote_apps::HllKernel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn data(n: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity((n * 8) as usize);
+    for i in 0..n {
+        out.extend_from_slice(&i.to_le_bytes());
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let items = data(1 << 17); // 1 MiB of keys.
+    let len = items.len() as u64;
+    let mut group = c.benchmark_group("fig11_hll");
+    group.sample_size(10);
+    group.bench_function("coyote_v2", |b| {
+        b.iter(|| {
+            let mut p = Platform::load(ShellConfig::host_memory(1, 8)).unwrap();
+            p.load_kernel(0, Box::new(HllKernel::new())).unwrap();
+            let t = CThread::create(&mut p, 0, 1).unwrap();
+            let buf = t.get_mem(&mut p, len).unwrap();
+            t.write(&mut p, buf, &items).unwrap();
+            t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(buf, len)).unwrap();
+            black_box(t.get_csr(&mut p, 0).unwrap())
+        })
+    });
+    group.bench_function("coyote_v1_baseline", |b| {
+        b.iter(|| {
+            let mut v1 = V1Platform::load(ShellConfig::host_memory(1, 8)).unwrap();
+            v1.platform_mut().load_kernel(0, Box::new(HllKernel::new())).unwrap();
+            let t = v1.create_thread(0, 1).unwrap();
+            let buf = t.get_mem(v1.platform_mut(), len).unwrap();
+            t.write(v1.platform_mut(), buf, &items).unwrap();
+            t.invoke_sync(v1.platform_mut(), Oper::LocalRead, &SgEntry::source(buf, len)).unwrap();
+            black_box(t.get_csr(v1.platform_mut(), 0).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

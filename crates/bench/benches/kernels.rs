@@ -1,0 +1,60 @@
+//! Raw kernel-compute benchmarks: the actual algorithm implementations
+//! (software-side wall clock, independent of the platform model).
+
+use coyote_apps::{Aes128, HyperLogLog};
+use coyote_apps::nn::{quantize, DenseLayer, QuantizedMlp};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_compute");
+
+    let cipher = Aes128::from_u64(0x1234, 0x5678);
+    let mut buf = vec![0xA5u8; 64 * 1024];
+    group.throughput(Throughput::Bytes(buf.len() as u64));
+    group.bench_function("aes128_ecb_64KB", |b| {
+        b.iter(|| {
+            cipher.encrypt_ecb(black_box(&mut buf));
+        })
+    });
+    group.bench_function("aes128_cbc_64KB", |b| {
+        b.iter(|| black_box(cipher.encrypt_cbc(black_box(&mut buf), [0u8; 16])))
+    });
+
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("hll_add_100k", |b| {
+        b.iter(|| {
+            let mut hll = HyperLogLog::new(14);
+            for i in 0..100_000u64 {
+                hll.add(&i.to_le_bytes());
+            }
+            black_box(hll.estimate())
+        })
+    });
+
+    let model = QuantizedMlp {
+        layers: vec![
+            DenseLayer::from_f32(
+                593,
+                64,
+                &vec![0.01f32; 593 * 64],
+                &vec![0.0; 64],
+                coyote_apps::nn::Activation::Relu,
+            ),
+            DenseLayer::from_f32(
+                64,
+                2,
+                &vec![0.02f32; 128],
+                &[0.0; 2],
+                coyote_apps::nn::Activation::Linear,
+            ),
+        ],
+    };
+    let row: Vec<i32> = (0..593).map(|i| quantize(i as f32 / 593.0)).collect();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("mlp_infer_593x64x2", |b| b.iter(|| black_box(model.infer_q(&row))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 8: the multi-tenant AES ECB fairness run.
+
+use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
+use coyote_apps::AesEcbKernel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run(tenants: u8, len: u64) -> usize {
+    let mut p = Platform::load(ShellConfig::host_only(tenants)).unwrap();
+    let mut work = Vec::new();
+    for v in 0..tenants {
+        p.load_kernel(v, Box::new(AesEcbKernel::new())).unwrap();
+        let t = CThread::create(&mut p, v, 100 + v as u32).unwrap();
+        let src = t.get_mem(&mut p, len).unwrap();
+        let dst = t.get_mem(&mut p, len).unwrap();
+        t.write(&mut p, src, &vec![v; len as usize]).unwrap();
+        work.push((t, SgEntry::local(src, dst, len)));
+    }
+    for (t, sg) in &work {
+        t.invoke(&mut p, Oper::LocalTransfer, sg).unwrap();
+    }
+    p.drain().unwrap().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_multitenant_ecb");
+    group.sample_size(10);
+    for tenants in [1u8, 4, 8] {
+        group.bench_function(format!("{tenants}_tenants_1MB"), |b| {
+            b.iter(|| black_box(run(tenants, 1 << 20)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

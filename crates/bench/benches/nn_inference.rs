@@ -1,0 +1,39 @@
+//! Fig. 12: NN inference through both accelerator backends.
+
+use coyote::{Platform, ShellConfig};
+use coyote_hls4ml::{
+    intrusion_detection_model, sample_batch, Backend, CoyoteOverlay, HlsConfig, HlsModel,
+    PynqOverlay,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = intrusion_detection_model(42);
+    let hls = HlsModel::convert(spec.clone(), HlsConfig::new(Backend::CoyoteAccelerator));
+    let build = hls.build().unwrap();
+    let x = sample_batch(&spec, 256, 7);
+    let mut group = c.benchmark_group("fig12_nn_inference");
+    group.sample_size(10);
+    group.bench_function("coyote_accelerator_batch256", |b| {
+        b.iter(|| {
+            let mut p = Platform::load(ShellConfig::host_memory(1, 8)).unwrap();
+            let mut ov = CoyoteOverlay::program_fpga(&mut p, &build).unwrap();
+            black_box(ov.predict(&mut p, &x).unwrap())
+        })
+    });
+    group.bench_function("pynq_vitis_batch256", |b| {
+        b.iter(|| {
+            let mut p = Platform::load(ShellConfig::host_memory(1, 8)).unwrap();
+            let mut ov = PynqOverlay::program_fpga(&mut p, &build).unwrap();
+            black_box(ov.predict(&mut p, &x).unwrap())
+        })
+    });
+    group.bench_function("software_emulation_batch256", |b| {
+        b.iter(|| black_box(hls.predict(&x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

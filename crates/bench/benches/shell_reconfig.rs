@@ -1,0 +1,28 @@
+//! Table 3: one full shell-reconfiguration request through the driver
+//! (validate + stage timing + ICAP model + shell state swap).
+
+use coyote::build::build_shell;
+use coyote::{CRcnfg, Platform, ShellConfig};
+use coyote_synth::{Ip, IpBlock};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ShellConfig::host_only(1);
+    let art = build_shell(&cfg, vec![vec![IpBlock::new(Ip::Passthrough)]]).unwrap();
+    let blob = art.shell_bitstream.bytes().to_vec();
+    let mut group = c.benchmark_group("table3_shell_reconfig");
+    group.sample_size(10);
+    group.bench_function("scenario1_reconfigure_shell", |b| {
+        b.iter(|| {
+            let mut p = Platform::load(ShellConfig::host_only(1)).unwrap();
+            p.register_built_shell(cfg.clone(), &art);
+            let rcnfg = CRcnfg::new(&mut p, 1);
+            black_box(rcnfg.reconfigure_shell_bytes(&mut p, black_box(&blob), true).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Programmatic verification of the paper's headline claims: one PASS/FAIL
+//! line per claim, derived from freshly-run experiments.
+
+use crate::experiments;
+use crate::report::{ExperimentResult, Row};
+use coyote_sim::{params, PipelineModel, SimTime};
+
+struct Claim {
+    text: &'static str,
+    paper: &'static str,
+    measured: String,
+    pass: bool,
+}
+
+fn metric(result: &ExperimentResult, row_contains: &str, metric_idx: usize) -> f64 {
+    result
+        .rows
+        .iter()
+        .find(|r| r.label.contains(row_contains))
+        .and_then(|r| r.measured.get(metric_idx))
+        .map(|(_, v)| *v)
+        .unwrap_or(f64::NAN)
+}
+
+/// Run every claim check.
+pub fn claims() -> ExperimentResult {
+    let mut out: Vec<Claim> = Vec::new();
+
+    // 1. "reduces synthesis times between 15% and 20%".
+    let fig7b = experiments::fig7b();
+    let savings: Vec<f64> = fig7b.rows.iter().map(|r| metric(&fig7b, &r.label, 2)).collect();
+    let min_s = savings.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_s = savings.iter().cloned().fold(0.0, f64::max);
+    out.push(Claim {
+        text: "app flow reduces synthesis time 15-20%",
+        paper: "15-20%",
+        measured: format!("{min_s:.1}-{max_s:.1}%"),
+        pass: min_s >= 13.0 && max_s <= 22.0,
+    });
+
+    // 2. "run-time reconfiguration times [reduced] by an order of
+    //    magnitude" (Table 3).
+    let table3 = experiments::table3();
+    let kernel_ms = metric(&table3, "#3", 0);
+    let total_ms = metric(&table3, "#3", 1);
+    let vivado_ms = metric(&table3, "#3", 2);
+    out.push(Claim {
+        text: "shell reconfig >=10x faster than full reprogramming",
+        paper: ">=10x",
+        measured: format!("{:.0}x (total) / {:.0}x (kernel)", vivado_ms / total_ms, vivado_ms / kernel_ms),
+        pass: vivado_ms / total_ms >= 10.0,
+    });
+
+    // 3. Table 2 ordering and ICAP rate.
+    let table2 = experiments::table2();
+    let icap = metric(&table2, "Coyote v2 ICAP", 0);
+    let mcap = metric(&table2, "MCAP", 0);
+    out.push(Claim {
+        text: "Coyote ICAP ~800 MB/s, ~5.5x over MCAP",
+        paper: "800 MB/s",
+        measured: format!("{icap:.0} MB/s, {:.1}x", icap / mcap),
+        pass: (icap - 800.0).abs() < 10.0 && (icap / mcap - 5.5).abs() < 0.3,
+    });
+
+    // 4. "reducing idle time up to 7x over the baseline" — issue-port idle
+    //    time of the 10-stage pipeline at 1 vs 8 threads.
+    let idle_for = |threads: usize| {
+        let mut p = PipelineModel::new(params::SYS_CLOCK, params::AES_PIPELINE_DEPTH, 1);
+        let mut ready = vec![SimTime::ZERO; threads];
+        for i in 0..8000usize {
+            let t = i % threads;
+            let iss = p.issue(ready[t]);
+            ready[t] = iss.done + params::SYS_CLOCK.cycles(params::AES_CBC_OVERHEAD_CYCLES);
+        }
+        p.idle_time().as_ps().max(1) as f64
+    };
+    let idle_ratio = idle_for(1) / idle_for(8);
+    out.push(Claim {
+        text: "multithreading cuts pipeline idle time ~7x (8 threads)",
+        paper: "up to 7x",
+        measured: format!("{idle_ratio:.1}x"),
+        pass: idle_ratio >= 6.0,
+    });
+
+    // 5. Fig. 8: cumulative bandwidth constant at ~12 GB/s.
+    let fig8 = experiments::fig8();
+    let c1 = metric(&fig8, "1 vFPGAs", 1);
+    let c8 = metric(&fig8, "8 vFPGAs", 1);
+    out.push(Claim {
+        text: "cumulative ECB bandwidth constant across tenant counts",
+        paper: "~12 GB/s, flat",
+        measured: format!("{c1:.1} -> {c8:.1} GB/s"),
+        pass: (c8 - c1).abs() / c1 < 0.08 && c1 > 10.5,
+    });
+
+    // 6. Fig. 10(a): CBC saturates ~280 MB/s at 32 KB.
+    let fig10a = experiments::fig10a();
+    let at32k = metric(&fig10a, "32 KB", 0);
+    out.push(Claim {
+        text: "single-thread CBC saturates ~280 MB/s at 32 KB",
+        paper: "280 MB/s",
+        measured: format!("{at32k:.0} MB/s"),
+        pass: (at32k - 280.0).abs() < 20.0,
+    });
+
+    // 7. Fig. 11: HLL on-demand load ~57 ms, utilization ~10%.
+    let fig11 = experiments::fig11();
+    let load_ms = metric(&fig11, "on-demand", 0);
+    let util = metric(&fig11, "Coyote v2 utilization", 0);
+    out.push(Claim {
+        text: "HLL on-demand partial reconfiguration ~57 ms",
+        paper: "57 ms",
+        measured: format!("{load_ms:.1} ms"),
+        pass: (load_ms - 57.0).abs() < 4.0,
+    });
+    out.push(Claim {
+        text: "HLL deployment utilization stays low",
+        paper: "~10%",
+        measured: format!("{util:.1}%"),
+        pass: util < 12.0,
+    });
+
+    // 8. Fig. 12: NN inference an order of magnitude over the baseline.
+    let fig12 = experiments::fig12();
+    let speedup_1024 = metric(&fig12, "batch 1024", 2);
+    out.push(Claim {
+        text: "NN inference order of magnitude over PYNQ baseline",
+        paper: "~10x",
+        measured: format!("{speedup_1024:.1}x at batch 1024"),
+        pass: speedup_1024 >= 8.0,
+    });
+
+    let all_pass = out.iter().all(|c| c.pass);
+    ExperimentResult {
+        id: "claims".into(),
+        title: "Headline claims: paper vs measured".into(),
+        rows: out
+            .into_iter()
+            .map(|c| {
+                Row::text(
+                    if c.pass { "PASS" } else { "FAIL" },
+                    format!("{} — paper: {}, measured: {}", c.text, c.paper, c.measured),
+                )
+            })
+            .collect(),
+        verdict: if all_pass {
+            "every headline claim reproduced".into()
+        } else {
+            "AT LEAST ONE CLAIM FAILED".into()
+        },
+    }
+}

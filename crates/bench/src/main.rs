@@ -1,0 +1,78 @@
+//! The experiment harness CLI.
+//!
+//! ```text
+//! coyote-bench all            # every table and figure
+//! coyote-bench fig7a fig10b   # a selection
+//! coyote-bench --list
+//! ```
+//!
+//! Results print as paper-vs-measured tables and are written as JSON under
+//! `results/`.
+
+use coyote_bench::experiments;
+use coyote_bench::ExperimentResult;
+
+const IDS: &[&str] = &[
+    "table1", "table2", "table3", "fig7a", "fig7b", "fig8", "fig10a", "fig10b", "fig11", "fig12",
+    "ablation_chunk", "ablation_tlb", "ablation_pages", "ablation_credits", "ablation_virt",
+    "ablation_mt", "claims",
+];
+
+fn run_one(id: &str) -> Option<ExperimentResult> {
+    Some(match id {
+        "table1" => experiments::table1(),
+        "table2" => experiments::table2(),
+        "table3" => experiments::table3(),
+        "fig7a" => experiments::fig7a(),
+        "fig7b" => experiments::fig7b(),
+        "fig8" => experiments::fig8(),
+        "fig10a" => experiments::fig10a(),
+        "fig10b" => experiments::fig10b(),
+        "fig11" => experiments::fig11(),
+        "fig12" => experiments::fig12(),
+        "ablation_chunk" => coyote_bench::ablations::ablation_chunk_size(),
+        "ablation_tlb" => coyote_bench::ablations::ablation_tlb_geometry(),
+        "ablation_pages" => coyote_bench::ablations::ablation_page_size(),
+        "ablation_credits" => coyote_bench::ablations::ablation_credits(),
+        "ablation_virt" => coyote_bench::ablations::ablation_virt_service(),
+        "ablation_mt" => coyote_bench::ablations::ablation_threads_vs_vfpgas(),
+        "claims" => coyote_bench::claims::claims(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let selection: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let out_dir = std::path::PathBuf::from("results");
+    let mut failed = false;
+    for id in selection {
+        match run_one(id) {
+            Some(result) => {
+                result.print();
+                if let Err(e) = result.write_json(&out_dir) {
+                    eprintln!("warning: could not write {id}.json: {e}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (use --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+    println!();
+    println!("JSON records in {}/", out_dir.display());
+}

@@ -1,0 +1,136 @@
+//! Result structures and rendering shared by every experiment.
+
+use serde::Serialize;
+
+/// One row of an experiment's output table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (configuration, x-axis point, ...).
+    pub label: String,
+    /// Measured value(s), named.
+    pub measured: Vec<(String, f64)>,
+    /// The paper's value for the primary metric, when it publishes one.
+    pub paper: Option<f64>,
+    /// Free-text annotation (qualitative tables).
+    pub note: Option<String>,
+}
+
+impl Row {
+    /// Construct a row with one measured metric.
+    pub fn new(label: impl Into<String>, metric: impl Into<String>, value: f64) -> Row {
+        Row { label: label.into(), measured: vec![(metric.into(), value)], paper: None, note: None }
+    }
+
+    /// A purely qualitative row.
+    pub fn text(label: impl Into<String>, note: impl Into<String>) -> Row {
+        Row { label: label.into(), measured: Vec::new(), paper: None, note: Some(note.into()) }
+    }
+
+    /// Attach the paper's published value.
+    pub fn vs_paper(mut self, paper: f64) -> Row {
+        self.paper = Some(paper);
+        self
+    }
+
+    /// Attach an extra measured metric.
+    pub fn with(mut self, metric: impl Into<String>, value: f64) -> Row {
+        self.measured.push((metric.into(), value));
+        self
+    }
+}
+
+/// A complete experiment result.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id ("table2", "fig7a", ...).
+    pub id: String,
+    /// What the paper calls it.
+    pub title: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// One-line verdict comparing shape against the paper.
+    pub verdict: String,
+}
+
+impl ExperimentResult {
+    /// Render to stdout in the harness's standard format.
+    pub fn print(&self) {
+        println!();
+        println!("== {} — {} ==", self.id, self.title);
+        // Column headers from the first row's metrics.
+        if let Some(first) = self.rows.first() {
+            print!("{:<28}", "");
+            for (name, _) in &first.measured {
+                print!("{name:>16}");
+            }
+            if first.paper.is_some() || self.rows.iter().any(|r| r.paper.is_some()) {
+                print!("{:>16}", "paper");
+            }
+            println!();
+        }
+        for row in &self.rows {
+            print!("{:<28}", row.label);
+            for (_, v) in &row.measured {
+                print!("{:>16}", format_value(*v));
+            }
+            if let Some(p) = row.paper {
+                print!("{:>16}", format_value(p));
+            } else if self.rows.iter().any(|r| r.paper.is_some()) {
+                print!("{:>16}", "-");
+            }
+            if let Some(note) = &row.note {
+                print!("  {note}");
+            }
+            println!();
+        }
+        println!("verdict: {}", self.verdict);
+    }
+
+    /// Write the JSON record under `dir`.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join(format!("{}.json", self.id)),
+            serde_json::to_vec_pretty(self).expect("serializable"),
+        )
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 10_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_compose() {
+        let r = Row::new("cfg1", "MB/s", 800.0).vs_paper(800.0).with("latency_ms", 51.6);
+        assert_eq!(r.measured.len(), 2);
+        assert_eq!(r.paper, Some(800.0));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let res = ExperimentResult {
+            id: "test".into(),
+            title: "Test".into(),
+            rows: vec![Row::new("a", "m", 1.0)],
+            verdict: "ok".into(),
+        };
+        let dir = std::env::temp_dir().join("coyote_bench_report");
+        res.write_json(&dir).unwrap();
+        let data = std::fs::read_to_string(dir.join("test.json")).unwrap();
+        assert!(data.contains("\"verdict\""));
+        std::fs::remove_file(dir.join("test.json")).ok();
+    }
+}

@@ -1,0 +1,171 @@
+//! Run-time reconfiguration: the `cRcnfg` API of Code 2.
+//!
+//! ```c++
+//! cRcnfg rcnfg(0);
+//! rcnfg.reconfigureShell("/path/to/shell.bin");
+//! rcnfg.reconfigureApp("/path/to/app.bin", 2);
+//! ```
+//!
+//! A shell reconfiguration swaps services *and* wipes every vFPGA (the §4
+//! fail-safe); an app reconfiguration replaces one vFPGA's logic while the
+//! rest of the system keeps running.
+
+use crate::platform::{Platform, PlatformError, VfpgaState};
+use coyote_driver::reconfig::ReconfigTiming;
+use coyote_fabric::bitstream::{Bitstream, BitstreamKind};
+use coyote_mem::card::CardMemKind;
+use coyote_mem::CardMemory;
+use std::path::Path;
+
+/// Reconfiguration handle bound to one platform/device.
+pub struct CRcnfg {
+    hpid: u32,
+}
+
+impl CRcnfg {
+    /// Create a reconfiguration instance for the calling process.
+    pub fn new(platform: &mut Platform, hpid: u32) -> CRcnfg {
+        platform.driver_mut().open(hpid);
+        CRcnfg { hpid }
+    }
+
+    /// Reconfigure the whole shell from a bitstream file on disk.
+    pub fn reconfigure_shell(
+        &self,
+        platform: &mut Platform,
+        path: &Path,
+    ) -> Result<ReconfigTiming, PlatformError> {
+        let blob = std::fs::read(path).map_err(|e| PlatformError::Io(e.to_string()))?;
+        self.reconfigure_shell_bytes(platform, &blob, true)
+    }
+
+    /// Reconfigure the shell from an in-memory bitstream ("keeping certain
+    /// frequently used shell bitstreams in memory", §9.3).
+    pub fn reconfigure_shell_bytes(
+        &self,
+        platform: &mut Platform,
+        blob: &[u8],
+        from_disk: bool,
+    ) -> Result<ReconfigTiming, PlatformError> {
+        let bs = Bitstream::from_bytes(blob.to_vec()).map_err(|e| {
+            PlatformError::Reconfig(coyote_driver::reconfig::ReconfigError::Bitstream(e))
+        })?;
+        let digest = bs.digest();
+        let new_config = platform
+            .shell_registry
+            .get(&digest)
+            .cloned()
+            .ok_or(PlatformError::UnknownApp(digest))?;
+        let now = platform.now;
+        let timing = platform
+            .driver_mut()
+            .reconfigure(now, blob, from_disk)
+            .map_err(PlatformError::Reconfig)?;
+
+        // Swap the dynamic layer to the new services.
+        platform.driver_mut().set_card(if new_config.services.memory_channels > 0 {
+            Some(CardMemory::with_channels(
+                CardMemKind::Hbm,
+                new_config.services.memory_channels,
+            ))
+        } else {
+            None
+        });
+        platform.balboa = new_config.services.networking.then(crate::rdma::BalboaService::new);
+        platform.tcp = new_config
+            .services
+            .networking
+            .then(|| coyote_net::TcpStack::new(new_config.mac(), new_config.ip()));
+        platform.sniffer = new_config
+            .sniffer_config
+            .filter(|_| new_config.services.sniffer)
+            .map(coyote_net::TrafficSniffer::new);
+        // The fail-safe: all vFPGAs are rewritten by the shell image, so
+        // every kernel slot resets.
+        platform.vfpgas = (0..new_config.n_vfpgas)
+            .map(|_| VfpgaState::empty_for(&new_config))
+            .collect();
+        platform.next_tid = vec![0; new_config.n_vfpgas as usize];
+        platform.shell_digest = digest;
+        platform.config = new_config;
+        platform.advance_to(timing.program_done);
+        // Reconfiguration completion interrupt (§5.1).
+        platform.driver_mut().notify(
+            self.hpid,
+            coyote_driver::IrqEvent::ReconfigDone { at: timing.program_done },
+        );
+        Ok(timing)
+    }
+
+    /// Reconfigure one vFPGA from a bitstream file.
+    pub fn reconfigure_app(
+        &self,
+        platform: &mut Platform,
+        path: &Path,
+        vfpga: u8,
+    ) -> Result<ReconfigTiming, PlatformError> {
+        let blob = std::fs::read(path).map_err(|e| PlatformError::Io(e.to_string()))?;
+        self.reconfigure_app_bytes(platform, &blob, vfpga, true)
+    }
+
+    /// Reconfigure one vFPGA from an in-memory bitstream.
+    pub fn reconfigure_app_bytes(
+        &self,
+        platform: &mut Platform,
+        blob: &[u8],
+        vfpga: u8,
+        from_disk: bool,
+    ) -> Result<ReconfigTiming, PlatformError> {
+        platform.vfpga(vfpga)?;
+        let bs = Bitstream::from_bytes(blob.to_vec()).map_err(|e| {
+            PlatformError::Reconfig(coyote_driver::reconfig::ReconfigError::Bitstream(e))
+        })?;
+        if !matches!(bs.kind(), BitstreamKind::App { .. }) {
+            return Err(PlatformError::Reconfig(
+                coyote_driver::reconfig::ReconfigError::Bitstream(
+                    coyote_fabric::BitstreamError::BadKind(1),
+                ),
+            ));
+        }
+        let digest = bs.digest();
+        let factory_kernel = {
+            let factory = platform
+                .app_registry
+                .get(&digest)
+                .ok_or(PlatformError::UnknownApp(digest))?;
+            factory()
+        };
+        // In-flight traffic of the region is dropped, like the real shell
+        // quiescing a region before PR.
+        platform.xdma.evict_tenant(vfpga);
+        let now = platform.now;
+        let timing = platform
+            .driver_mut()
+            .reconfigure(now, blob, from_disk)
+            .map_err(PlatformError::Reconfig)?;
+        platform.load_kernel(vfpga, factory_kernel)?;
+        platform.vfpga_mut(vfpga)?.loaded_digest = digest;
+        platform.advance_to(timing.program_done);
+        platform.driver_mut().notify(
+            self.hpid,
+            coyote_driver::IrqEvent::ReconfigDone { at: timing.program_done },
+        );
+        Ok(timing)
+    }
+}
+
+impl VfpgaState {
+    pub(crate) fn empty_for(config: &crate::config::ShellConfig) -> VfpgaState {
+        VfpgaState {
+            kernel: None,
+            csr: coyote_axi::RegisterFile::new(),
+            mmu: coyote_mmu::Mmu::new(config.mmu),
+            pipeline: None,
+            thread_ready: std::collections::HashMap::new(),
+            kernel_ready: coyote_sim::SimTime::ZERO,
+            loaded_digest: 0,
+            beats_in: 0,
+            beats_out: 0,
+        }
+    }
+}

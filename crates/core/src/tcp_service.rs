@@ -1,0 +1,159 @@
+//! The TCP/IP network service: BALBOA's second stack (§8 switches between
+//! "the available network stacks (RDMA, TCP/IP)").
+//!
+//! The [`coyote_net::TcpStack`] state machines live in `coyote-net`; this
+//! module is the shell-side plumbing: frames pass the traffic sniffer in
+//! both directions, and a pump helper drives two platforms (or a platform
+//! and any peer stack) through the simulated switch.
+
+use crate::platform::{Platform, PlatformError};
+use coyote_net::sniffer::Direction;
+use coyote_net::{MacAddr, PortId, Switch, TcpStack};
+use coyote_sim::SimTime;
+
+impl Platform {
+    /// Open a listening port on the shell's TCP service.
+    pub fn tcp_listen(&mut self, port: u16) -> Result<(), PlatformError> {
+        self.tcp_mut()?.listen(port);
+        Ok(())
+    }
+
+    /// Actively connect to a remote node.
+    pub fn tcp_connect(
+        &mut self,
+        local_port: u16,
+        remote_port: u16,
+        remote_mac: MacAddr,
+        remote_ip: [u8; 4],
+    ) -> Result<(u16, u16), PlatformError> {
+        Ok(self.tcp_mut()?.connect(local_port, remote_port, remote_mac, remote_ip))
+    }
+
+    /// Gather outbound TCP frames (observed by the TX sniffer).
+    pub fn tcp_poll_tx(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let Some(tcp) = self.tcp.as_mut() else { return Vec::new() };
+        let frames = tcp.poll_tx();
+        if let Some(sniffer) = self.sniffer.as_mut() {
+            for f in &frames {
+                sniffer.observe(now, Direction::Tx, f);
+            }
+        }
+        frames
+    }
+
+    /// Deliver a TCP frame from the wire (observed by the RX sniffer);
+    /// returns immediate responses (SYN+ACK, RST).
+    pub fn tcp_rx(&mut self, now: SimTime, frame: &[u8]) -> Vec<Vec<u8>> {
+        if let Some(sniffer) = self.sniffer.as_mut() {
+            sniffer.observe(now, Direction::Rx, frame);
+        }
+        let Some(tcp) = self.tcp.as_mut() else { return Vec::new() };
+        let responses = tcp.on_wire(frame);
+        if let Some(sniffer) = self.sniffer.as_mut() {
+            for f in &responses {
+                sniffer.observe(now, Direction::Tx, f);
+            }
+        }
+        responses
+    }
+}
+
+/// Pump TCP frames between two platforms through a switch until both go
+/// quiescent. Returns the number of frames exchanged.
+pub fn run_tcp_pair(
+    a: &mut Platform,
+    a_port: PortId,
+    b: &mut Platform,
+    b_port: PortId,
+    switch: &mut Switch,
+    start: SimTime,
+) -> u64 {
+    let mut exchanged = 0u64;
+    let mut now = start;
+    for _round in 0..500 {
+        let mut any = false;
+        for frame in a.tcp_poll_tx(now) {
+            any = true;
+            for d in switch.inject(now, a_port, frame) {
+                now = now.max(d.at);
+                exchanged += 1;
+                for resp in b.tcp_rx(d.at, &d.bytes) {
+                    for d2 in switch.inject(d.at, b_port, resp) {
+                        now = now.max(d2.at);
+                        exchanged += 1;
+                        a.tcp_rx(d2.at, &d2.bytes);
+                    }
+                }
+            }
+        }
+        for frame in b.tcp_poll_tx(now) {
+            any = true;
+            for d in switch.inject(now, b_port, frame) {
+                now = now.max(d.at);
+                exchanged += 1;
+                for resp in a.tcp_rx(d.at, &d.bytes) {
+                    for d2 in switch.inject(d.at, a_port, resp) {
+                        now = now.max(d2.at);
+                        exchanged += 1;
+                        b.tcp_rx(d2.at, &d2.bytes);
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    a.advance_to(now);
+    b.advance_to(now);
+    exchanged
+}
+
+/// Pump a platform against a bare peer [`TcpStack`] (a software host).
+pub fn run_tcp_with_host(
+    platform: &mut Platform,
+    platform_port: PortId,
+    host: &mut TcpStack,
+    host_port: PortId,
+    switch: &mut Switch,
+    start: SimTime,
+) -> u64 {
+    let mut exchanged = 0u64;
+    let mut now = start;
+    for _round in 0..500 {
+        let mut any = false;
+        for frame in platform.tcp_poll_tx(now) {
+            any = true;
+            for d in switch.inject(now, platform_port, frame) {
+                now = now.max(d.at);
+                exchanged += 1;
+                for resp in host.on_wire(&d.bytes) {
+                    for d2 in switch.inject(d.at, host_port, resp) {
+                        now = now.max(d2.at);
+                        exchanged += 1;
+                        platform.tcp_rx(d2.at, &d2.bytes);
+                    }
+                }
+            }
+        }
+        for frame in host.poll_tx() {
+            any = true;
+            for d in switch.inject(now, host_port, frame) {
+                now = now.max(d.at);
+                exchanged += 1;
+                for resp in platform.tcp_rx(d.at, &d.bytes) {
+                    for d2 in switch.inject(d.at, platform_port, resp) {
+                        now = now.max(d2.at);
+                        exchanged += 1;
+                        host.on_wire(&d2.bytes);
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    platform.advance_to(now);
+    exchanged
+}

@@ -1,0 +1,150 @@
+//! MSI-X interrupt delivery.
+//!
+//! §5.1: "this channel is used to raise interrupts to the host, using the
+//! standardized MSI-X technology, which is processed by the device driver.
+//! In a complex system like Coyote v2 there are many sources of interrupts,
+//! such as page faults, reconfiguration completions, TLB invalidations and
+//! user-issued interrupts."
+
+use coyote_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Why an interrupt fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrqReason {
+    /// MMU raised a page fault that the driver must service.
+    PageFault {
+        /// Faulting vFPGA.
+        vfpga: u8,
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// A partial reconfiguration finished.
+    ReconfigDone,
+    /// A TLB shoot-down completed.
+    TlbInvalidation {
+        /// Target vFPGA.
+        vfpga: u8,
+    },
+    /// A user application issued an interrupt with an arbitrary value
+    /// (§7.1, interrupt channel).
+    User {
+        /// Issuing vFPGA.
+        vfpga: u8,
+        /// Application-defined payload.
+        value: u64,
+    },
+    /// DMA transfer completion (used when writeback is not configured).
+    DmaComplete {
+        /// Completed job.
+        job: u64,
+    },
+}
+
+/// One delivered interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsiVector {
+    /// Vector number (one per source class in the driver's table).
+    pub vector: u16,
+    /// Cause.
+    pub reason: IrqReason,
+    /// Delivery instant.
+    pub at: SimTime,
+}
+
+/// The MSI-X controller: a bounded pending queue per device, drained by the
+/// driver's top half.
+#[derive(Debug, Clone, Default)]
+pub struct MsiX {
+    pending: VecDeque<MsiVector>,
+    raised: u64,
+    coalesced: u64,
+}
+
+impl MsiX {
+    /// An empty controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise an interrupt at `at`. Back-to-back identical user vectors are
+    /// coalesced (standard MSI-X behaviour when the vector is masked).
+    pub fn raise(&mut self, vector: u16, reason: IrqReason, at: SimTime) {
+        self.raised += 1;
+        if let Some(last) = self.pending.back() {
+            if last.vector == vector && last.reason == reason {
+                self.coalesced += 1;
+                return;
+            }
+        }
+        self.pending.push_back(MsiVector { vector, reason, at });
+    }
+
+    /// Driver top half: take the next pending interrupt.
+    pub fn take(&mut self) -> Option<MsiVector> {
+        self.pending.pop_front()
+    }
+
+    /// Drain everything pending.
+    pub fn drain(&mut self) -> Vec<MsiVector> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Interrupts currently pending.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total raised (including coalesced).
+    pub fn raised(&self) -> u64 {
+        self.raised
+    }
+
+    /// How many raises were coalesced away.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let mut msix = MsiX::new();
+        msix.raise(0, IrqReason::ReconfigDone, SimTime::ZERO);
+        msix.raise(1, IrqReason::User { vfpga: 0, value: 42 }, SimTime::ZERO);
+        assert_eq!(msix.take().unwrap().reason, IrqReason::ReconfigDone);
+        assert_eq!(msix.take().unwrap().reason, IrqReason::User { vfpga: 0, value: 42 });
+        assert!(msix.take().is_none());
+    }
+
+    #[test]
+    fn identical_back_to_back_coalesce() {
+        let mut msix = MsiX::new();
+        for _ in 0..5 {
+            msix.raise(2, IrqReason::TlbInvalidation { vfpga: 1 }, SimTime::ZERO);
+        }
+        assert_eq!(msix.pending(), 1);
+        assert_eq!(msix.raised(), 5);
+        assert_eq!(msix.coalesced(), 4);
+    }
+
+    #[test]
+    fn distinct_payloads_do_not_coalesce() {
+        let mut msix = MsiX::new();
+        msix.raise(1, IrqReason::User { vfpga: 0, value: 1 }, SimTime::ZERO);
+        msix.raise(1, IrqReason::User { vfpga: 0, value: 2 }, SimTime::ZERO);
+        assert_eq!(msix.pending(), 2);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut msix = MsiX::new();
+        msix.raise(0, IrqReason::DmaComplete { job: 1 }, SimTime::ZERO);
+        msix.raise(0, IrqReason::DmaComplete { job: 2 }, SimTime::ZERO);
+        assert_eq!(msix.drain().len(), 2);
+        assert_eq!(msix.pending(), 0);
+    }
+}

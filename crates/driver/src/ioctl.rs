@@ -1,0 +1,194 @@
+//! The ioctl command surface.
+//!
+//! The real driver exposes a numbered ioctl table on `/dev/fpga_*`; user
+//! space (the C++ API) wraps each command. This module mirrors that layer:
+//! a typed command enum, one dispatch point, typed replies — so tests can
+//! exercise the exact entry sequence the software API performs.
+
+use crate::driver::{CoyoteDriver, DriverError, Hpid};
+use crate::reconfig::{ReconfigError, ReconfigTiming};
+use coyote_fabric::floorplan::PartitionId;
+use coyote_mem::PageSize;
+use coyote_mmu::Mapping;
+use coyote_sim::SimTime;
+
+/// Commands understood by the driver.
+#[derive(Debug, Clone)]
+pub enum Ioctl {
+    /// Register the calling process (`IOCTL_REGISTER_PID`).
+    RegisterPid {
+        /// Process id.
+        hpid: Hpid,
+    },
+    /// Unregister and tear down (`IOCTL_UNREGISTER_PID`).
+    UnregisterPid {
+        /// Process id.
+        hpid: Hpid,
+    },
+    /// Allocate + map host memory (`IOCTL_ALLOC_HOST_USER_MEM`).
+    MapUser {
+        /// Process id.
+        hpid: Hpid,
+        /// Bytes requested.
+        len: u64,
+        /// Backing page size.
+        page: PageSize,
+    },
+    /// Allocate + map card memory (`IOCTL_ALLOC_CARD_MEM`).
+    MapCard {
+        /// Process id.
+        hpid: Hpid,
+        /// Bytes requested.
+        len: u64,
+    },
+    /// Read static configuration (`IOCTL_READ_CNFG`).
+    ReadCfg,
+    /// Load a partial bitstream (`IOCTL_RECONFIGURE`).
+    Reconfigure {
+        /// Calling process (receives the completion interrupt).
+        hpid: Hpid,
+        /// The blob.
+        blob: Vec<u8>,
+        /// Charge the disk-read stage.
+        from_disk: bool,
+    },
+}
+
+/// Replies.
+#[derive(Debug, Clone)]
+pub enum IoctlReply {
+    /// Success with no payload.
+    Ok,
+    /// A fresh mapping.
+    Mapping(Mapping),
+    /// Static configuration snapshot.
+    Cfg {
+        /// Device name.
+        device: &'static str,
+        /// Digest of the currently loaded shell, if any.
+        shell_digest: Option<u64>,
+        /// Completed reconfigurations.
+        reconfig_count: u64,
+    },
+    /// Reconfiguration timing.
+    Reconfig(ReconfigTiming),
+}
+
+/// Dispatch failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoctlError {
+    /// Driver-level failure.
+    Driver(DriverError),
+    /// Reconfiguration failure.
+    Reconfig(ReconfigError),
+}
+
+impl std::fmt::Display for IoctlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoctlError::Driver(e) => write!(f, "{e}"),
+            IoctlError::Reconfig(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoctlError {}
+
+impl CoyoteDriver {
+    /// The single dispatch point, as in the kernel module's `unlocked_ioctl`.
+    pub fn ioctl(&mut self, now: SimTime, cmd: Ioctl) -> Result<IoctlReply, IoctlError> {
+        match cmd {
+            Ioctl::RegisterPid { hpid } => {
+                self.open(hpid);
+                Ok(IoctlReply::Ok)
+            }
+            Ioctl::UnregisterPid { hpid } => {
+                self.close(hpid).map_err(IoctlError::Driver)?;
+                Ok(IoctlReply::Ok)
+            }
+            Ioctl::MapUser { hpid, len, page } => self
+                .alloc_host(hpid, len, page)
+                .map(IoctlReply::Mapping)
+                .map_err(IoctlError::Driver),
+            Ioctl::MapCard { hpid, len } => self
+                .alloc_card(hpid, len)
+                .map(IoctlReply::Mapping)
+                .map_err(IoctlError::Driver),
+            Ioctl::ReadCfg => Ok(IoctlReply::Cfg {
+                device: self.device().name(),
+                shell_digest: self.config_state().image(PartitionId::Shell).map(|i| i.digest),
+                reconfig_count: self.config_state().reconfig_count(),
+            }),
+            Ioctl::Reconfigure { hpid, blob, from_disk } => {
+                let timing = self
+                    .reconfigure(now, &blob, from_disk)
+                    .map_err(IoctlError::Reconfig)?;
+                // Completion is signalled by interrupt (§5.1: "sources of
+                // interrupts, such as ... reconfiguration completions").
+                self.notify(hpid, crate::irq::IrqEvent::ReconfigDone { at: timing.program_done });
+                Ok(IoctlReply::Reconfig(timing))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_fabric::bitstream::{Bitstream, BitstreamKind};
+    use coyote_fabric::DeviceKind;
+
+    #[test]
+    fn register_map_unregister_sequence() {
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        d.ioctl(SimTime::ZERO, Ioctl::RegisterPid { hpid: 7 }).unwrap();
+        let reply = d
+            .ioctl(SimTime::ZERO, Ioctl::MapUser { hpid: 7, len: 4096, page: PageSize::Huge2M })
+            .unwrap();
+        let IoctlReply::Mapping(m) = reply else { panic!("expected mapping") };
+        assert!(m.len >= 4096);
+        d.ioctl(SimTime::ZERO, Ioctl::UnregisterPid { hpid: 7 }).unwrap();
+        assert!(!d.is_open(7));
+    }
+
+    #[test]
+    fn read_cfg_reflects_loaded_shell() {
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        let IoctlReply::Cfg { device, shell_digest, .. } =
+            d.ioctl(SimTime::ZERO, Ioctl::ReadCfg).unwrap()
+        else {
+            panic!("expected cfg")
+        };
+        assert_eq!(device, "Alveo U55C");
+        assert_eq!(shell_digest, None);
+
+        d.open(1);
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 100, 0xBEEF);
+        d.ioctl(
+            SimTime::ZERO,
+            Ioctl::Reconfigure { hpid: 1, blob: bs.bytes().to_vec(), from_disk: false },
+        )
+        .unwrap();
+        let IoctlReply::Cfg { shell_digest, reconfig_count, .. } =
+            d.ioctl(SimTime::ZERO, Ioctl::ReadCfg).unwrap()
+        else {
+            panic!("expected cfg")
+        };
+        assert_eq!(shell_digest, Some(0xBEEF));
+        assert_eq!(reconfig_count, 1);
+        // Completion interrupt was delivered.
+        assert!(matches!(
+            d.eventfd_mut(1).unwrap().poll(),
+            Some(crate::irq::IrqEvent::ReconfigDone { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        let err = d
+            .ioctl(SimTime::ZERO, Ioctl::MapUser { hpid: 99, len: 1, page: PageSize::Small })
+            .unwrap_err();
+        assert_eq!(err, IoctlError::Driver(DriverError::NoSuchProcess(99)));
+    }
+}

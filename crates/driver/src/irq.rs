@@ -1,0 +1,122 @@
+//! Eventfd-style interrupt notification.
+//!
+//! §7.1: "On the host, interrupts are polled using the standard Linux
+//! eventfd mechanism, which can trigger an interrupt callback function in
+//! the user-space."
+
+use coyote_sim::SimTime;
+use std::collections::VecDeque;
+
+/// An event delivered to user space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrqEvent {
+    /// User-issued interrupt from a vFPGA with an arbitrary value.
+    User {
+        /// Issuing vFPGA.
+        vfpga: u8,
+        /// Application-defined payload.
+        value: u64,
+    },
+    /// A reconfiguration the process requested completed.
+    ReconfigDone {
+        /// When it completed (simulated).
+        at: SimTime,
+    },
+    /// A page fault was serviced on the process's behalf.
+    FaultServiced {
+        /// The faulting virtual address.
+        vaddr: u64,
+    },
+    /// A DMA invocation completed (when writeback polling is not used).
+    InvokeDone {
+        /// Completed job id.
+        job: u64,
+    },
+}
+
+/// One process's notification channel.
+#[derive(Default)]
+pub struct EventFd {
+    queue: VecDeque<IrqEvent>,
+    /// Optional user callback, mirroring the interrupt callback function
+    /// of the C++ API.
+    callback: Option<Box<dyn FnMut(IrqEvent)>>,
+    delivered: u64,
+}
+
+impl std::fmt::Debug for EventFd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventFd")
+            .field("pending", &self.queue.len())
+            .field("has_callback", &self.callback.is_some())
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl EventFd {
+    /// A fresh channel.
+    pub fn new() -> EventFd {
+        EventFd { queue: VecDeque::new(), callback: None, delivered: 0 }
+    }
+
+    /// Install a callback invoked synchronously on every signal.
+    pub fn set_callback<F: FnMut(IrqEvent) + 'static>(&mut self, f: F) {
+        self.callback = Some(Box::new(f));
+    }
+
+    /// Kernel side: deliver an event.
+    pub fn signal(&mut self, event: IrqEvent) {
+        self.delivered += 1;
+        if let Some(cb) = &mut self.callback {
+            cb(event);
+        } else {
+            self.queue.push_back(event);
+        }
+    }
+
+    /// User side: poll the next event.
+    pub fn poll(&mut self) -> Option<IrqEvent> {
+        self.queue.pop_front()
+    }
+
+    /// Events pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events delivered (queued or called back).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn poll_mode_queues() {
+        let mut fd = EventFd::new();
+        fd.signal(IrqEvent::User { vfpga: 0, value: 1 });
+        fd.signal(IrqEvent::User { vfpga: 0, value: 2 });
+        assert_eq!(fd.pending(), 2);
+        assert_eq!(fd.poll(), Some(IrqEvent::User { vfpga: 0, value: 1 }));
+        assert_eq!(fd.poll(), Some(IrqEvent::User { vfpga: 0, value: 2 }));
+        assert_eq!(fd.poll(), None);
+    }
+
+    #[test]
+    fn callback_mode_invokes_immediately() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut fd = EventFd::new();
+        let sink = Rc::clone(&seen);
+        fd.set_callback(move |ev| sink.borrow_mut().push(ev));
+        fd.signal(IrqEvent::InvokeDone { job: 3 });
+        assert_eq!(fd.pending(), 0, "callback consumed it");
+        assert_eq!(*seen.borrow(), vec![IrqEvent::InvokeDone { job: 3 }]);
+        assert_eq!(fd.delivered(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Partial-reconfiguration flows (§5.3, §9.3 / Table 3).
+//!
+//! "Since the shell bitsream must be read from disk and copied into kernel
+//! space, we report two latencies: the kernel latency, corresponding only
+//! to the actual reconfiguration, and the total latency, which includes
+//! reading from disk and copying the buffer into kernel space."
+//!
+//! The Vivado Hardware Manager baseline "also includes a PCIe hot-plug and
+//! driver re-insertion".
+
+use crate::driver::CoyoteDriver;
+use coyote_fabric::bitstream::{Bitstream, BitstreamError};
+use coyote_fabric::config::ConfigError;
+use coyote_sim::{params, SimDuration, SimTime};
+
+/// Timing decomposition of one partial reconfiguration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconfigTiming {
+    /// When the bitstream file finished reading from disk.
+    pub read_done: SimTime,
+    /// When the user-to-kernel copy finished.
+    pub copy_done: SimTime,
+    /// When the ICAP finished programming (device reconfigured).
+    pub program_done: SimTime,
+    /// Kernel latency: driver setup + ICAP programming only.
+    pub kernel_latency: SimDuration,
+    /// Total latency: disk read + copy + kernel latency.
+    pub total_latency: SimDuration,
+}
+
+/// Reconfiguration failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The blob failed validation.
+    Bitstream(BitstreamError),
+    /// The device rejected it.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::Bitstream(e) => write!(f, "bitstream invalid: {e}"),
+            ReconfigError::Config(e) => write!(f, "configuration rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl CoyoteDriver {
+    /// Load a partial bitstream.
+    ///
+    /// `from_disk` selects whether the disk-read stage is charged (the
+    /// paper notes frequently used bitstreams can be kept in memory, which
+    /// skips it).
+    pub fn reconfigure(
+        &mut self,
+        now: SimTime,
+        blob: &[u8],
+        from_disk: bool,
+    ) -> Result<ReconfigTiming, ReconfigError> {
+        // Stage 1: read from disk.
+        let len = blob.len() as u64;
+        let read_done = if from_disk {
+            now + params::BITSTREAM_DISK_BW.time_for(len)
+        } else {
+            now
+        };
+        // Stage 2: copy into kernel space.
+        let copy_done = read_done + params::KERNEL_COPY_BW.time_for(len);
+        // Stage 3: validate + program through the ICAP via a dedicated XDMA
+        // channel.
+        let bs = Bitstream::from_bytes(blob.to_vec()).map_err(ReconfigError::Bitstream)?;
+        let program_start = copy_done + params::RECONFIG_SETUP;
+        let (icap, state) = self.icap_and_state();
+        let xfer = icap.program(program_start, &bs, state).map_err(ReconfigError::Config)?;
+        let program_done = xfer.done;
+        Ok(ReconfigTiming {
+            read_done,
+            copy_done,
+            program_done,
+            kernel_latency: program_done.since(copy_done),
+            total_latency: program_done.since(now),
+        })
+    }
+}
+
+/// The Table 3 baseline: full re-programming with Vivado Hardware Manager.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VivadoBaseline;
+
+impl VivadoBaseline {
+    /// Time for a full flow: JTAG programming of the full-device bitstream,
+    /// PCIe hot-plug rescan, and driver re-insertion.
+    pub fn full_flow(full_bitstream_len: u64) -> SimDuration {
+        params::JTAG_BW.time_for(full_bitstream_len)
+            + params::PCIE_HOTPLUG
+            + params::DRIVER_REINSERT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_fabric::bitstream::BitstreamKind;
+    use coyote_fabric::floorplan::{Floorplan, PartitionId, ShellProfile};
+    use coyote_fabric::{Device, DeviceKind};
+
+    fn shell_blob(profile: ShellProfile) -> Vec<u8> {
+        let fp = Floorplan::preset(DeviceKind::U55C, profile, 1);
+        let tiles = fp.tiles_of(PartitionId::Shell).unwrap();
+        let frames = Device::frames_for_tiles(tiles);
+        Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, frames, 0xAA)
+            .bytes()
+            .to_vec()
+    }
+
+    #[test]
+    fn table3_scenario1_latencies() {
+        // Scenario #1 (host-only shell, MMU page-size change): the paper
+        // reports 51.6 ms kernel / 536.2 ms total.
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        let blob = shell_blob(ShellProfile::HostOnly);
+        let t = d.reconfigure(SimTime::ZERO, &blob, true).unwrap();
+        let kernel_ms = t.kernel_latency.as_millis_f64();
+        let total_ms = t.total_latency.as_millis_f64();
+        assert!((kernel_ms - 51.6).abs() < 1.5, "kernel {kernel_ms} ms");
+        assert!((total_ms - 536.2).abs() < 20.0, "total {total_ms} ms");
+    }
+
+    #[test]
+    fn in_memory_bitstream_skips_disk() {
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        let blob = shell_blob(ShellProfile::HostOnly);
+        let from_disk = d.reconfigure(SimTime::ZERO, &blob, true).unwrap();
+        let mut d2 = CoyoteDriver::new(DeviceKind::U55C);
+        let cached = d2.reconfigure(SimTime::ZERO, &blob, false).unwrap();
+        assert!(cached.total_latency < from_disk.total_latency / 2);
+        assert_eq!(cached.kernel_latency, from_disk.kernel_latency);
+    }
+
+    #[test]
+    fn corrupt_bitstream_rejected_before_programming() {
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        let mut blob = shell_blob(ShellProfile::HostOnly);
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xFF;
+        let err = d.reconfigure(SimTime::ZERO, &blob, false).unwrap_err();
+        assert!(matches!(err, ReconfigError::Bitstream(BitstreamError::CrcMismatch { .. })));
+        assert_eq!(d.config_state().reconfig_count(), 0);
+    }
+
+    #[test]
+    fn shell_reconfig_is_order_of_magnitude_faster_than_vivado() {
+        // The headline claim: "run-time reconfiguration times [reduced] by
+        // an order of magnitude".
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        let blob = shell_blob(ShellProfile::HostMemoryNetwork);
+        let t = d.reconfigure(SimTime::ZERO, &blob, true).unwrap();
+        let full = Device::new(DeviceKind::U55C).full_config_bytes();
+        let vivado = VivadoBaseline::full_flow(full);
+        let speedup = vivado.as_secs_f64() / t.total_latency.as_secs_f64();
+        assert!(speedup >= 10.0, "only {speedup:.1}x");
+    }
+
+    #[test]
+    fn config_state_updates_on_success() {
+        let mut d = CoyoteDriver::new(DeviceKind::U55C);
+        let blob = shell_blob(ShellProfile::HostMemory);
+        d.reconfigure(SimTime::ZERO, &blob, false).unwrap();
+        assert_eq!(d.config_state().image(PartitionId::Shell).unwrap().digest, 0xAA);
+    }
+}

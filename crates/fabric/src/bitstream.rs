@@ -1,0 +1,336 @@
+//! Partial and full bitstreams as concrete byte blobs.
+//!
+//! §4: "Coyote v2 will then synthesize all the necessary partial bitstreams
+//! which can dynamically be loaded onto the FPGA". The build flows in
+//! `coyote-synth` *assemble* these blobs; the driver loads them from disk,
+//! copies them to kernel space and streams them through a configuration
+//! port, which *parses and validates* them. Sizes follow directly from the
+//! floorplan's frame counts, which is what gives Table 3 its latencies.
+//!
+//! # Format
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CYT2"
+//! 4       2     version (= 2), little-endian
+//! 6       2     device id
+//! 8       1     kind: 0 full, 1 shell, 2 app
+//! 9       1     vFPGA id (0xFF unless kind = app)
+//! 10      8     frame count
+//! 18      8     design digest (identifies the routed design)
+//! 26      6     reserved, zero
+//! 32      n*376 frames: 4-byte frame address + 372-byte payload
+//! 32+n*376 4    CRC-32 over everything before it
+//! ```
+
+use crate::crc::{crc32, Crc32};
+use crate::device::{DeviceKind, FRAME_PAYLOAD_BYTES, FRAME_RECORD_BYTES};
+
+/// Header length in bytes.
+pub const HEADER_BYTES: usize = 32;
+/// Magic bytes.
+pub const MAGIC: &[u8; 4] = b"CYT2";
+/// Format version.
+pub const VERSION: u16 = 2;
+
+/// What a bitstream reconfigures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitstreamKind {
+    /// Whole device (Vivado Hardware Manager flow; Table 3 baseline).
+    Full,
+    /// The shell partition: services + all vFPGA regions (§4).
+    Shell,
+    /// A single vFPGA region.
+    App {
+        /// Target region index.
+        vfpga: u8,
+    },
+}
+
+impl BitstreamKind {
+    fn code(self) -> (u8, u8) {
+        match self {
+            BitstreamKind::Full => (0, 0xFF),
+            BitstreamKind::Shell => (1, 0xFF),
+            BitstreamKind::App { vfpga } => (2, vfpga),
+        }
+    }
+
+    fn from_code(kind: u8, vfpga: u8) -> Option<BitstreamKind> {
+        match kind {
+            0 => Some(BitstreamKind::Full),
+            1 => Some(BitstreamKind::Shell),
+            2 => Some(BitstreamKind::App { vfpga }),
+            _ => None,
+        }
+    }
+}
+
+/// Validation failures when parsing a bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// Shorter than a header + trailer.
+    TooShort(usize),
+    /// Wrong magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Unknown device id.
+    UnknownDevice(u16),
+    /// Unknown kind code.
+    BadKind(u8),
+    /// Declared frame count disagrees with the byte length.
+    Truncated {
+        /// Frames the header promised.
+        expected_frames: u64,
+        /// Bytes actually present for frame data.
+        have_bytes: usize,
+    },
+    /// Integrity check failed.
+    CrcMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the body.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::TooShort(n) => write!(f, "bitstream of {n} bytes is too short"),
+            BitstreamError::BadMagic => write!(f, "bad magic (not a Coyote v2 bitstream)"),
+            BitstreamError::BadVersion(v) => write!(f, "unsupported bitstream version {v}"),
+            BitstreamError::UnknownDevice(id) => write!(f, "unknown device id {id:#06x}"),
+            BitstreamError::BadKind(k) => write!(f, "unknown bitstream kind {k}"),
+            BitstreamError::Truncated { expected_frames, have_bytes } => {
+                write!(f, "truncated: header promises {expected_frames} frames, {have_bytes} bytes present")
+            }
+            BitstreamError::CrcMismatch { stored, computed } => {
+                write!(f, "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// A parsed, validated bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    bytes: Vec<u8>,
+    device: DeviceKind,
+    kind: BitstreamKind,
+    frames: u64,
+    digest: u64,
+}
+
+impl Bitstream {
+    /// Assemble a bitstream covering `frames` configuration frames for a
+    /// design identified by `digest`. Frame payloads are a deterministic
+    /// function of `(digest, frame index)` so distinct designs produce
+    /// distinct, reproducible blobs.
+    pub fn assemble(device: DeviceKind, kind: BitstreamKind, frames: u64, digest: u64) -> Bitstream {
+        let body_len = HEADER_BYTES + frames as usize * FRAME_RECORD_BYTES;
+        let mut bytes = Vec::with_capacity(body_len + 4);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&device.id().to_le_bytes());
+        let (k, v) = kind.code();
+        bytes.push(k);
+        bytes.push(v);
+        bytes.extend_from_slice(&frames.to_le_bytes());
+        bytes.extend_from_slice(&digest.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 6]);
+        debug_assert_eq!(bytes.len(), HEADER_BYTES);
+
+        // Frame records: address + pseudo-random payload derived from the
+        // digest. A splitmix64 step per word keeps assembly fast.
+        let mut word = digest ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            word = word.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = word;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for addr in 0..frames {
+            bytes.extend_from_slice(&(addr as u32).to_le_bytes());
+            let mut payload = [0u8; FRAME_PAYLOAD_BYTES];
+            for chunk in payload.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&next().to_le_bytes());
+            }
+            // 372 = 46 * 8 + 4: fill the tail from one more word.
+            let tail = FRAME_PAYLOAD_BYTES - FRAME_PAYLOAD_BYTES % 8;
+            let last = next().to_le_bytes();
+            payload[tail..].copy_from_slice(&last[..FRAME_PAYLOAD_BYTES - tail]);
+            bytes.extend_from_slice(&payload);
+        }
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        Bitstream { bytes, device, kind, frames, digest }
+    }
+
+    /// Parse and validate a blob.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Bitstream, BitstreamError> {
+        if bytes.len() < HEADER_BYTES + 4 {
+            return Err(BitstreamError::TooShort(bytes.len()));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(BitstreamError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(BitstreamError::BadVersion(version));
+        }
+        let dev_id = u16::from_le_bytes([bytes[6], bytes[7]]);
+        let device = DeviceKind::from_id(dev_id).ok_or(BitstreamError::UnknownDevice(dev_id))?;
+        let kind =
+            BitstreamKind::from_code(bytes[8], bytes[9]).ok_or(BitstreamError::BadKind(bytes[8]))?;
+        let frames = u64::from_le_bytes(bytes[10..18].try_into().expect("slice len 8"));
+        let digest = u64::from_le_bytes(bytes[18..26].try_into().expect("slice len 8"));
+        let frame_bytes = (bytes.len() - HEADER_BYTES - 4) as u64;
+        // Checked arithmetic: a corrupted frame count must yield a clean
+        // error, not an overflow (found by proptest).
+        match frames.checked_mul(FRAME_RECORD_BYTES as u64) {
+            Some(expected) if expected == frame_bytes => {}
+            _ => {
+                return Err(BitstreamError::Truncated {
+                    expected_frames: frames,
+                    have_bytes: frame_bytes as usize,
+                })
+            }
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored =
+            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("slice len 4"));
+        let mut c = Crc32::new();
+        c.update(body);
+        let computed = c.finish();
+        if stored != computed {
+            return Err(BitstreamError::CrcMismatch { stored, computed });
+        }
+        Ok(Bitstream { bytes, device, kind, frames, digest })
+    }
+
+    /// The raw blob (what sits in the `.bin` file).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Blob length in bytes; the quantity every reconfiguration latency in
+    /// Tables 2 and 3 scales with.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Target device.
+    pub fn device(&self) -> DeviceKind {
+        self.device
+    }
+
+    /// What this bitstream reconfigures.
+    pub fn kind(&self) -> BitstreamKind {
+        self.kind
+    }
+
+    /// Frame count.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Design digest (identifies the routed design the blob encodes).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::floorplan::{Floorplan, PartitionId, ShellProfile};
+
+    #[test]
+    fn assemble_parse_roundtrip() {
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::App { vfpga: 3 }, 100, 0xABCD);
+        let parsed = Bitstream::from_bytes(bs.bytes().to_vec()).unwrap();
+        assert_eq!(parsed.device(), DeviceKind::U55C);
+        assert_eq!(parsed.kind(), BitstreamKind::App { vfpga: 3 });
+        assert_eq!(parsed.frames(), 100);
+        assert_eq!(parsed.digest(), 0xABCD);
+        assert_eq!(parsed.len(), bs.len());
+    }
+
+    #[test]
+    fn shell_bitstream_size_matches_floorplan() {
+        let fp = Floorplan::preset(DeviceKind::U55C, ShellProfile::HostOnly, 1);
+        let tiles = fp.tiles_of(PartitionId::Shell).unwrap();
+        let frames = Device::frames_for_tiles(tiles);
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, frames, 1);
+        let expected = HEADER_BYTES as u64 + frames * FRAME_RECORD_BYTES as u64 + 4;
+        assert_eq!(bs.len(), expected);
+        // ~37 MB: the scenario #1 shell of Table 3.
+        assert!((37.0..37.5).contains(&(bs.len() as f64 / 1e6)));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bs = Bitstream::assemble(DeviceKind::U250, BitstreamKind::Shell, 10, 7);
+        let mut bytes = bs.bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Bitstream::from_bytes(bytes),
+            Err(BitstreamError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 10, 7);
+        let mut bytes = bs.bytes().to_vec();
+        bytes.truncate(bytes.len() - FRAME_RECORD_BYTES);
+        // Re-stamp a valid CRC so only the length check can catch it.
+        let body_end = bytes.len() - 4;
+        let crc = crate::crc::crc32(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&crc);
+        assert!(matches!(Bitstream::from_bytes(bytes), Err(BitstreamError::Truncated { .. })));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 1, 0);
+        let mut bad_magic = bs.bytes().to_vec();
+        bad_magic[0] = b'X';
+        assert_eq!(Bitstream::from_bytes(bad_magic).unwrap_err(), BitstreamError::BadMagic);
+
+        let mut bad_version = bs.bytes().to_vec();
+        bad_version[4] = 9;
+        // CRC will also mismatch, but version is checked first.
+        assert_eq!(
+            Bitstream::from_bytes(bad_version).unwrap_err(),
+            BitstreamError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn distinct_digests_give_distinct_payloads() {
+        let a = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 5, 1);
+        let b = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 5, 2);
+        assert_ne!(a.bytes()[HEADER_BYTES..], b.bytes()[HEADER_BYTES..]);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(matches!(
+            Bitstream::from_bytes(vec![0u8; 10]),
+            Err(BitstreamError::TooShort(10))
+        ));
+    }
+}

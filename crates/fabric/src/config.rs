@@ -1,0 +1,293 @@
+//! Configuration ports and device configuration state (§5.3, Table 2).
+//!
+//! "Partial reconfiguration in Coyote v2 is managed through the Internal
+//! Configuration Access Port (ICAP), a centralized block enabling dynamic
+//! partial reconfiguration while the rest of the FPGA remains operational.
+//! ... Standard methods, such as AXI HWICAP and MCAP, suffer from low
+//! throughput due to their reliance on single-word writes. To maximize
+//! performance, we implement an optimized controller that fully utilizes
+//! the ICAP bandwidth (~800 MBps on AMD UltraScale+ devices)."
+//!
+//! [`ConfigPort`] models all four controllers of Table 2; programming a
+//! [`Bitstream`] occupies the port for `len / bandwidth` and then commits
+//! the image into the [`ConfigState`].
+
+use crate::bitstream::{Bitstream, BitstreamKind};
+use crate::device::DeviceKind;
+use crate::floorplan::PartitionId;
+use coyote_sim::time::Bandwidth;
+use coyote_sim::{LinkModel, SimDuration, SimTime, Transfer};
+use std::collections::HashMap;
+
+/// The reconfiguration controllers compared in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigPortKind {
+    /// AXI HWICAP: AXI4-Lite single-word writes, ~19 MB/s.
+    AxiHwicap,
+    /// Processor Configuration Access Port, ~128 MB/s.
+    Pcap,
+    /// Media Configuration Access Port (PCIe), ~145 MB/s.
+    Mcap,
+    /// Coyote v2's streaming ICAP controller fed by a dedicated XDMA
+    /// channel: ~800 MB/s (32-bit port at 200 MHz).
+    CoyoteIcap,
+}
+
+impl ConfigPortKind {
+    /// Effective programming throughput (Table 2).
+    pub fn bandwidth(self) -> Bandwidth {
+        match self {
+            ConfigPortKind::AxiHwicap => coyote_sim::params::HWICAP_BW,
+            ConfigPortKind::Pcap => coyote_sim::params::PCAP_BW,
+            ConfigPortKind::Mcap => coyote_sim::params::MCAP_BW,
+            ConfigPortKind::CoyoteIcap => coyote_sim::params::ICAP_BW,
+        }
+    }
+
+    /// Bus interface, as listed in Table 2.
+    pub fn interface(self) -> &'static str {
+        match self {
+            ConfigPortKind::AxiHwicap => "AXI Lite",
+            ConfigPortKind::Pcap => "AXI",
+            ConfigPortKind::Mcap => "AXI",
+            ConfigPortKind::CoyoteIcap => "AXI Stream",
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConfigPortKind::AxiHwicap => "AXI HWICAP",
+            ConfigPortKind::Pcap => "PCAP",
+            ConfigPortKind::Mcap => "MCAP",
+            ConfigPortKind::CoyoteIcap => "Coyote v2 ICAP",
+        }
+    }
+}
+
+/// Errors during programming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Bitstream targets a different device than the one on the card.
+    DeviceMismatch {
+        /// Device on the card.
+        card: DeviceKind,
+        /// Device in the bitstream header.
+        bitstream: DeviceKind,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::DeviceMismatch { card, bitstream } => write!(
+                f,
+                "bitstream for {} loaded on {}",
+                bitstream.name(),
+                card.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One image committed into a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadedImage {
+    /// Design digest from the bitstream header.
+    pub digest: u64,
+    /// Frame count written.
+    pub frames: u64,
+    /// When the commit completed.
+    pub at: SimTime,
+}
+
+/// What is currently configured on the device.
+#[derive(Debug, Clone)]
+pub struct ConfigState {
+    device: DeviceKind,
+    loaded: HashMap<PartitionId, LoadedImage>,
+    reconfig_count: u64,
+}
+
+impl ConfigState {
+    /// A blank device of the given kind.
+    pub fn new(device: DeviceKind) -> ConfigState {
+        ConfigState { device, loaded: HashMap::new(), reconfig_count: 0 }
+    }
+
+    /// The card's device kind.
+    pub fn device(&self) -> DeviceKind {
+        self.device
+    }
+
+    /// Image currently in a partition, if any.
+    pub fn image(&self, id: PartitionId) -> Option<&LoadedImage> {
+        self.loaded.get(&id)
+    }
+
+    /// Total committed reconfigurations.
+    pub fn reconfig_count(&self) -> u64 {
+        self.reconfig_count
+    }
+
+    /// Commit a validated bitstream at `at`.
+    fn commit(&mut self, bs: &Bitstream, at: SimTime) {
+        let image = LoadedImage { digest: bs.digest(), frames: bs.frames(), at };
+        match bs.kind() {
+            BitstreamKind::Full => {
+                // Full reprogramming wipes every partition.
+                self.loaded.clear();
+                self.loaded.insert(PartitionId::Static, image);
+                self.loaded.insert(PartitionId::Shell, image);
+            }
+            BitstreamKind::Shell => {
+                // A shell image rewrites the services *and* every vFPGA
+                // region (§4: fail-safe against dangling service deps).
+                self.loaded.retain(|id, _| !matches!(id, PartitionId::Vfpga(_) | PartitionId::Shell));
+                self.loaded.insert(PartitionId::Shell, image);
+            }
+            BitstreamKind::App { vfpga } => {
+                self.loaded.insert(PartitionId::Vfpga(vfpga), image);
+            }
+        }
+        self.reconfig_count += 1;
+    }
+}
+
+/// A configuration port: bandwidth-serialized access to the configuration
+/// plane.
+#[derive(Debug, Clone)]
+pub struct ConfigPort {
+    kind: ConfigPortKind,
+    link: LinkModel,
+}
+
+impl ConfigPort {
+    /// Instantiate a port of the given kind.
+    pub fn new(kind: ConfigPortKind) -> ConfigPort {
+        ConfigPort { kind, link: LinkModel::new(kind.bandwidth(), SimDuration::ZERO) }
+    }
+
+    /// Which controller this is.
+    pub fn kind(&self) -> ConfigPortKind {
+        self.kind
+    }
+
+    /// Program `bs` starting at or after `now`; on success the image is
+    /// committed into `state` at the returned transfer's `done` instant.
+    ///
+    /// The rest of the device keeps running: only the target partition's
+    /// contents change, and only the port itself is occupied.
+    pub fn program(
+        &mut self,
+        now: SimTime,
+        bs: &Bitstream,
+        state: &mut ConfigState,
+    ) -> Result<Transfer, ConfigError> {
+        if bs.device() != state.device() {
+            return Err(ConfigError::DeviceMismatch { card: state.device(), bitstream: bs.device() });
+        }
+        let xfer = self.link.transmit(now, bs.len());
+        state.commit(bs, xfer.done);
+        Ok(xfer)
+    }
+
+    /// Total bytes ever streamed through this port.
+    pub fn bytes_programmed(&self) -> u64 {
+        self.link.bytes_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::BitstreamKind;
+
+    fn shell_bs(digest: u64) -> Bitstream {
+        Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 1000, digest)
+    }
+
+    #[test]
+    fn table2_throughputs() {
+        // A 40 MB bitstream through each port: times must reproduce the
+        // Table 2 throughput column.
+        let frames = 106_382; // ~40 MB of frame records.
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, frames, 1);
+        let mb = bs.len() as f64 / 1e6;
+        let cases = [
+            (ConfigPortKind::AxiHwicap, 19.0),
+            (ConfigPortKind::Pcap, 128.0),
+            (ConfigPortKind::Mcap, 145.0),
+            (ConfigPortKind::CoyoteIcap, 800.0),
+        ];
+        for (kind, mbps) in cases {
+            let mut port = ConfigPort::new(kind);
+            let mut state = ConfigState::new(DeviceKind::U55C);
+            let xfer = port.program(SimTime::ZERO, &bs, &mut state).unwrap();
+            let secs = xfer.done.since(SimTime::ZERO).as_secs_f64();
+            let measured = mb / secs;
+            assert!(
+                (measured - mbps).abs() / mbps < 0.01,
+                "{}: {measured:.1} MB/s",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn device_mismatch_rejected() {
+        let bs = Bitstream::assemble(DeviceKind::U250, BitstreamKind::Shell, 10, 1);
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut state = ConfigState::new(DeviceKind::U55C);
+        let err = port.program(SimTime::ZERO, &bs, &mut state).unwrap_err();
+        assert!(matches!(err, ConfigError::DeviceMismatch { .. }));
+        assert_eq!(state.reconfig_count(), 0);
+    }
+
+    #[test]
+    fn shell_reconfig_wipes_vfpga_images() {
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut state = ConfigState::new(DeviceKind::U55C);
+        let app = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::App { vfpga: 2 }, 50, 77);
+        port.program(SimTime::ZERO, &app, &mut state).unwrap();
+        assert_eq!(state.image(PartitionId::Vfpga(2)).unwrap().digest, 77);
+
+        port.program(SimTime::ZERO, &shell_bs(99), &mut state).unwrap();
+        assert_eq!(state.image(PartitionId::Shell).unwrap().digest, 99);
+        assert!(state.image(PartitionId::Vfpga(2)).is_none(), "shell reconfig rewrote the app region");
+    }
+
+    #[test]
+    fn app_reconfig_leaves_shell_intact() {
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut state = ConfigState::new(DeviceKind::U55C);
+        port.program(SimTime::ZERO, &shell_bs(1), &mut state).unwrap();
+        let app = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::App { vfpga: 0 }, 50, 2);
+        port.program(SimTime::ZERO, &app, &mut state).unwrap();
+        assert_eq!(state.image(PartitionId::Shell).unwrap().digest, 1);
+        assert_eq!(state.image(PartitionId::Vfpga(0)).unwrap().digest, 2);
+        assert_eq!(state.reconfig_count(), 2);
+    }
+
+    #[test]
+    fn programming_serializes_on_the_port() {
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut state = ConfigState::new(DeviceKind::U55C);
+        let a = port.program(SimTime::ZERO, &shell_bs(1), &mut state).unwrap();
+        let b = port.program(SimTime::ZERO, &shell_bs(2), &mut state).unwrap();
+        assert_eq!(b.start, a.done, "second programming queues behind the first");
+    }
+
+    #[test]
+    fn full_reprogram_resets_everything() {
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut state = ConfigState::new(DeviceKind::U55C);
+        port.program(SimTime::ZERO, &shell_bs(5), &mut state).unwrap();
+        let full = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 100, 6);
+        port.program(SimTime::ZERO, &full, &mut state).unwrap();
+        assert_eq!(state.image(PartitionId::Shell).unwrap().digest, 6);
+        assert_eq!(state.image(PartitionId::Static).unwrap().digest, 6);
+    }
+}

@@ -1,0 +1,31 @@
+//! FPGA device model: resources, floorplans, bitstreams and configuration
+//! ports.
+//!
+//! This crate is the substitute for the physical Alveo card. It models:
+//!
+//! * [`ResourceVec`] — LUT/FF/BRAM/URAM/DSP accounting, used for the
+//!   utilization plots of Figs. 11 and 12.
+//! * [`Device`] — a column-structured tile grid approximating the Alveo
+//!   U55C/U250/U280, with per-tile configuration-frame counts so partial
+//!   bitstream sizes fall out of region geometry, as on the real device.
+//! * [`Floorplan`] — the static/shell/vFPGA partition rectangles of §4,
+//!   with the preset geometries used by the paper's experiments.
+//! * [`Bitstream`] — a concrete byte format (header, per-frame records,
+//!   CRC-32) written by the build flows of `coyote-synth` and parsed back by
+//!   the configuration ports.
+//! * [`config`] — the ICAP reconfiguration controller of §5.3 together with
+//!   the AXI HWICAP / PCAP / MCAP baselines of Table 2, and the
+//!   [`config::ConfigState`] tracking which partition holds which bitstream.
+
+pub mod bitstream;
+pub mod config;
+pub mod crc;
+pub mod device;
+pub mod floorplan;
+pub mod resources;
+
+pub use bitstream::{Bitstream, BitstreamError, BitstreamKind};
+pub use config::{ConfigPort, ConfigPortKind, ConfigState};
+pub use device::{Device, DeviceKind};
+pub use floorplan::{Floorplan, Partition, PartitionId, Rect, ShellProfile};
+pub use resources::ResourceVec;

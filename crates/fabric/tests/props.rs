@@ -1,0 +1,40 @@
+//! Property-based tests on bitstreams and CRC.
+
+use coyote_fabric::crc::{crc32, Crc32};
+use coyote_fabric::{Bitstream, BitstreamKind, DeviceKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Assemble -> parse is the identity for any geometry.
+    #[test]
+    fn bitstream_roundtrip(frames in 1u64..500, digest in any::<u64>(), vfpga in any::<u8>()) {
+        for kind in [BitstreamKind::Full, BitstreamKind::Shell, BitstreamKind::App { vfpga }] {
+            let bs = Bitstream::assemble(DeviceKind::U280, kind, frames, digest);
+            let parsed = Bitstream::from_bytes(bs.bytes().to_vec()).unwrap();
+            prop_assert_eq!(parsed.kind(), kind);
+            prop_assert_eq!(parsed.frames(), frames);
+            prop_assert_eq!(parsed.digest(), digest);
+        }
+    }
+
+    /// Any single-byte corruption in the body is caught.
+    #[test]
+    fn corruption_always_detected(frames in 1u64..50, pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, frames, 1);
+        let mut bytes = bs.bytes().to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        prop_assert!(Bitstream::from_bytes(bytes).is_err(), "flip at {}", pos);
+    }
+
+    /// Streaming CRC equals one-shot CRC for any chunking.
+    #[test]
+    fn crc_chunking_invariant(data in prop::collection::vec(any::<u8>(), 0..4000),
+                              chunk in 1usize..257) {
+        let mut c = Crc32::new();
+        for part in data.chunks(chunk) {
+            c.update(part);
+        }
+        prop_assert_eq!(c.finish(), crc32(&data));
+    }
+}

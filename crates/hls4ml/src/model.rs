@@ -1,0 +1,148 @@
+//! High-level model descriptions (the "Keras model" side of Code 3).
+
+use coyote_apps::nn::Activation;
+use coyote_sim::Xorshift64Star;
+
+/// One dense layer in float form.
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Input width.
+    pub inputs: usize,
+    /// Output width.
+    pub outputs: usize,
+    /// Row-major weights `[outputs][inputs]`.
+    pub weights: Vec<f32>,
+    /// Biases.
+    pub biases: Vec<f32>,
+    /// Activation.
+    pub activation: Activation,
+}
+
+/// A float MLP, as loaded from a Keras `.h5`.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Layers in order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// Input feature count.
+    pub fn input_width(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Output class count.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Total parameters.
+    pub fn param_count(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.weights.len() + l.biases.len()) as u64)
+            .sum()
+    }
+
+    /// Validate layer width chaining.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err("empty model".into());
+        }
+        for (i, pair) in self.layers.windows(2).enumerate() {
+            if pair[0].outputs != pair[1].inputs {
+                return Err(format!(
+                    "layer {i} outputs {} but layer {} expects {}",
+                    pair[0].outputs,
+                    i + 1,
+                    pair[1].inputs
+                ));
+            }
+        }
+        for (i, l) in self.layers.iter().enumerate() {
+            if l.weights.len() != l.inputs * l.outputs || l.biases.len() != l.outputs {
+                return Err(format!("layer {i} shape mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The network-intrusion-detection MLP of §9.7 ([44, 55]: UNSW-NB15-style
+/// binary classifier): 593 binarized inputs -> 64 -> 64 -> 2. Weights are
+/// synthesized deterministically from `seed` (the real trained weights are
+/// not redistributable); classification behaviour is exercised relative to
+/// the software emulation, which is what Fig. 12 compares.
+pub fn intrusion_detection_model(seed: u64) -> ModelSpec {
+    let mut rng = Xorshift64Star::new(seed);
+    let mut layer = |inputs: usize, outputs: usize, activation: Activation| {
+        // Glorot-ish scale.
+        let scale = (2.0 / (inputs + outputs) as f64).sqrt() as f32;
+        LayerSpec {
+            inputs,
+            outputs,
+            weights: (0..inputs * outputs)
+                .map(|_| (rng.gen_f64() as f32 * 2.0 - 1.0) * scale)
+                .collect(),
+            biases: (0..outputs).map(|_| rng.gen_f64() as f32 * 0.2 - 0.1).collect(),
+            activation,
+        }
+    };
+    ModelSpec {
+        name: "unsw_nb15_mlp".into(),
+        layers: vec![
+            layer(593, 64, Activation::Relu),
+            layer(64, 64, Activation::Relu),
+            layer(64, 2, Activation::Linear),
+        ],
+    }
+}
+
+/// Deterministic input batch for a model: `rows` samples of the model's
+/// input width in `[0, 1)`.
+pub fn sample_batch(model: &ModelSpec, rows: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Xorshift64Star::new(seed ^ 0xDA7A);
+    (0..rows)
+        .map(|_| (0..model.input_width()).map(|_| rng.gen_f64() as f32).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrusion_model_shape() {
+        let m = intrusion_detection_model(1);
+        m.validate().unwrap();
+        assert_eq!(m.input_width(), 593);
+        assert_eq!(m.output_width(), 2);
+        assert_eq!(m.param_count(), (593 * 64 + 64 + 64 * 64 + 64 + 64 * 2 + 2) as u64);
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut m = intrusion_detection_model(1);
+        m.layers[1].inputs = 63;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = intrusion_detection_model(7);
+        let b = intrusion_detection_model(7);
+        assert_eq!(a.layers[0].weights, b.layers[0].weights);
+        let c = intrusion_detection_model(8);
+        assert_ne!(a.layers[0].weights, c.layers[0].weights);
+    }
+
+    #[test]
+    fn batches_match_model_width() {
+        let m = intrusion_detection_model(1);
+        let x = sample_batch(&m, 5, 3);
+        assert_eq!(x.len(), 5);
+        assert!(x.iter().all(|row| row.len() == 593));
+    }
+}

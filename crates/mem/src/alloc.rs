@@ -1,0 +1,167 @@
+//! First-fit range allocator with coalescing.
+//!
+//! Backs both the driver's hugepage allocator (host side) and card-memory
+//! buffer allocation (`cThread::getMem` with `Alloc::HPF` in Code 1 of the
+//! paper).
+
+use std::collections::BTreeMap;
+
+/// Allocates aligned ranges out of `[0, capacity)`.
+#[derive(Debug, Clone)]
+pub struct RangeAlloc {
+    capacity: u64,
+    /// Free extents: start -> length, non-overlapping, coalesced.
+    free: BTreeMap<u64, u64>,
+    allocated: u64,
+}
+
+impl RangeAlloc {
+    /// A fresh allocator over `capacity` bytes.
+    pub fn new(capacity: u64) -> RangeAlloc {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        RangeAlloc { capacity, free, allocated: 0 }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently handed out.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Allocate `len` bytes aligned to `align` (a power of two).
+    ///
+    /// Returns the start address, or `None` if no extent fits.
+    pub fn alloc(&mut self, len: u64, align: u64) -> Option<u64> {
+        assert!(len > 0, "zero-length allocation");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let (&start, &flen) = self.free.iter().find(|(&start, &flen)| {
+            let aligned = align_up(start, align);
+            aligned + len <= start + flen && aligned >= start
+        })?;
+        let aligned = align_up(start, align);
+        // Carve [aligned, aligned+len) out of [start, start+flen).
+        self.free.remove(&start);
+        if aligned > start {
+            self.free.insert(start, aligned - start);
+        }
+        let tail = (start + flen) - (aligned + len);
+        if tail > 0 {
+            self.free.insert(aligned + len, tail);
+        }
+        self.allocated += len;
+        Some(aligned)
+    }
+
+    /// Return a range; coalesces with neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double free or a free of never-allocated space that
+    /// overlaps an existing free extent — both indicate allocator misuse.
+    pub fn free(&mut self, start: u64, len: u64) {
+        assert!(len > 0 && start + len <= self.capacity, "bogus free");
+        // Check overlap against predecessor and successor.
+        if let Some((&p, &pl)) = self.free.range(..=start).next_back() {
+            assert!(p + pl <= start, "double free at {start:#x}");
+        }
+        if let Some((&n, _)) = self.free.range(start..).next() {
+            assert!(start + len <= n, "double free at {start:#x}");
+        }
+        self.allocated = self.allocated.checked_sub(len).expect("free exceeds allocated");
+        // Coalesce with successor.
+        let mut new_start = start;
+        let mut new_len = len;
+        if let Some(&nl) = self.free.get(&(start + len)) {
+            self.free.remove(&(start + len));
+            new_len += nl;
+        }
+        // Coalesce with predecessor.
+        if let Some((&p, &pl)) = self.free.range(..start).next_back() {
+            if p + pl == start {
+                self.free.remove(&p);
+                new_start = p;
+                new_len += pl;
+            }
+        }
+        self.free.insert(new_start, new_len);
+    }
+
+    /// Largest allocatable contiguous extent.
+    pub fn largest_free(&self) -> u64 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+}
+
+fn align_up(v: u64, align: u64) -> u64 {
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut a = RangeAlloc::new(1 << 20);
+        let x = a.alloc(4096, 4096).unwrap();
+        let y = a.alloc(4096, 4096).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(a.allocated(), 8192);
+        a.free(x, 4096);
+        a.free(y, 4096);
+        assert_eq!(a.allocated(), 0);
+        assert_eq!(a.largest_free(), 1 << 20, "coalesced back to one extent");
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut a = RangeAlloc::new(4 << 30);
+        a.alloc(100, 1).unwrap();
+        let huge = a.alloc(2 << 20, 1 << 30).unwrap_or_else(|| panic!("no space"));
+        assert_eq!(huge % (1 << 30), 0, "1 GB alignment for 1 GB huge pages");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = RangeAlloc::new(8192);
+        assert!(a.alloc(8192, 1).is_some());
+        assert!(a.alloc(1, 1).is_none());
+    }
+
+    #[test]
+    fn fragmentation_and_coalescing() {
+        let mut a = RangeAlloc::new(3 * 4096);
+        let x = a.alloc(4096, 1).unwrap();
+        let y = a.alloc(4096, 1).unwrap();
+        let z = a.alloc(4096, 1).unwrap();
+        a.free(x, 4096);
+        a.free(z, 4096);
+        // Two disjoint 4 KB holes: an 8 KB request cannot fit.
+        assert!(a.alloc(8192, 1).is_none());
+        a.free(y, 4096);
+        // Freeing the middle coalesces all three.
+        assert!(a.alloc(3 * 4096, 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = RangeAlloc::new(1 << 16);
+        let x = a.alloc(4096, 1).unwrap();
+        a.free(x, 4096);
+        a.free(x, 4096);
+    }
+
+    #[test]
+    fn zero_capacity_allocator() {
+        let mut a = RangeAlloc::new(0);
+        assert!(a.alloc(1, 1).is_none());
+    }
+}

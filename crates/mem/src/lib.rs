@@ -1,0 +1,33 @@
+//! Memory substrates of the Coyote v2 platform model.
+//!
+//! Three physical memories appear in the paper's system:
+//!
+//! * **Host DRAM** ([`HostMemory`]) — where user buffers live; reached from
+//!   the FPGA through the XDMA host streaming channel (§5.1).
+//! * **Card memory** ([`CardMemory`]) — HBM on the U55C/U280, DDR4 on the
+//!   U250, organized in pseudo-channels with per-channel bandwidth and
+//!   optional striping (§6.1: "Coyote v2 implements memory striping,
+//!   partitioning data buffers across multiple HBM banks").
+//! * **GPU memory** ([`GpuMemory`]) — the peer-to-peer extension point (§6.1
+//!   credits an external contribution extending the MMU to GPU memory).
+//!
+//! All three hold *real bytes* in a sparse backing store, so every transfer
+//! in the simulation moves actual data and end-to-end integrity is testable.
+//! Bandwidth/latency modeling lives in the channel [`coyote_sim::LinkModel`]s
+//! owned by [`CardMemory`]; host-side DRAM is never the bottleneck in the
+//! paper's experiments (PCIe is) and carries no timing model of its own.
+
+pub mod alloc;
+pub mod card;
+pub mod gpu;
+pub mod host;
+pub mod sparse;
+
+pub use alloc::RangeAlloc;
+pub use card::{CardMemKind, CardMemory};
+pub use gpu::GpuMemory;
+pub use host::{HostMemory, PageSize};
+pub use sparse::SparseBytes;
+
+/// A physical address on one of the memories.
+pub type PhysAddr = u64;

@@ -1,0 +1,26 @@
+//! Shared virtual memory: TLBs, address spaces, page faults and migration.
+//!
+//! §6.1 of the paper: "We build upon Coyote's shared virtual memory model,
+//! enhancing it to support arbitrary page sizes, TLB sizes and
+//! associativities. The memory model is similar to the one commonly found
+//! in GPUs, issuing a page fault when the requested data is not in the
+//! correct memory (CPU DDR, FPGA HBM) and triggering a migration. Coyote
+//! v2's MMU is implemented in a hybrid manner: TLBs are implemented in
+//! on-chip SRAM, enabling fast look-ups, while the rest of the MMU is
+//! implemented in the host-side driver."
+//!
+//! * [`Tlb`] — a parametrizable set-associative TLB (sets, ways, page size)
+//!   with LRU replacement, tagged by host process id (`hpid`).
+//! * [`AddressSpace`] — the driver-side page table: virtual mappings to
+//!   (memory location, physical address) pairs.
+//! * [`Mmu`] — the per-vFPGA unit combining a small-page and a huge-page
+//!   TLB with the shared virtualization pipeline whose occupancy produces
+//!   the throughput taper of Fig. 7(a).
+
+pub mod mmu;
+pub mod space;
+pub mod tlb;
+
+pub use mmu::{Mmu, MmuConfig, TranslateOutcome, VirtServer};
+pub use space::{AddressSpace, Fault, Mapping, MemLocation, Translation};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

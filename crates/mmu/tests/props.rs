@@ -1,0 +1,37 @@
+//! Property-based tests on the TLB against a reference model.
+
+use coyote_mmu::{MemLocation, Tlb, TlbConfig, Translation};
+use coyote_mem::PageSize;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The TLB never returns a wrong translation: every hit matches the
+    /// reference map, whatever the insert/lookup/invalidate interleaving.
+    #[test]
+    fn tlb_hits_are_always_correct(ops in prop::collection::vec((0u8..3, 0u32..4, 0u64..64), 1..300)) {
+        let mut tlb = Tlb::new(TlbConfig { sets: 4, ways: 2, page: PageSize::Small });
+        let mut model: HashMap<(u32, u64), u64> = HashMap::new();
+        for (op, hpid, page) in ops {
+            let vaddr = page << 12;
+            match op {
+                0 => {
+                    let paddr = (page << 12) ^ ((hpid as u64) << 40);
+                    tlb.insert(hpid, vaddr, Translation { paddr, loc: MemLocation::Host, writable: true });
+                    model.insert((hpid, page), paddr);
+                }
+                1 => {
+                    if let Some(t) = tlb.lookup(hpid, vaddr) {
+                        let expect = model.get(&(hpid, page));
+                        prop_assert_eq!(Some(&t.paddr), expect, "stale or aliased entry");
+                    }
+                    // A miss is always acceptable (capacity evictions).
+                }
+                _ => {
+                    tlb.invalidate_page(hpid, vaddr);
+                    model.remove(&(hpid, page));
+                }
+            }
+        }
+    }
+}

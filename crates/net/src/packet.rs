@@ -1,0 +1,417 @@
+//! Full RoCE v2 packets: BTH/RETH/AETH transport headers over
+//! Ethernet/IPv4/UDP, with an ICRC trailer.
+
+use crate::headers::{EthernetHdr, Ipv4Hdr, MacAddr, UdpHdr, ROCE_UDP_PORT};
+use crate::icrc::icrc;
+use bytes::Bytes;
+
+/// RC transport opcodes (IBTA table 38, the subset BALBOA speaks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum BthOpcode {
+    /// First packet of a multi-packet SEND.
+    SendFirst = 0x00,
+    /// Middle packet of a SEND.
+    SendMiddle = 0x01,
+    /// Last packet of a SEND.
+    SendLast = 0x02,
+    /// Single-packet SEND.
+    SendOnly = 0x04,
+    /// First packet of an RDMA WRITE (carries RETH).
+    WriteFirst = 0x06,
+    /// Middle packet of an RDMA WRITE.
+    WriteMiddle = 0x07,
+    /// Last packet of an RDMA WRITE.
+    WriteLast = 0x08,
+    /// Single-packet RDMA WRITE (carries RETH).
+    WriteOnly = 0x0A,
+    /// RDMA READ request (carries RETH).
+    ReadRequest = 0x0C,
+    /// First packet of a READ response.
+    ReadRespFirst = 0x0D,
+    /// Middle packet of a READ response.
+    ReadRespMiddle = 0x0E,
+    /// Last packet of a READ response.
+    ReadRespLast = 0x0F,
+    /// Single-packet READ response.
+    ReadRespOnly = 0x10,
+    /// Acknowledge (carries AETH).
+    Ack = 0x11,
+}
+
+impl BthOpcode {
+    /// Parse an opcode byte.
+    pub fn from_u8(v: u8) -> Option<BthOpcode> {
+        use BthOpcode::*;
+        Some(match v {
+            0x00 => SendFirst,
+            0x01 => SendMiddle,
+            0x02 => SendLast,
+            0x04 => SendOnly,
+            0x06 => WriteFirst,
+            0x07 => WriteMiddle,
+            0x08 => WriteLast,
+            0x0A => WriteOnly,
+            0x0C => ReadRequest,
+            0x0D => ReadRespFirst,
+            0x0E => ReadRespMiddle,
+            0x0F => ReadRespLast,
+            0x10 => ReadRespOnly,
+            0x11 => Ack,
+            _ => return None,
+        })
+    }
+
+    /// True if this packet type carries an RETH.
+    pub fn has_reth(self) -> bool {
+        matches!(self, BthOpcode::WriteFirst | BthOpcode::WriteOnly | BthOpcode::ReadRequest)
+    }
+
+    /// True if this packet type carries an AETH.
+    pub fn has_aeth(self) -> bool {
+        matches!(
+            self,
+            BthOpcode::Ack
+                | BthOpcode::ReadRespFirst
+                | BthOpcode::ReadRespMiddle
+                | BthOpcode::ReadRespLast
+                | BthOpcode::ReadRespOnly
+        )
+    }
+
+    /// True for the packet that starts a new message at the responder.
+    pub fn starts_message(self) -> bool {
+        matches!(
+            self,
+            BthOpcode::SendFirst | BthOpcode::SendOnly | BthOpcode::WriteFirst | BthOpcode::WriteOnly
+        )
+    }
+
+    /// True for the packet that ends a message.
+    pub fn ends_message(self) -> bool {
+        matches!(
+            self,
+            BthOpcode::SendLast | BthOpcode::SendOnly | BthOpcode::WriteLast | BthOpcode::WriteOnly
+        )
+    }
+}
+
+/// AETH syndromes (simplified: ACK or NAK-sequence-error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AethSyndrome {
+    /// Positive acknowledgement of everything up to the PSN.
+    Ack,
+    /// Sequence error: retransmit from the PSN.
+    NakSequence,
+}
+
+impl AethSyndrome {
+    fn code(self) -> u8 {
+        match self {
+            AethSyndrome::Ack => 0x00,
+            AethSyndrome::NakSequence => 0x60,
+        }
+    }
+
+    fn from_code(v: u8) -> Option<AethSyndrome> {
+        match v {
+            0x00 => Some(AethSyndrome::Ack),
+            0x60 => Some(AethSyndrome::NakSequence),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-formed RoCE v2 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RocePacket {
+    /// L2 addresses.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// L3 addresses.
+    pub src_ip: [u8; 4],
+    /// Destination IP.
+    pub dst_ip: [u8; 4],
+    /// Transport opcode.
+    pub opcode: BthOpcode,
+    /// Destination queue pair number (24 bits used).
+    pub dest_qp: u32,
+    /// Packet sequence number (24 bits used).
+    pub psn: u32,
+    /// Request an acknowledge.
+    pub ack_req: bool,
+    /// RETH: `(remote vaddr, rkey, dma length)`.
+    pub reth: Option<(u64, u32, u32)>,
+    /// AETH: `(syndrome, msn)`. For read responses `msn` carries the
+    /// request PSN (see crate-level simplifications).
+    pub aeth: Option<(AethSyndrome, u32)>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// BTH length on the wire.
+const BTH_LEN: usize = 12;
+/// RETH length.
+const RETH_LEN: usize = 16;
+/// AETH length.
+const AETH_LEN: usize = 4;
+
+/// Parse failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Not enough bytes / malformed framing.
+    Malformed,
+    /// Not an IPv4/UDP/RoCE packet.
+    NotRoce,
+    /// ICRC mismatch (corrupt in flight).
+    BadIcrc,
+    /// Unknown opcode.
+    BadOpcode(u8),
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Malformed => write!(f, "malformed packet"),
+            PacketError::NotRoce => write!(f, "not a RoCE v2 packet"),
+            PacketError::BadIcrc => write!(f, "ICRC mismatch"),
+            PacketError::BadOpcode(op) => write!(f, "unknown BTH opcode {op:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+impl RocePacket {
+    /// Serialize to wire bytes, computing the IPv4 checksum and ICRC.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut bth = Vec::with_capacity(BTH_LEN + RETH_LEN + AETH_LEN + self.payload.len());
+        bth.push(self.opcode as u8);
+        bth.push(0x40); // SE=0, M=0, Pad=0, TVer=0; bit kept for layout.
+        bth.extend_from_slice(&0xFFFFu16.to_be_bytes()); // Default pkey.
+        bth.extend_from_slice(&self.dest_qp.to_be_bytes()); // 8 reserved + 24 QPN.
+        let psn_word = ((self.ack_req as u32) << 31) | (self.psn & 0x00FF_FFFF);
+        bth.extend_from_slice(&psn_word.to_be_bytes());
+        debug_assert_eq!(bth.len(), BTH_LEN);
+        if let Some((vaddr, rkey, dmalen)) = self.reth {
+            debug_assert!(self.opcode.has_reth());
+            bth.extend_from_slice(&vaddr.to_be_bytes());
+            bth.extend_from_slice(&rkey.to_be_bytes());
+            bth.extend_from_slice(&dmalen.to_be_bytes());
+        }
+        if let Some((syn, msn)) = self.aeth {
+            debug_assert!(self.opcode.has_aeth());
+            let word = ((syn.code() as u32) << 24) | (msn & 0x00FF_FFFF);
+            bth.extend_from_slice(&word.to_be_bytes());
+        }
+        bth.extend_from_slice(&self.payload);
+
+        let udp = UdpHdr {
+            // Derive the source port from the QPN for ECMP entropy, as real
+            // stacks do.
+            src_port: 0xC000 | (self.dest_qp as u16 & 0x3FFF),
+            dst_port: ROCE_UDP_PORT,
+            payload_len: (bth.len() + 4) as u16, // + ICRC.
+        };
+        let ip = Ipv4Hdr {
+            src: self.src_ip,
+            dst: self.dst_ip,
+            payload_len: UdpHdr::LEN as u16 + udp.payload_len,
+            protocol: Ipv4Hdr::PROTO_UDP,
+            ttl: 64,
+            tos: 0,
+        };
+        let eth = EthernetHdr {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: EthernetHdr::ETHERTYPE_IPV4,
+        };
+
+        let mut out = Vec::with_capacity(EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + bth.len() + 4);
+        eth.write(&mut out);
+        let ip_start = out.len();
+        ip.write(&mut out);
+        udp.write(&mut out);
+        out.extend_from_slice(&bth);
+        let crc = icrc(&out[ip_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse wire bytes, verifying framing and ICRC.
+    pub fn parse(data: &[u8]) -> Result<RocePacket, PacketError> {
+        let (eth, rest) = EthernetHdr::parse(data).ok_or(PacketError::Malformed)?;
+        if eth.ethertype != EthernetHdr::ETHERTYPE_IPV4 {
+            return Err(PacketError::NotRoce);
+        }
+        let ip_start = EthernetHdr::LEN;
+        let (ip, after_ip) = Ipv4Hdr::parse(rest).ok_or(PacketError::Malformed)?;
+        if ip.protocol != Ipv4Hdr::PROTO_UDP {
+            return Err(PacketError::NotRoce);
+        }
+        let (udp, udp_payload) = UdpHdr::parse(after_ip).ok_or(PacketError::Malformed)?;
+        if udp.dst_port != ROCE_UDP_PORT {
+            return Err(PacketError::NotRoce);
+        }
+        if udp_payload.len() < BTH_LEN + 4 {
+            return Err(PacketError::Malformed);
+        }
+        // ICRC check: over IP..end-4.
+        let total_ip_len = Ipv4Hdr::LEN + UdpHdr::LEN + udp_payload.len();
+        let covered = &data[ip_start..ip_start + total_ip_len - 4];
+        let stored = u32::from_le_bytes(
+            data[ip_start + total_ip_len - 4..ip_start + total_ip_len]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if icrc(covered) != stored {
+            return Err(PacketError::BadIcrc);
+        }
+
+        let bth = &udp_payload[..udp_payload.len() - 4];
+        let opcode = BthOpcode::from_u8(bth[0]).ok_or(PacketError::BadOpcode(bth[0]))?;
+        let dest_qp = u32::from_be_bytes([bth[4], bth[5], bth[6], bth[7]]) & 0x00FF_FFFF;
+        let psn_word = u32::from_be_bytes([bth[8], bth[9], bth[10], bth[11]]);
+        let ack_req = psn_word >> 31 == 1;
+        let psn = psn_word & 0x00FF_FFFF;
+        let mut off = BTH_LEN;
+        let reth = if opcode.has_reth() {
+            if bth.len() < off + RETH_LEN {
+                return Err(PacketError::Malformed);
+            }
+            let vaddr = u64::from_be_bytes(bth[off..off + 8].try_into().expect("8"));
+            let rkey = u32::from_be_bytes(bth[off + 8..off + 12].try_into().expect("4"));
+            let dmalen = u32::from_be_bytes(bth[off + 12..off + 16].try_into().expect("4"));
+            off += RETH_LEN;
+            Some((vaddr, rkey, dmalen))
+        } else {
+            None
+        };
+        let aeth = if opcode.has_aeth() {
+            if bth.len() < off + AETH_LEN {
+                return Err(PacketError::Malformed);
+            }
+            let word = u32::from_be_bytes(bth[off..off + 4].try_into().expect("4"));
+            let syn = AethSyndrome::from_code((word >> 24) as u8).ok_or(PacketError::Malformed)?;
+            off += AETH_LEN;
+            Some((syn, word & 0x00FF_FFFF))
+        } else {
+            None
+        };
+        Ok(RocePacket {
+            src_mac: eth.src,
+            dst_mac: eth.dst,
+            src_ip: ip.src,
+            dst_ip: ip.dst,
+            opcode,
+            dest_qp,
+            psn,
+            ack_req,
+            reth,
+            aeth,
+            payload: Bytes::copy_from_slice(&bth[off..]),
+        })
+    }
+
+    /// Bytes this packet occupies on the wire.
+    pub fn wire_len(&self) -> u64 {
+        let mut n = EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + BTH_LEN + 4 + self.payload.len();
+        if self.opcode.has_reth() {
+            n += RETH_LEN;
+        }
+        if self.opcode.has_aeth() {
+            n += AETH_LEN;
+        }
+        n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(opcode: BthOpcode, payload: &[u8]) -> RocePacket {
+        RocePacket {
+            src_mac: MacAddr::node(1),
+            dst_mac: MacAddr::node(2),
+            src_ip: [10, 1, 0, 1],
+            dst_ip: [10, 1, 0, 2],
+            opcode,
+            dest_qp: 0x1234,
+            psn: 77,
+            ack_req: true,
+            reth: opcode.has_reth().then_some((0xDEAD_BEEF_0000, 0x42, payload.len() as u32)),
+            aeth: opcode.has_aeth().then_some((AethSyndrome::Ack, 5)),
+            payload: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip_all_opcodes() {
+        use BthOpcode::*;
+        for op in [
+            SendFirst, SendMiddle, SendLast, SendOnly, WriteFirst, WriteMiddle, WriteLast,
+            WriteOnly, ReadRequest, ReadRespFirst, ReadRespMiddle, ReadRespLast, ReadRespOnly, Ack,
+        ] {
+            let pkt = sample(op, b"payload bytes here");
+            let wire = pkt.serialize();
+            assert_eq!(wire.len() as u64, pkt.wire_len(), "{op:?} wire_len");
+            let parsed = RocePacket::parse(&wire).unwrap_or_else(|e| panic!("{op:?}: {e}"));
+            assert_eq!(parsed, pkt, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_icrc() {
+        let pkt = sample(BthOpcode::SendOnly, &[9u8; 256]);
+        let mut wire = pkt.serialize();
+        let n = wire.len();
+        wire[n - 40] ^= 0x80;
+        assert_eq!(RocePacket::parse(&wire), Err(PacketError::BadIcrc));
+    }
+
+    #[test]
+    fn router_rewrites_keep_icrc_valid() {
+        // A router decrements TTL and fixes the IP checksum; the receiver
+        // must still accept the packet.
+        let pkt = sample(BthOpcode::WriteOnly, b"data");
+        let mut wire = pkt.serialize();
+        let ip_start = EthernetHdr::LEN;
+        wire[ip_start + 8] -= 1; // TTL.
+        wire[ip_start + 10] = 0;
+        wire[ip_start + 11] = 0;
+        let csum = crate::headers::ipv4_checksum(&wire[ip_start..ip_start + Ipv4Hdr::LEN]);
+        wire[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+        let parsed = RocePacket::parse(&wire).unwrap();
+        assert_eq!(parsed.payload, pkt.payload);
+    }
+
+    #[test]
+    fn non_roce_udp_rejected() {
+        let pkt = sample(BthOpcode::SendOnly, b"x");
+        let mut wire = pkt.serialize();
+        // Rewrite the UDP destination port and patch nothing else; the
+        // parser must classify before checking the ICRC.
+        let udp_start = EthernetHdr::LEN + Ipv4Hdr::LEN;
+        wire[udp_start + 2] = 0;
+        wire[udp_start + 3] = 80;
+        assert_eq!(RocePacket::parse(&wire), Err(PacketError::NotRoce));
+    }
+
+    #[test]
+    fn empty_payload_packets() {
+        let pkt = sample(BthOpcode::Ack, b"");
+        let parsed = RocePacket::parse(&pkt.serialize()).unwrap();
+        assert!(parsed.payload.is_empty());
+        assert_eq!(parsed.aeth, Some((AethSyndrome::Ack, 5)));
+    }
+
+    #[test]
+    fn psn_is_24_bits() {
+        let mut pkt = sample(BthOpcode::SendOnly, b"x");
+        pkt.psn = 0x01FF_FFFF; // Bit 24 set: must truncate on the wire.
+        let parsed = RocePacket::parse(&pkt.serialize()).unwrap();
+        assert_eq!(parsed.psn, 0x00FF_FFFF);
+    }
+}

@@ -1,0 +1,147 @@
+//! PCAP export of sniffer captures.
+//!
+//! §8: "a software parser converts the raw packet recordings to a default
+//! PCAP file for analysis with standard networking tools, such as
+//! Wireshark." This is the classic little-endian pcap format (magic
+//! 0xa1b2c3d4 variant with microsecond timestamps), LINKTYPE_ETHERNET.
+
+use crate::sniffer::CaptureRecord;
+use std::io::{self, Write};
+
+/// PCAP magic (microsecond timestamps, writer-native little-endian).
+pub const PCAP_MAGIC: u32 = 0xA1B2_C3D4;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Write a capture to any sink in pcap format.
+pub fn write_pcap<W: Write>(out: &mut W, records: &[CaptureRecord], snap_len: u32) -> io::Result<()> {
+    // Global header.
+    out.write_all(&PCAP_MAGIC.to_le_bytes())?;
+    out.write_all(&2u16.to_le_bytes())?; // Version major.
+    out.write_all(&4u16.to_le_bytes())?; // Version minor.
+    out.write_all(&0i32.to_le_bytes())?; // Timezone.
+    out.write_all(&0u32.to_le_bytes())?; // Sigfigs.
+    out.write_all(&snap_len.to_le_bytes())?;
+    out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    // Records.
+    for rec in records {
+        let us = rec.at.as_ps() / 1_000_000;
+        let ts_sec = (us / 1_000_000) as u32;
+        let ts_usec = (us % 1_000_000) as u32;
+        out.write_all(&ts_sec.to_le_bytes())?;
+        out.write_all(&ts_usec.to_le_bytes())?;
+        out.write_all(&(rec.bytes.len() as u32).to_le_bytes())?;
+        out.write_all(&rec.orig_len.to_le_bytes())?;
+        out.write_all(&rec.bytes)?;
+    }
+    Ok(())
+}
+
+/// A parsed pcap record (for verification in tests and the example).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Seconds since the epoch.
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    /// Original frame length.
+    pub orig_len: u32,
+    /// Captured bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Parse a pcap byte stream written by [`write_pcap`].
+pub fn read_pcap(data: &[u8]) -> Result<Vec<PcapRecord>, String> {
+    if data.len() < 24 {
+        return Err("truncated global header".into());
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().expect("4"));
+    if magic != PCAP_MAGIC {
+        return Err(format!("bad magic {magic:#x}"));
+    }
+    let linktype = u32::from_le_bytes(data[20..24].try_into().expect("4"));
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(format!("unexpected linktype {linktype}"));
+    }
+    let mut records = Vec::new();
+    let mut off = 24usize;
+    while off < data.len() {
+        if data.len() - off < 16 {
+            return Err("truncated record header".into());
+        }
+        let ts_sec = u32::from_le_bytes(data[off..off + 4].try_into().expect("4"));
+        let ts_usec = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("4"));
+        let incl = u32::from_le_bytes(data[off + 8..off + 12].try_into().expect("4")) as usize;
+        let orig_len = u32::from_le_bytes(data[off + 12..off + 16].try_into().expect("4"));
+        off += 16;
+        if data.len() - off < incl {
+            return Err("truncated record body".into());
+        }
+        records.push(PcapRecord {
+            ts_sec,
+            ts_usec,
+            orig_len,
+            bytes: data[off..off + incl].to_vec(),
+        });
+        off += incl;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sniffer::Direction;
+    use coyote_sim::{SimDuration, SimTime};
+
+    fn rec(at_us: u64, len: usize) -> CaptureRecord {
+        CaptureRecord {
+            at: SimTime::ZERO + SimDuration::from_us(at_us),
+            direction: Direction::Rx,
+            orig_len: len as u32,
+            bytes: (0..len).map(|i| i as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![rec(1_500_000, 64), rec(2_000_001, 1500)];
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &records, 65_535).unwrap();
+        let parsed = read_pcap(&buf).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].ts_sec, 1);
+        assert_eq!(parsed[0].ts_usec, 500_000);
+        assert_eq!(parsed[1].ts_sec, 2);
+        assert_eq!(parsed[1].ts_usec, 1);
+        assert_eq!(parsed[0].bytes, records[0].bytes);
+        assert_eq!(parsed[1].orig_len, 1500);
+    }
+
+    #[test]
+    fn truncated_capture_keeps_orig_len() {
+        let mut r = rec(0, 1500);
+        r.bytes.truncate(54); // Header-only snap.
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[r], 54).unwrap();
+        let parsed = read_pcap(&buf).unwrap();
+        assert_eq!(parsed[0].bytes.len(), 54);
+        assert_eq!(parsed[0].orig_len, 1500);
+    }
+
+    #[test]
+    fn empty_capture_is_a_valid_file() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[], 65_535).unwrap();
+        assert_eq!(buf.len(), 24);
+        assert!(read_pcap(&buf).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[], 65_535).unwrap();
+        buf[0] = 0;
+        assert!(read_pcap(&buf).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! A simulated switched Ethernet fabric.
+//!
+//! §6.2 evaluates BALBOA "running over a switched network"; this is that
+//! switch: MAC-learning, store-and-forward-free (cut-through latency
+//! constant), with per-port 100G links and optional seeded packet-drop
+//! injection for exercising the retransmission path.
+
+use crate::headers::MacAddr;
+use coyote_sim::{params, LinkModel, SimTime, Xorshift64Star};
+use std::collections::HashMap;
+
+/// A switch port index.
+pub type PortId = usize;
+
+/// A frame in flight: delivery time, egress port, wire bytes.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// When the frame is visible at the destination endpoint.
+    pub at: SimTime,
+    /// Egress port.
+    pub port: PortId,
+    /// The frame.
+    pub bytes: Vec<u8>,
+}
+
+/// Per-port statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortStats {
+    /// Frames received from the endpoint.
+    pub rx_frames: u64,
+    /// Frames sent to the endpoint.
+    pub tx_frames: u64,
+    /// Bytes received from the endpoint.
+    pub rx_bytes: u64,
+    /// Frames dropped by injection.
+    pub dropped: u64,
+}
+
+/// The switch.
+#[derive(Debug)]
+pub struct Switch {
+    /// Ingress + egress serialization per port (the port's CMAC).
+    ports: Vec<(LinkModel, LinkModel)>,
+    stats: Vec<PortStats>,
+    mac_table: HashMap<MacAddr, PortId>,
+    drop_rate: f64,
+    rng: Xorshift64Star,
+}
+
+impl Switch {
+    /// A switch with `ports` 100G ports.
+    pub fn new(ports: usize) -> Switch {
+        Switch {
+            ports: (0..ports)
+                .map(|_| {
+                    (
+                        LinkModel::new(params::NET_LINK_BW, params::WIRE_LATENCY),
+                        LinkModel::new(params::NET_LINK_BW, params::WIRE_LATENCY),
+                    )
+                })
+                .collect(),
+            stats: vec![PortStats::default(); ports],
+            mac_table: HashMap::new(),
+            drop_rate: 0.0,
+            rng: Xorshift64Star::new(0xC0_7E),
+        }
+    }
+
+    /// Enable seeded random frame dropping (testing retransmission).
+    pub fn set_drop_rate(&mut self, rate: f64, seed: u64) {
+        assert!((0.0..1.0).contains(&rate), "drop rate out of range");
+        self.drop_rate = rate;
+        self.rng = Xorshift64Star::new(seed);
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Per-port counters.
+    pub fn stats(&self, port: PortId) -> PortStats {
+        self.stats[port]
+    }
+
+    /// Inject a frame from the endpoint on `ingress` at `now`.
+    ///
+    /// Returns the deliveries this frame generates (one for known unicast,
+    /// one per other port for unknown/broadcast destinations), or empty if
+    /// the frame was dropped.
+    pub fn inject(&mut self, now: SimTime, ingress: PortId, bytes: Vec<u8>) -> Vec<Delivery> {
+        self.stats[ingress].rx_frames += 1;
+        self.stats[ingress].rx_bytes += bytes.len() as u64;
+
+        // Learn the source MAC.
+        if bytes.len() >= 14 {
+            let mut src = [0u8; 6];
+            src.copy_from_slice(&bytes[6..12]);
+            self.mac_table.insert(MacAddr(src), ingress);
+        }
+
+        if self.drop_rate > 0.0 && self.rng.chance(self.drop_rate) {
+            self.stats[ingress].dropped += 1;
+            return Vec::new();
+        }
+
+        // Ingress serialization on the sender's CMAC.
+        let len = bytes.len() as u64;
+        let in_xfer = self.ports[ingress].0.transmit(now, len);
+        let at_switch = in_xfer.arrival + params::SWITCH_LATENCY;
+
+        // Destination lookup.
+        let dst = if bytes.len() >= 6 {
+            let mut d = [0u8; 6];
+            d.copy_from_slice(&bytes[0..6]);
+            MacAddr(d)
+        } else {
+            MacAddr::BROADCAST
+        };
+        let egress_ports: Vec<PortId> = match self.mac_table.get(&dst) {
+            Some(&p) if p != ingress => vec![p],
+            Some(_) => vec![], // Destined to self; switch filters it.
+            None => (0..self.ports.len()).filter(|&p| p != ingress).collect(), // Flood.
+        };
+
+        egress_ports
+            .into_iter()
+            .map(|port| {
+                let out = self.ports[port].1.transmit(at_switch, len);
+                self.stats[port].tx_frames += 1;
+                Delivery { at: out.arrival, port, bytes: bytes.clone() }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_sim::time::Bandwidth;
+
+    fn frame(src: u16, dst: u16, len: usize) -> Vec<u8> {
+        let mut f = vec![0u8; len.max(14)];
+        f[0..6].copy_from_slice(&MacAddr::node(dst).0);
+        f[6..12].copy_from_slice(&MacAddr::node(src).0);
+        f
+    }
+
+    #[test]
+    fn unknown_destination_floods() {
+        let mut sw = Switch::new(4);
+        let d = sw.inject(SimTime::ZERO, 0, frame(1, 2, 100));
+        assert_eq!(d.len(), 3, "flooded to every other port");
+    }
+
+    #[test]
+    fn learned_destination_is_unicast() {
+        let mut sw = Switch::new(4);
+        // Node 2 on port 1 speaks first; the switch learns it.
+        sw.inject(SimTime::ZERO, 1, frame(2, 1, 64));
+        let d = sw.inject(SimTime::ZERO, 0, frame(1, 2, 100));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].port, 1);
+    }
+
+    #[test]
+    fn latency_includes_two_links_and_switch() {
+        let mut sw = Switch::new(2);
+        sw.inject(SimTime::ZERO, 1, frame(2, 1, 64)); // Learn.
+        let d = sw.inject(SimTime::ZERO, 0, frame(1, 2, 1500));
+        let ser = Bandwidth::gbits(100).time_for(1500);
+        let expect = ser + params::WIRE_LATENCY + params::SWITCH_LATENCY + ser + params::WIRE_LATENCY;
+        assert_eq!(d[0].at.since(SimTime::ZERO), expect);
+    }
+
+    #[test]
+    fn line_rate_is_100g() {
+        let mut sw = Switch::new(2);
+        sw.inject(SimTime::ZERO, 1, frame(2, 1, 64));
+        let mut last = SimTime::ZERO;
+        let n = 1000u64;
+        for _ in 0..n {
+            let d = sw.inject(SimTime::ZERO, 0, frame(1, 2, 4096));
+            last = d[0].at;
+        }
+        let rate = coyote_sim::time::rate(n * 4096, last.since(SimTime::ZERO));
+        // Two serializations (in + out) pipeline, so the bottleneck is one
+        // 100G link = 12.5 GB/s.
+        assert!((rate.as_gbps_f64() - 12.5).abs() < 0.1, "got {rate:?}");
+    }
+
+    #[test]
+    fn drop_injection_drops_roughly_at_rate() {
+        let mut sw = Switch::new(2);
+        sw.inject(SimTime::ZERO, 1, frame(2, 1, 64));
+        sw.set_drop_rate(0.1, 42);
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            if !sw.inject(SimTime::ZERO, 0, frame(1, 2, 100)).is_empty() {
+                delivered += 1;
+            }
+        }
+        assert!((8800..9200).contains(&delivered), "delivered {delivered}");
+        assert!(sw.stats(0).dropped > 800);
+    }
+
+    #[test]
+    fn self_addressed_frame_is_filtered() {
+        let mut sw = Switch::new(2);
+        sw.inject(SimTime::ZERO, 0, frame(1, 9, 64)); // Learn node 1 @ port 0.
+        let d = sw.inject(SimTime::ZERO, 0, frame(1, 1, 64));
+        assert!(d.is_empty());
+    }
+}

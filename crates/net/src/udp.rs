@@ -1,0 +1,223 @@
+//! UDP/IP datagram service — the third stack of the BALBOA triple
+//! ("TCP/IP, RoCEv2, UDP/IP at 10-100Gbit/s", the fpga-network-stack the
+//! paper builds on, ref. 53).
+//!
+//! Stateless by nature: a [`UdpEndpoint`] binds ports, frames datagrams
+//! over the shared Ethernet/IPv4 layer and demuxes received frames into
+//! per-port queues. RoCE v2 itself rides UDP port 4791; this endpoint
+//! steers that port away so both services can share the wire.
+
+use crate::headers::{EthernetHdr, Ipv4Hdr, MacAddr, UdpHdr, ROCE_UDP_PORT};
+use std::collections::{HashMap, VecDeque};
+
+/// A received datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender's IP.
+    pub src_ip: [u8; 4],
+    /// Sender's port.
+    pub src_port: u16,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+/// One host's UDP endpoint.
+pub struct UdpEndpoint {
+    mac: MacAddr,
+    ip: [u8; 4],
+    /// Bound ports and their receive queues.
+    ports: HashMap<u16, VecDeque<Datagram>>,
+    /// Datagrams that arrived for unbound ports (would be ICMP
+    /// port-unreachable on a real host).
+    rejected: u64,
+}
+
+impl UdpEndpoint {
+    /// An endpoint on one interface.
+    pub fn new(mac: MacAddr, ip: [u8; 4]) -> UdpEndpoint {
+        UdpEndpoint { mac, ip, ports: HashMap::new(), rejected: 0 }
+    }
+
+    /// Bind a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the RoCE v2 port: that traffic belongs to the RDMA stack.
+    pub fn bind(&mut self, port: u16) {
+        assert_ne!(port, ROCE_UDP_PORT, "port 4791 is owned by the RoCE v2 service");
+        self.ports.entry(port).or_default();
+    }
+
+    /// Close a port, dropping anything queued.
+    pub fn unbind(&mut self, port: u16) {
+        self.ports.remove(&port);
+    }
+
+    /// Datagrams dropped for unbound ports.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Frame a datagram for the wire.
+    pub fn send_to(
+        &self,
+        src_port: u16,
+        dst_mac: MacAddr,
+        dst_ip: [u8; 4],
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let udp = UdpHdr { src_port, dst_port, payload_len: payload.len() as u16 };
+        let ip = Ipv4Hdr {
+            src: self.ip,
+            dst: dst_ip,
+            payload_len: (UdpHdr::LEN + payload.len()) as u16,
+            protocol: Ipv4Hdr::PROTO_UDP,
+            ttl: 64,
+            tos: 0,
+        };
+        let eth = EthernetHdr { dst: dst_mac, src: self.mac, ethertype: EthernetHdr::ETHERTYPE_IPV4 };
+        let mut out =
+            Vec::with_capacity(EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + payload.len());
+        eth.write(&mut out);
+        ip.write(&mut out);
+        udp.write(&mut out);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Deliver a frame from the wire. Returns `true` if it was a UDP
+    /// datagram consumed by this endpoint (RoCE's port 4791 is never
+    /// consumed here).
+    pub fn on_wire(&mut self, frame: &[u8]) -> bool {
+        let Some((eth, rest)) = EthernetHdr::parse(frame) else { return false };
+        if eth.ethertype != EthernetHdr::ETHERTYPE_IPV4 {
+            return false;
+        }
+        let Some((ip, rest)) = Ipv4Hdr::parse(rest) else { return false };
+        if ip.protocol != Ipv4Hdr::PROTO_UDP || ip.dst != self.ip {
+            return false;
+        }
+        let Some((udp, payload)) = UdpHdr::parse(rest) else { return false };
+        if udp.dst_port == ROCE_UDP_PORT {
+            return false; // The RDMA stack's traffic.
+        }
+        match self.ports.get_mut(&udp.dst_port) {
+            Some(q) => {
+                q.push_back(Datagram {
+                    src_ip: ip.src,
+                    src_port: udp.src_port,
+                    payload: payload.to_vec(),
+                });
+                true
+            }
+            None => {
+                self.rejected += 1;
+                true
+            }
+        }
+    }
+
+    /// Receive the next datagram on a bound port.
+    pub fn recv_from(&mut self, port: u16) -> Option<Datagram> {
+        self.ports.get_mut(&port)?.pop_front()
+    }
+
+    /// Datagrams queued on a port.
+    pub fn pending(&self, port: u16) -> usize {
+        self.ports.get(&port).map_or(0, VecDeque::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (UdpEndpoint, UdpEndpoint) {
+        (
+            UdpEndpoint::new(MacAddr::node(1), [10, 0, 0, 1]),
+            UdpEndpoint::new(MacAddr::node(2), [10, 0, 0, 2]),
+        )
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let (a, mut b) = pair();
+        b.bind(9000);
+        let frame = a.send_to(5555, MacAddr::node(2), [10, 0, 0, 2], 9000, b"telemetry");
+        assert!(b.on_wire(&frame));
+        let dg = b.recv_from(9000).unwrap();
+        assert_eq!(dg.payload, b"telemetry");
+        assert_eq!(dg.src_port, 5555);
+        assert_eq!(dg.src_ip, [10, 0, 0, 1]);
+        assert!(b.recv_from(9000).is_none());
+    }
+
+    #[test]
+    fn unbound_port_counts_rejections() {
+        let (a, mut b) = pair();
+        let frame = a.send_to(1, MacAddr::node(2), [10, 0, 0, 2], 9999, b"?");
+        assert!(b.on_wire(&frame));
+        assert_eq!(b.rejected(), 1);
+    }
+
+    #[test]
+    fn wrong_destination_ip_ignored() {
+        let (a, mut b) = pair();
+        b.bind(9000);
+        let frame = a.send_to(1, MacAddr::node(2), [10, 0, 0, 99], 9000, b"x");
+        assert!(!b.on_wire(&frame));
+        assert_eq!(b.pending(9000), 0);
+    }
+
+    #[test]
+    fn roce_port_is_left_to_the_rdma_stack() {
+        let (a, mut b) = pair();
+        let frame = a.send_to(1, MacAddr::node(2), [10, 0, 0, 2], ROCE_UDP_PORT, b"bth...");
+        assert!(!b.on_wire(&frame), "4791 passes through to the RoCE demux");
+    }
+
+    #[test]
+    #[should_panic(expected = "4791")]
+    fn binding_roce_port_panics() {
+        let (_, mut b) = pair();
+        b.bind(ROCE_UDP_PORT);
+    }
+
+    #[test]
+    fn ordering_preserved_per_port() {
+        let (a, mut b) = pair();
+        b.bind(7);
+        for i in 0..10u8 {
+            let f = a.send_to(1, MacAddr::node(2), [10, 0, 0, 2], 7, &[i]);
+            b.on_wire(&f);
+        }
+        let got: Vec<u8> = std::iter::from_fn(|| b.recv_from(7)).map(|d| d.payload[0]).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn udp_and_roce_share_the_wire() {
+        // A RoCE packet and a UDP datagram both parse off the same frame
+        // format; the endpoint consumes only its own.
+        use crate::packet::{BthOpcode, RocePacket};
+        let (_, mut b) = pair();
+        b.bind(9000);
+        let roce = RocePacket {
+            src_mac: MacAddr::node(1),
+            dst_mac: MacAddr::node(2),
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 0, 2],
+            opcode: BthOpcode::SendOnly,
+            dest_qp: 5,
+            psn: 0,
+            ack_req: false,
+            reth: None,
+            aeth: None,
+            payload: bytes::Bytes::from_static(b"rdma"),
+        }
+        .serialize();
+        assert!(!b.on_wire(&roce), "RoCE frame not consumed by UDP");
+        assert!(RocePacket::parse(&roce).is_ok(), "still a valid RoCE packet");
+    }
+}

@@ -1,0 +1,21 @@
+//! Multi-tenant fair sharing (§6.3) and per-stream crediting (§7.2).
+//!
+//! "To achieve fairness between multiple tenants on bandwidth-constrained
+//! links (PCIe, network), Coyote v2 implements packetization, interleaving
+//! and a dedicated credit-based system for all data requests."
+//!
+//! * [`packetize`] — splits arbitrary transfers into 4 KB (default) chunks
+//!   at chunk-aligned boundaries, "requiring no user application
+//!   involvement".
+//! * [`Interleaver`] — round-robin interleaving of packets from all tenants
+//!   onto one bandwidth-constrained link, preserving per-tenant order.
+//! * [`CreditTable`] — per-key credit pools; requests stall (back-pressure
+//!   onto the vFPGA) rather than flooding the shared fabric.
+
+pub mod credits;
+pub mod interleave;
+pub mod packetizer;
+
+pub use credits::CreditTable;
+pub use interleave::{Delivered, Interleaver};
+pub use packetizer::{packetize, Packet};

@@ -1,0 +1,29 @@
+//! Property-based tests on packetization.
+
+use coyote_sched::packetize;
+use proptest::prelude::*;
+
+proptest! {
+    /// Packets tile the request exactly: contiguous, complete, within
+    /// chunk bounds, exactly one `last`.
+    #[test]
+    fn packetize_tiles_exactly(addr in 0u64..1_000_000,
+                               len in 1u64..1_000_000,
+                               chunk_pow in 6u32..16) {
+        let chunk = 1u64 << chunk_pow;
+        let pkts = packetize(addr, len, chunk);
+        let mut cursor = addr;
+        for p in &pkts {
+            prop_assert_eq!(p.addr, cursor);
+            prop_assert!(p.len >= 1 && p.len <= chunk);
+            // Only the head packet may start unaligned.
+            if p.addr != addr {
+                prop_assert_eq!(p.addr % chunk, 0);
+            }
+            cursor += p.len;
+        }
+        prop_assert_eq!(cursor, addr + len);
+        prop_assert_eq!(pkts.iter().filter(|p| p.last).count(), 1);
+        prop_assert!(pkts.last().unwrap().last);
+    }
+}

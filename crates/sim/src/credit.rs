@@ -1,0 +1,115 @@
+//! Credit-based flow control.
+//!
+//! §7.2 of the paper: "For each vFPGA, Coyote v2 implements a per-stream
+//! crediting mechanism, built on top of destination queues, which verifies
+//! the available credits for the specific vFPGA and data stream. Requests are
+//! only propagated to the dynamic layer when sufficient space in the queue is
+//! available." [`CreditPool`] models one such crediter; the shell
+//! instantiates one per (vFPGA, stream, direction).
+
+/// A bounded pool of credits.
+///
+/// Credits represent queue slots (one per outstanding packet by default).
+/// Acquire before issuing a request; release when the completion arrives.
+#[derive(Debug, Clone)]
+pub struct CreditPool {
+    capacity: u64,
+    available: u64,
+    /// Times a request found no credit (back-pressure onto the vFPGA).
+    stalls: u64,
+}
+
+impl CreditPool {
+    /// A pool with `capacity` credits, all initially available.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "a zero-capacity crediter deadlocks by construction");
+        CreditPool { capacity, available: capacity, stalls: 0 }
+    }
+
+    /// Total credits.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently available credits.
+    pub fn available(&self) -> u64 {
+        self.available
+    }
+
+    /// Credits currently held by in-flight requests.
+    pub fn in_flight(&self) -> u64 {
+        self.capacity - self.available
+    }
+
+    /// How often `try_acquire` failed.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Try to take `n` credits; on failure nothing is taken and the stall
+    /// counter increments.
+    pub fn try_acquire(&mut self, n: u64) -> bool {
+        if self.available >= n {
+            self.available -= n;
+            true
+        } else {
+            self.stalls += 1;
+            false
+        }
+    }
+
+    /// Return `n` credits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more credits are released than were acquired — that would
+    /// mean a completion was double-counted, a real protocol bug.
+    pub fn release(&mut self, n: u64) {
+        assert!(
+            self.available + n <= self.capacity,
+            "credit over-release: {} + {n} > {}",
+            self.available,
+            self.capacity
+        );
+        self.available += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_and_release_roundtrip() {
+        let mut c = CreditPool::new(4);
+        assert!(c.try_acquire(3));
+        assert_eq!(c.available(), 1);
+        assert_eq!(c.in_flight(), 3);
+        c.release(3);
+        assert_eq!(c.available(), 4);
+    }
+
+    #[test]
+    fn exhaustion_stalls_without_side_effects() {
+        let mut c = CreditPool::new(2);
+        assert!(c.try_acquire(2));
+        assert!(!c.try_acquire(1));
+        assert_eq!(c.available(), 0, "failed acquire must not take credits");
+        assert_eq!(c.stalls(), 1);
+        c.release(1);
+        assert!(c.try_acquire(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "credit over-release")]
+    fn over_release_panics() {
+        let mut c = CreditPool::new(2);
+        c.release(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = CreditPool::new(0);
+    }
+}

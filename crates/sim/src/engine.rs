@@ -1,0 +1,281 @@
+//! The discrete-event engine.
+//!
+//! Events are boxed `FnOnce(&mut W, &mut Scheduler<W>)` closures over a
+//! caller-supplied world type `W`. The scheduler orders events by
+//! `(time, sequence)` where the sequence number is assigned at scheduling
+//! time, so two events at the same instant always execute in the order they
+//! were scheduled — the engine is fully deterministic.
+//!
+//! The split between [`Simulation`] (owns the world) and [`Scheduler`] (owns
+//! the queue) exists so that a running event can schedule follow-up events:
+//! the event is popped off the queue before execution and receives `&mut W`
+//! and `&mut Scheduler<W>` as two disjoint borrows.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// The type of a scheduled event body.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The event queue and simulated clock.
+///
+/// Obtainable only through [`Simulation`]; events receive `&mut Scheduler<W>`
+/// to schedule follow-ups and to read the current time.
+pub struct Scheduler<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W> Scheduler<W> {
+    fn new() -> Self {
+        Scheduler { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new() }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, f);
+    }
+
+    fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<W>> {
+        match self.queue.peek() {
+            Some(ev) if ev.at <= limit => self.queue.pop(),
+            _ => None,
+        }
+    }
+}
+
+/// A simulation: a world plus its event queue.
+///
+/// See the crate-level documentation for a usage example.
+pub struct Simulation<W> {
+    /// The simulated system state; freely accessible between runs.
+    pub world: W,
+    sched: Scheduler<W>,
+}
+
+impl<W> Simulation<W> {
+    /// Create a simulation at time zero around `world`.
+    pub fn new(world: W) -> Self {
+        Simulation { world, sched: Scheduler::new() }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Direct access to the scheduler (for seeding events).
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Schedule `f` at absolute time `at`.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.sched.schedule_at(at, f);
+    }
+
+    /// Schedule `f` after `delay`.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.sched.schedule_after(delay, f);
+    }
+
+    /// Execute the single earliest pending event, if any.
+    ///
+    /// Returns `true` if an event was executed.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop_due(SimTime::MAX) {
+            Some(ev) => {
+                self.sched.now = ev.at;
+                (ev.f)(&mut self.world, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains; returns the final simulated time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.sched.now()
+    }
+
+    /// Run all events up to and including time `limit`; the clock is then
+    /// advanced to `limit` even if the queue drained earlier.
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        while let Some(ev) = self.sched.pop_due(limit) {
+            self.sched.now = ev.at;
+            (ev.f)(&mut self.world, &mut self.sched);
+        }
+        if self.sched.now < limit {
+            self.sched.now = limit;
+        }
+        self.sched.now()
+    }
+
+    /// Run until `pred` over the world becomes true (checked after every
+    /// event) or the queue drains. Returns `true` if the predicate held.
+    pub fn run_while<P>(&mut self, mut pred: P) -> bool
+    where
+        P: FnMut(&W) -> bool,
+    {
+        loop {
+            if pred(&self.world) {
+                return true;
+            }
+            if !self.step() {
+                return pred(&self.world);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_after(SimDuration::from_ns(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_after(SimDuration::from_ns(10), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_after(SimDuration::from_ns(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until_idle();
+        assert_eq!(sim.world, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_runs_in_scheduling_order() {
+        let mut sim = Simulation::new(Vec::new());
+        for i in 0..100u32 {
+            sim.schedule_at(SimTime::ZERO, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.world, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        // A self-perpetuating ticker that stops after five ticks.
+        struct W {
+            ticks: u32,
+        }
+        fn tick(w: &mut W, s: &mut Scheduler<W>) {
+            w.ticks += 1;
+            if w.ticks < 5 {
+                s.schedule_after(SimDuration::from_ns(7), tick);
+            }
+        }
+        let mut sim = Simulation::new(W { ticks: 0 });
+        sim.schedule_at(SimTime::ZERO, tick);
+        let end = sim.run_until_idle();
+        assert_eq!(sim.world.ticks, 5);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_ns(28));
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut sim = Simulation::new(0u32);
+        for i in 1..=10 {
+            sim.schedule_after(SimDuration::from_us(i), |w: &mut u32, _| *w += 1);
+        }
+        let limit = SimTime::ZERO + SimDuration::from_us(4);
+        sim.run_until(limit);
+        assert_eq!(sim.world, 4);
+        assert_eq!(sim.now(), limit);
+        sim.run_until_idle();
+        assert_eq!(sim.world, 10);
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_empty_queue() {
+        let mut sim = Simulation::new(());
+        let t = SimTime::ZERO + SimDuration::from_ms(5);
+        sim.run_until(t);
+        assert_eq!(sim.now(), t);
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut sim = Simulation::new(0u32);
+        for _ in 0..100 {
+            sim.schedule_after(SimDuration::from_ns(1), |w: &mut u32, _| *w += 1);
+        }
+        assert!(sim.run_while(|w| *w >= 3));
+        assert_eq!(sim.world, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_after(SimDuration::from_ns(10), |_, s: &mut Scheduler<()>| {
+            s.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        sim.run_until_idle();
+    }
+}

@@ -1,0 +1,130 @@
+//! Bounded FIFOs with explicit backpressure.
+//!
+//! Hardware FIFOs (AXI skid buffers, destination queues, the CMAC RX buffer)
+//! are modeled as [`BoundedFifo`]: a `push` onto a full FIFO fails and hands
+//! the item back, which the caller translates into stalling the producer —
+//! the DES analogue of de-asserting `tready`.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue.
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// High-water mark, for sizing diagnostics.
+    peak: usize,
+}
+
+impl<T> BoundedFifo<T> {
+    /// A FIFO holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity FIFO");
+        BoundedFifo { items: VecDeque::with_capacity(capacity.min(4096)), capacity, peak: 0 }
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if full (a push would fail).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Push an item; on a full FIFO the item is handed back in `Err`.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Pop the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Remove every queued item, returning them in FIFO order.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = BoundedFifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.front(), Some(&0));
+        let out: Vec<_> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_fifo_returns_item() {
+        let mut f = BoundedFifo::new(2);
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push('c'), Err('c'));
+        f.pop();
+        assert_eq!(f.free(), 1);
+        f.push('c').unwrap();
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut f = BoundedFifo::new(16);
+        for i in 0..10 {
+            f.push(i).unwrap();
+        }
+        for _ in 0..10 {
+            f.pop();
+        }
+        f.push(0).unwrap();
+        assert_eq!(f.peak(), 10);
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut f = BoundedFifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.drain_all(), vec![1, 2]);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Pipelined functional-unit timing model.
+//!
+//! §9.5 of the paper evaluates a 10-stage AES CBC pipeline: a single thread
+//! can only keep one block in flight (the next block depends on the previous
+//! ciphertext), leaving 9 of 10 stages idle, while N independent cThreads
+//! fill the pipeline and scale throughput linearly. [`PipelineModel`]
+//! captures exactly this: a unit with a *depth* (latency in cycles) and an
+//! *initiation interval* (cycles between independent issues).
+
+use crate::time::{Freq, SimDuration, SimTime};
+
+/// Timing model of a pipelined hardware unit.
+#[derive(Debug, Clone)]
+pub struct PipelineModel {
+    clock: Freq,
+    depth_cycles: u64,
+    ii_cycles: u64,
+    next_issue: SimTime,
+    issued: u64,
+    /// Cycles the issue port sat idle while the unit was willing to accept.
+    idle: SimDuration,
+    last_issue: Option<SimTime>,
+}
+
+/// Timing of one item issued into a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issue {
+    /// When the item enters stage 1.
+    pub start: SimTime,
+    /// When the item leaves the last stage.
+    pub done: SimTime,
+}
+
+impl PipelineModel {
+    /// A pipeline with `depth_cycles` latency and `ii_cycles` initiation
+    /// interval, clocked at `clock`.
+    pub fn new(clock: Freq, depth_cycles: u64, ii_cycles: u64) -> Self {
+        assert!(depth_cycles >= 1 && ii_cycles >= 1, "degenerate pipeline");
+        PipelineModel {
+            clock,
+            depth_cycles,
+            ii_cycles,
+            next_issue: SimTime::ZERO,
+            issued: 0,
+            idle: SimDuration::ZERO,
+            last_issue: None,
+        }
+    }
+
+    /// The pipeline clock.
+    pub fn clock(&self) -> Freq {
+        self.clock
+    }
+
+    /// Pipeline depth in cycles.
+    pub fn depth_cycles(&self) -> u64 {
+        self.depth_cycles
+    }
+
+    /// End-to-end latency of one item through an empty pipeline.
+    pub fn latency(&self) -> SimDuration {
+        self.clock.cycles(self.depth_cycles)
+    }
+
+    /// Issue one item at or after `now`.
+    ///
+    /// Items from *independent* streams may issue every `ii` cycles; a
+    /// dependent item (e.g. the next CBC block of the same thread) must not
+    /// be issued before the previous one's `done` — enforcing that is the
+    /// caller's job, since only the caller knows the dependences.
+    pub fn issue(&mut self, now: SimTime) -> Issue {
+        let start = self.next_issue.max(now);
+        if let Some(prev) = self.last_issue {
+            // Idle time: cycles between the earliest possible issue after
+            // `prev` and the actual issue.
+            let earliest = prev + self.clock.cycles(self.ii_cycles);
+            self.idle += start.saturating_since(earliest);
+        }
+        self.last_issue = Some(start);
+        self.next_issue = start + self.clock.cycles(self.ii_cycles);
+        self.issued += 1;
+        Issue { start, done: start + self.latency() }
+    }
+
+    /// Number of items issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Accumulated issue-port idle time (the "9 out of 10 stages remain
+    /// idle" effect of §9.5, measured).
+    pub fn idle_time(&self) -> SimDuration {
+        self.idle
+    }
+
+    /// Fraction of issue slots wasted between the first and last issue.
+    pub fn idle_fraction(&self) -> f64 {
+        match (self.last_issue, self.issued) {
+            (Some(last), n) if n > 1 => {
+                let span = last.since(self.first_possible_span_start());
+                if span.is_zero() {
+                    0.0
+                } else {
+                    self.idle.as_ps() as f64 / span.as_ps() as f64
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn first_possible_span_start(&self) -> SimTime {
+        // Span accounting starts at the first issue.
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz250() -> Freq {
+        Freq::mhz(250)
+    }
+
+    #[test]
+    fn back_to_back_issues_respect_ii() {
+        let mut p = PipelineModel::new(mhz250(), 10, 1);
+        let a = p.issue(SimTime::ZERO);
+        let b = p.issue(SimTime::ZERO);
+        assert_eq!(b.start.since(a.start), mhz250().cycles(1));
+        assert_eq!(a.done.since(a.start), mhz250().cycles(10));
+    }
+
+    #[test]
+    fn dependent_stream_throughput_matches_paper_shape() {
+        // Single-threaded CBC: each block issues only after the previous one
+        // finishes (plus some fixed overhead the caller adds). With a pure
+        // 10-cycle dependence the unit processes one 16 B block per 10
+        // cycles => 400 MB/s at 250 MHz; the paper's measured 280 MB/s
+        // corresponds to ~4 extra overhead cycles, added by the AES kernel
+        // model, not here.
+        let mut p = PipelineModel::new(mhz250(), 10, 1);
+        let mut now = SimTime::ZERO;
+        let blocks = 2048; // 32 KB message.
+        let t0 = now;
+        for _ in 0..blocks {
+            let iss = p.issue(now);
+            now = iss.done;
+        }
+        let elapsed = now.since(t0);
+        let rate = crate::time::rate(blocks * 16, elapsed);
+        assert!((rate.as_gbps_f64() - 0.4).abs() < 0.001, "got {rate:?}");
+    }
+
+    #[test]
+    fn ten_threads_fill_the_pipeline() {
+        // Ten independent streams issuing round-robin keep the unit busy:
+        // one block per cycle => 4 GB/s at 250 MHz, a 10x speedup.
+        let mut p = PipelineModel::new(mhz250(), 10, 1);
+        let threads = 10;
+        let mut ready = vec![SimTime::ZERO; threads];
+        let blocks_per_thread = 1000u64;
+        let mut last_done = SimTime::ZERO;
+        for _ in 0..blocks_per_thread {
+            for slot in ready.iter_mut() {
+                let iss = p.issue(*slot);
+                *slot = iss.done;
+                last_done = last_done.max(iss.done);
+            }
+        }
+        let total_bytes = blocks_per_thread * threads as u64 * 16;
+        let rate = crate::time::rate(total_bytes, last_done.since(SimTime::ZERO));
+        assert!((rate.as_gbps_f64() - 4.0).abs() < 0.02, "got {rate:?}");
+    }
+
+    #[test]
+    fn idle_time_drops_with_more_threads() {
+        // The "reducing idle time up to 7x" headline: measure issue-port
+        // idle time at 1 thread vs 8 threads for the same total work.
+        let idle_for = |threads: usize| {
+            let mut p = PipelineModel::new(mhz250(), 10, 1);
+            let mut ready = vec![SimTime::ZERO; threads];
+            let total_blocks = 8000;
+            for i in 0..total_blocks {
+                let t = i % threads;
+                let iss = p.issue(ready[t]);
+                ready[t] = iss.done;
+            }
+            p.idle_time()
+        };
+        let one = idle_for(1);
+        let eight = idle_for(8);
+        let ratio = one.as_ps() as f64 / eight.as_ps().max(1) as f64;
+        assert!(ratio > 6.0, "idle reduction only {ratio:.1}x");
+    }
+}

@@ -1,0 +1,117 @@
+//! Routed, locked shell checkpoints.
+//!
+//! §4: "Coyote v2 provides a routed and locked checkpoint of the static
+//! layer for each supported FPGA, which can be linked with the shell", and
+//! likewise the app flow links new user applications "against previously
+//! synthesized shell configurations, reducing synthesis times".
+
+use crate::library::Ip;
+use coyote_fabric::{DeviceKind, ShellProfile};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// A persisted shell build the app flow can link against.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShellCheckpoint {
+    /// Target device.
+    pub device: DeviceKind,
+    /// Floorplan profile it was built with.
+    pub profile: ShellProfile,
+    /// vFPGA region count.
+    pub n_vfpgas: u8,
+    /// Services baked into this shell (identity, for dependency checks).
+    pub services: Vec<Ip>,
+    /// Digest of the routed service netlists.
+    pub services_digest: u64,
+    /// Unscaled primitive count of the locked services.
+    pub service_primitives: u64,
+    /// Modeled synth+place+route cost of the services, in picoseconds
+    /// (drives the link cost of the app flow).
+    pub service_build_ps: u64,
+    /// Worst service-partition critical path, in picoseconds.
+    pub service_critical_ps: u64,
+    /// Always true for a checkpoint produced by a successful shell flow.
+    pub routed: bool,
+}
+
+impl ShellCheckpoint {
+    /// True if this shell provides `service` (the fail-safe dependency
+    /// check of §4).
+    pub fn provides(&self, service: &Ip) -> bool {
+        self.services.iter().any(|s| match (s, service) {
+            // Channel counts and TLB geometry may differ; the dependency is
+            // on the service kind.
+            (Ip::MemoryCtrl { .. }, Ip::MemoryCtrl { .. }) => true,
+            (Ip::Mmu { .. }, Ip::Mmu { .. }) => true,
+            (a, b) => a == b,
+        })
+    }
+
+    /// Persist to a JSON checkpoint file (`.dcp` stand-in).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        fs::write(path, serde_json::to_vec_pretty(self).expect("serializable"))
+    }
+
+    /// Load from a checkpoint file.
+    pub fn read_from(path: &Path) -> std::io::Result<ShellCheckpoint> {
+        let data = fs::read(path)?;
+        serde_json::from_slice(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShellCheckpoint {
+        ShellCheckpoint {
+            device: DeviceKind::U55C,
+            profile: ShellProfile::HostMemory,
+            n_vfpgas: 2,
+            services: vec![
+                Ip::HostIf,
+                Ip::MemoryCtrl { channels: 16 },
+                Ip::Mmu { sram_bits: 262_144 },
+            ],
+            services_digest: 0x1234,
+            service_primitives: 250_000,
+            service_build_ps: 5_000_000_000_000_000,
+            service_critical_ps: 3_600,
+            routed: true,
+        }
+    }
+
+    #[test]
+    fn provides_matches_kinds() {
+        let cp = sample();
+        assert!(cp.provides(&Ip::HostIf));
+        assert!(cp.provides(&Ip::MemoryCtrl { channels: 32 }), "channel count is a parameter");
+        assert!(cp.provides(&Ip::Mmu { sram_bits: 1 }));
+        assert!(!cp.provides(&Ip::RdmaStack));
+        assert!(!cp.provides(&Ip::Sniffer));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cp = sample();
+        let dir = std::env::temp_dir().join("coyote_cp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shell.json");
+        cp.write_to(&path).unwrap();
+        let loaded = ShellCheckpoint::read_from(&path).unwrap();
+        assert_eq!(loaded, cp);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_rejected() {
+        let dir = std::env::temp_dir().join("coyote_cp_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(ShellCheckpoint::read_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,266 @@
+//! The IP library: resource footprints and synthesis parameters for every
+//! block the paper's configurations use.
+//!
+//! Footprints are sized after public numbers where available (the
+//! fpga-network-stack RDMA core, hls4ml-generated models, XDMA wrappers)
+//! and are the inputs to both the utilization plots (Figs. 11 and 12) and
+//! the build-time model (Fig. 7(b)).
+
+use crate::netlist::Netlist;
+use coyote_fabric::ResourceVec;
+use serde::{Deserialize, Serialize};
+
+/// The blocks known to the build system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ip {
+    /// Host streaming interface plumbing (XDMA-side stream routers,
+    /// packetizer, crediters).
+    HostIf,
+    /// Card memory controllers for `channels` HBM pseudo-channels (or DDR
+    /// channels on the U250).
+    MemoryCtrl {
+        /// Active channels.
+        channels: u16,
+    },
+    /// The MMU with a given total TLB SRAM budget in bits.
+    Mmu {
+        /// Combined sTLB + lTLB SRAM bits.
+        sram_bits: u64,
+    },
+    /// The BALBOA RoCE v2 stack (§6.2), including retransmission buffers.
+    RdmaStack,
+    /// 100G CMAC + pipeline adapters.
+    Cmac,
+    /// The traffic sniffer service of §8.
+    Sniffer,
+    /// AES-128 pipeline (ECB or CBC wrapper differs only in control).
+    Aes,
+    /// HyperLogLog cardinality estimation kernel (ref. 35 of the paper).
+    Hll,
+    /// Vector addition kernel.
+    VecAdd,
+    /// Vector product kernel (scenario #2 of §9.3).
+    VecProduct,
+    /// Data pass-through kernel.
+    Passthrough,
+    /// An hls4ml-generated NN inference kernel with `params` weights.
+    NnInference {
+        /// Parameter count of the compiled model.
+        params: u64,
+    },
+    /// Anything else (external users' kernels).
+    Custom {
+        /// Display name.
+        name: String,
+        /// Resource footprint.
+        lut: u64,
+        /// Flip-flops.
+        ff: u64,
+        /// BRAM36.
+        bram: u64,
+        /// DSP slices.
+        dsp: u64,
+    },
+}
+
+/// Synthesis-facing view of one instantiated block.
+#[derive(Debug, Clone)]
+pub struct IpBlock {
+    /// Which IP.
+    pub ip: Ip,
+    /// Seed for netlist geometry (vary per instance).
+    pub seed: u64,
+}
+
+impl IpBlock {
+    /// Instantiate.
+    pub fn new(ip: Ip) -> IpBlock {
+        IpBlock { ip, seed: 0 }
+    }
+
+    /// Instantiate with a distinct seed (multiple instances of one IP).
+    pub fn with_seed(ip: Ip, seed: u64) -> IpBlock {
+        IpBlock { ip, seed }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match &self.ip {
+            Ip::HostIf => "host_if".into(),
+            Ip::MemoryCtrl { channels } => format!("mem_ctrl_x{channels}"),
+            Ip::Mmu { .. } => "mmu".into(),
+            Ip::RdmaStack => "rdma_stack".into(),
+            Ip::Cmac => "cmac".into(),
+            Ip::Sniffer => "sniffer".into(),
+            Ip::Aes => "aes128".into(),
+            Ip::Hll => "hyperloglog".into(),
+            Ip::VecAdd => "vecadd".into(),
+            Ip::VecProduct => "vecproduct".into(),
+            Ip::Passthrough => "passthrough".into(),
+            Ip::NnInference { .. } => "nn_inference".into(),
+            Ip::Custom { name, .. } => name.clone(),
+        }
+    }
+
+    /// Resource footprint.
+    pub fn footprint(&self) -> ResourceVec {
+        match &self.ip {
+            Ip::HostIf => ResourceVec::new(25_000, 50_000, 48, 0, 0),
+            Ip::MemoryCtrl { channels } => {
+                ResourceVec::new(10_000, 20_000, 16, 0, 0)
+                    + ResourceVec::new(2_500, 5_000, 2, 0, 0) * *channels as u64
+            }
+            Ip::Mmu { sram_bits } => {
+                // 36 kbit per BRAM36.
+                ResourceVec::new(8_000, 16_000, sram_bits.div_ceil(36_864), 0, 0)
+            }
+            Ip::RdmaStack => ResourceVec::new(110_000, 220_000, 320, 48, 96),
+            Ip::Cmac => ResourceVec::new(18_000, 36_000, 16, 0, 0),
+            Ip::Sniffer => ResourceVec::new(12_000, 24_000, 64, 0, 0),
+            Ip::Aes => ResourceVec::new(21_000, 42_000, 0, 0, 0),
+            Ip::Hll => ResourceVec::new(28_000, 56_000, 96, 0, 64),
+            Ip::VecAdd => ResourceVec::new(3_000, 6_000, 8, 0, 32),
+            Ip::VecProduct => ResourceVec::new(3_200, 6_400, 8, 0, 48),
+            Ip::Passthrough => ResourceVec::new(1_200, 2_400, 4, 0, 0),
+            Ip::NnInference { params } => ResourceVec::new(
+                4_000 + params / 4,
+                8_000 + params / 2,
+                8 + params / 4_096,
+                0,
+                params / 96,
+            ),
+            Ip::Custom { lut, ff, bram, dsp, .. } => ResourceVec::new(*lut, *ff, *bram, 0, *dsp),
+        }
+    }
+
+    /// Pipeline depth in levels.
+    fn depth(&self) -> u16 {
+        match &self.ip {
+            Ip::RdmaStack => 24,
+            Ip::Aes => 12,
+            Ip::NnInference { .. } => 16,
+            Ip::Hll => 10,
+            Ip::Passthrough => 3,
+            _ => 8,
+        }
+    }
+
+    /// Average net fanout. Peripheral-facing services route worse (§9.2:
+    /// "their synthesis often takes long due to congestion and routing
+    /// complexity").
+    fn fanout(&self) -> f64 {
+        match &self.ip {
+            Ip::RdmaStack | Ip::MemoryCtrl { .. } | Ip::Cmac | Ip::HostIf => 4.5,
+            Ip::Mmu { .. } | Ip::Sniffer => 4.0,
+            _ => 3.0,
+        }
+    }
+
+    /// Pin-locked interface cells.
+    fn io_cells(&self) -> u32 {
+        match &self.ip {
+            Ip::HostIf => 64,
+            Ip::MemoryCtrl { channels } => 16 + 4 * *channels as u32,
+            Ip::RdmaStack => 96,
+            Ip::Cmac => 96,
+            _ => 8,
+        }
+    }
+
+    /// True for dynamic-layer services (placed in the service band).
+    pub fn is_service(&self) -> bool {
+        matches!(
+            self.ip,
+            Ip::HostIf
+                | Ip::MemoryCtrl { .. }
+                | Ip::Mmu { .. }
+                | Ip::RdmaStack
+                | Ip::Cmac
+                | Ip::Sniffer
+        )
+    }
+
+    /// Run pseudo-synthesis.
+    pub fn synthesize(&self) -> Netlist {
+        let mut seed = self.seed ^ 0xB10C;
+        for b in self.name().bytes() {
+            seed = seed.rotate_left(7) ^ b as u64;
+        }
+        Netlist::synthesize(
+            &self.name(),
+            self.footprint(),
+            self.depth(),
+            self.fanout(),
+            self.io_cells(),
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_scale_sensibly() {
+        let small = IpBlock::new(Ip::MemoryCtrl { channels: 4 }).footprint();
+        let large = IpBlock::new(Ip::MemoryCtrl { channels: 32 }).footprint();
+        assert!(large.lut > small.lut);
+        let rdma = IpBlock::new(Ip::RdmaStack).footprint();
+        assert!(rdma.lut > IpBlock::new(Ip::Aes).footprint().lut);
+    }
+
+    #[test]
+    fn nn_footprint_grows_with_params() {
+        let tiny = IpBlock::new(Ip::NnInference { params: 1_000 }).footprint();
+        let big = IpBlock::new(Ip::NnInference { params: 100_000 }).footprint();
+        assert!(big.lut > tiny.lut && big.dsp > tiny.dsp);
+    }
+
+    #[test]
+    fn service_classification() {
+        assert!(IpBlock::new(Ip::RdmaStack).is_service());
+        assert!(IpBlock::new(Ip::Sniffer).is_service());
+        assert!(!IpBlock::new(Ip::Aes).is_service());
+        assert!(!IpBlock::new(Ip::Passthrough).is_service());
+    }
+
+    #[test]
+    fn synthesis_matches_footprint() {
+        let block = IpBlock::new(Ip::Hll);
+        let n = block.synthesize();
+        assert_eq!(n.footprint, block.footprint());
+        assert!(n.cell_count() > 0);
+    }
+
+    #[test]
+    fn instances_with_different_seeds_differ() {
+        let a = IpBlock::with_seed(Ip::Aes, 0).synthesize();
+        let b = IpBlock::with_seed(Ip::Aes, 1).synthesize();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn shell_fits_its_service_band() {
+        // The HostMemoryNetwork service set must fit the 19-column service
+        // band of its preset floorplan (validated here so flow tests can
+        // rely on it).
+        use coyote_fabric::{Device, DeviceKind, Floorplan, ShellProfile};
+        let services: ResourceVec = [
+            IpBlock::new(Ip::HostIf),
+            IpBlock::new(Ip::MemoryCtrl { channels: 16 }),
+            IpBlock::new(Ip::Mmu { sram_bits: 300_000 }),
+            IpBlock::new(Ip::Cmac),
+            IpBlock::new(Ip::RdmaStack),
+        ]
+        .iter()
+        .map(IpBlock::footprint)
+        .sum();
+        let dev = Device::new(DeviceKind::U55C);
+        let fp = Floorplan::preset(DeviceKind::U55C, ShellProfile::HostMemoryNetwork, 1);
+        let cap = fp
+            .capacity_of(&dev, coyote_fabric::floorplan::PartitionId::Shell)
+            .unwrap();
+        assert!(services.fits_in(&cap), "services {services} vs capacity {cap}");
+    }
+}

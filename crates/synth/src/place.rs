@@ -1,0 +1,245 @@
+//! Simulated-annealing placement.
+//!
+//! Cells are assigned to tiles of the target partition rectangle; the cost
+//! function is total half-perimeter wirelength (HPWL). I/O cells are locked
+//! to the partition's left edge, standing in for the pin columns the
+//! services must reach (the "congestion and routing complexity" of §9.2).
+
+use crate::netlist::{CellKind, Netlist};
+use coyote_sim::Xorshift64Star;
+
+/// Cells that fit in one tile (site capacity at the reduced scale).
+pub const TILE_CAPACITY: usize = 16;
+
+/// A finished placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Tile coordinates per cell.
+    pub pos: Vec<(u16, u16)>,
+    /// Region width in tiles.
+    pub width: u16,
+    /// Region height in tiles.
+    pub height: u16,
+    /// Final total HPWL.
+    pub hpwl: u64,
+    /// HPWL of the initial random placement.
+    pub initial_hpwl: u64,
+    /// Annealing moves attempted (drives the modeled place time).
+    pub moves_attempted: u64,
+    /// Moves accepted.
+    pub moves_accepted: u64,
+}
+
+/// The annealer.
+#[derive(Debug, Clone)]
+pub struct Placer {
+    /// Moves attempted per cell over the full schedule.
+    pub moves_per_cell: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Placer {
+    fn default() -> Self {
+        Placer { moves_per_cell: 60, seed: 1 }
+    }
+}
+
+impl Placer {
+    /// Place `netlist` into a `width` x `height` tile region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region cannot hold the cells at [`TILE_CAPACITY`].
+    pub fn place(&self, netlist: &Netlist, width: u16, height: u16) -> Placement {
+        let n = netlist.cell_count();
+        let tiles = width as usize * height as usize;
+        assert!(
+            n <= tiles * TILE_CAPACITY,
+            "{n} cells exceed region capacity {} ({}x{} tiles)",
+            tiles * TILE_CAPACITY,
+            width,
+            height
+        );
+        let mut rng = Xorshift64Star::new(self.seed ^ netlist.digest());
+
+        // Initial placement: I/O at the left edge, everything else random
+        // subject to capacity.
+        let mut occupancy = vec![0u8; tiles];
+        let mut pos: Vec<(u16, u16)> = Vec::with_capacity(n);
+        let tile_idx = |x: u16, y: u16| y as usize * width as usize + x as usize;
+        for &kind in &netlist.cells {
+            let (x, y) = loop {
+                let (x, y) = if kind == CellKind::Io {
+                    (0u16, rng.gen_range(height as u64) as u16)
+                } else {
+                    (
+                        rng.gen_range(width as u64) as u16,
+                        rng.gen_range(height as u64) as u16,
+                    )
+                };
+                if (occupancy[tile_idx(x, y)] as usize) < TILE_CAPACITY {
+                    break (x, y);
+                }
+            };
+            occupancy[tile_idx(x, y)] += 1;
+            pos.push((x, y));
+        }
+
+        // Cell -> nets index for incremental cost updates.
+        let mut cell_nets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (ni, net) in netlist.nets.iter().enumerate() {
+            cell_nets[net.driver as usize].push(ni as u32);
+            for &s in &net.sinks {
+                cell_nets[s as usize].push(ni as u32);
+            }
+        }
+        let net_hpwl = |net: &crate::netlist::Net, pos: &[(u16, u16)]| -> u64 {
+            let (dx, dy) = pos[net.driver as usize];
+            let (mut x0, mut x1, mut y0, mut y1) = (dx, dx, dy, dy);
+            for &s in &net.sinks {
+                let (x, y) = pos[s as usize];
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+            (x1 - x0) as u64 + (y1 - y0) as u64
+        };
+        let total_hpwl =
+            |pos: &[(u16, u16)]| netlist.nets.iter().map(|net| net_hpwl(net, pos)).sum::<u64>();
+
+        let initial_hpwl = total_hpwl(&pos);
+        let mut hpwl = initial_hpwl;
+        let total_moves = self.moves_per_cell * n as u64;
+        // Temperature schedule: exponential decay from a scale related to
+        // the average net span down to near-greedy.
+        let t0 = (initial_hpwl as f64 / netlist.nets.len().max(1) as f64).max(1.0);
+        let mut accepted = 0u64;
+        let movable: Vec<u32> = (0..n as u32)
+            .filter(|&c| netlist.cells[c as usize] != CellKind::Io)
+            .collect();
+        if movable.is_empty() || netlist.nets.is_empty() {
+            return Placement {
+                pos,
+                width,
+                height,
+                hpwl,
+                initial_hpwl,
+                moves_attempted: 0,
+                moves_accepted: 0,
+            };
+        }
+        for m in 0..total_moves {
+            let temp = t0 * (-(5.0 * m as f64 / total_moves as f64)).exp();
+            let cell = movable[rng.gen_range(movable.len() as u64) as usize] as usize;
+            let (nx, ny) = (
+                rng.gen_range(width as u64) as u16,
+                rng.gen_range(height as u64) as u16,
+            );
+            if occupancy[tile_idx(nx, ny)] as usize >= TILE_CAPACITY {
+                continue;
+            }
+            let old = pos[cell];
+            // Incremental delta: only this cell's nets change.
+            let before: u64 = cell_nets[cell]
+                .iter()
+                .map(|&ni| net_hpwl(&netlist.nets[ni as usize], &pos))
+                .sum();
+            pos[cell] = (nx, ny);
+            let after: u64 = cell_nets[cell]
+                .iter()
+                .map(|&ni| net_hpwl(&netlist.nets[ni as usize], &pos))
+                .sum();
+            let delta = after as i64 - before as i64;
+            let accept = delta <= 0 || rng.gen_f64() < (-(delta as f64) / temp.max(1e-9)).exp();
+            if accept {
+                occupancy[tile_idx(old.0, old.1)] -= 1;
+                occupancy[tile_idx(nx, ny)] += 1;
+                hpwl = (hpwl as i64 + delta) as u64;
+                accepted += 1;
+            } else {
+                pos[cell] = old;
+            }
+        }
+        Placement {
+            pos,
+            width,
+            height,
+            hpwl,
+            initial_hpwl,
+            moves_attempted: total_moves,
+            moves_accepted: accepted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_fabric::ResourceVec;
+
+    fn netlist() -> Netlist {
+        Netlist::synthesize("t", ResourceVec::new(16_000, 32_000, 16, 0, 16), 6, 3.0, 8, 7)
+    }
+
+    #[test]
+    fn annealing_improves_wirelength() {
+        let n = netlist();
+        let p = Placer::default().place(&n, 20, 20);
+        assert!(p.hpwl < p.initial_hpwl, "HPWL {} -> {}", p.initial_hpwl, p.hpwl);
+        // A healthy anneal on a random netlist cuts HPWL substantially.
+        assert!(
+            (p.hpwl as f64) < 0.8 * p.initial_hpwl as f64,
+            "only {} -> {}",
+            p.initial_hpwl,
+            p.hpwl
+        );
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let n = netlist();
+        let p = Placer::default().place(&n, 20, 20);
+        let mut counts = std::collections::HashMap::new();
+        for &xy in &p.pos {
+            *counts.entry(xy).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&c| c <= TILE_CAPACITY));
+    }
+
+    #[test]
+    fn io_cells_stay_on_edge() {
+        let n = netlist();
+        let p = Placer::default().place(&n, 20, 20);
+        for (i, &k) in n.cells.iter().enumerate() {
+            if k == CellKind::Io {
+                assert_eq!(p.pos[i].0, 0, "I/O cell moved off the pin column");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let n = netlist();
+        let a = Placer::default().place(&n, 20, 20);
+        let b = Placer::default().place(&n, 20, 20);
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.hpwl, b.hpwl);
+    }
+
+    #[test]
+    fn move_count_matches_schedule() {
+        let n = netlist();
+        let p = Placer { moves_per_cell: 10, seed: 1 }.place(&n, 20, 20);
+        assert_eq!(p.moves_attempted, 10 * n.cell_count() as u64);
+        assert!(p.moves_accepted > 0 && p.moves_accepted <= p.moves_attempted);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed region capacity")]
+    fn overfull_region_panics() {
+        let n = netlist();
+        Placer::default().place(&n, 2, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Static timing analysis over the placed design.
+//!
+//! Levelized single-corner STA: arrival times propagate level by level,
+//! cell delays by kind, wire delays proportional to placed Manhattan
+//! distance. Reported against the 250 MHz shell clock.
+
+use crate::netlist::{CellKind, Netlist};
+use crate::place::Placement;
+use coyote_sim::SimDuration;
+
+/// Target clock period of the shell (250 MHz).
+pub const TARGET_PERIOD_PS: u64 = 4_000;
+/// Wire delay per tile of Manhattan distance.
+pub const WIRE_DELAY_PS_PER_TILE: u64 = 75;
+
+fn cell_delay_ps(kind: CellKind) -> u64 {
+    match kind {
+        CellKind::Lut => 450,
+        CellKind::Ff => 120,
+        CellKind::Bram => 1_500,
+        CellKind::Uram => 1_800,
+        CellKind::Dsp => 1_300,
+        CellKind::Io => 600,
+    }
+}
+
+/// Timing report for one partition.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingReport {
+    /// Longest register-to-register (level-to-level) stage delay.
+    pub critical_path: SimDuration,
+    /// Worst negative slack against the 250 MHz constraint (zero when met).
+    pub wns: SimDuration,
+    /// Achievable clock in MHz.
+    pub fmax_mhz: f64,
+}
+
+impl TimingReport {
+    /// True when the shell clock constraint is met.
+    pub fn met(&self) -> bool {
+        self.wns.is_zero()
+    }
+}
+
+/// Analyze a placed netlist.
+///
+/// Because the synthesized netlists are fully pipelined (every net spans
+/// exactly one level), the critical path is the worst single net stage:
+/// driver cell delay + wire delay + sink setup.
+pub fn analyze(netlist: &Netlist, placement: &Placement) -> TimingReport {
+    let mut worst = 0u64;
+    for net in &netlist.nets {
+        let (dx, dy) = placement.pos[net.driver as usize];
+        let d_delay = cell_delay_ps(netlist.cells[net.driver as usize]);
+        for &s in &net.sinks {
+            let (sx, sy) = placement.pos[s as usize];
+            let dist =
+                (dx.abs_diff(sx) as u64) + (dy.abs_diff(sy) as u64);
+            let sink_setup = cell_delay_ps(netlist.cells[s as usize]) / 4;
+            let total = d_delay + dist * WIRE_DELAY_PS_PER_TILE + sink_setup;
+            worst = worst.max(total);
+        }
+    }
+    let worst = worst.max(1);
+    TimingReport {
+        critical_path: SimDuration::from_ps(worst),
+        wns: SimDuration::from_ps(worst.saturating_sub(TARGET_PERIOD_PS)),
+        fmax_mhz: 1e12 / worst as f64 / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::Placer;
+    use coyote_fabric::ResourceVec;
+
+    #[test]
+    fn well_placed_logic_meets_250mhz() {
+        let n = Netlist::synthesize("t", ResourceVec::new(8_000, 16_000, 0, 0, 0), 6, 2.5, 0, 11);
+        let p = Placer::default().place(&n, 24, 24);
+        let r = analyze(&n, &p);
+        // LUT->FF stages with short wires: comfortably under 4 ns.
+        assert!(r.critical_path.as_ps() < 4_000, "critical {}", r.critical_path);
+        assert!(r.met());
+        assert!(r.fmax_mhz > 250.0);
+    }
+
+    #[test]
+    fn long_wires_degrade_timing() {
+        let n = Netlist::synthesize("t", ResourceVec::new(4_000, 8_000, 0, 0, 0), 4, 2.5, 0, 3);
+        let mut p = Placer::default().place(&n, 30, 30);
+        // Sabotage: push every other cell to opposite corners.
+        for (i, xy) in p.pos.iter_mut().enumerate() {
+            *xy = if i % 2 == 0 { (0, 0) } else { (29, 29) };
+        }
+        let r = analyze(&n, &p);
+        assert!(!r.met(), "58-tile wires cannot make 4 ns");
+        assert!(r.fmax_mhz < 250.0);
+    }
+
+    #[test]
+    fn bram_heavy_designs_are_slower() {
+        let logic = Netlist::synthesize("l", ResourceVec::new(8_000, 8_000, 0, 0, 0), 4, 2.0, 0, 5);
+        let brams = Netlist::synthesize("b", ResourceVec::new(8_000, 8_000, 256, 0, 0), 4, 2.0, 0, 5);
+        let pl = Placer::default().place(&logic, 20, 20);
+        let pb = Placer::default().place(&brams, 20, 20);
+        let rl = analyze(&logic, &pl);
+        let rb = analyze(&brams, &pb);
+        assert!(rb.critical_path >= rl.critical_path);
+    }
+}

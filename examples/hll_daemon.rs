@@ -1,0 +1,69 @@
+//! HyperLogLog as an on-demand background daemon (§9.6).
+//!
+//! The vFPGA region sits empty until a client submits a cardinality query;
+//! the shell then loads the HLL kernel by partial reconfiguration (~57 ms),
+//! runs the estimation, and returns the result — "we can run the same
+//! kernel as a background daemon loaded on demand".
+//!
+//! Run with: `cargo run --example hll_daemon`
+
+use coyote::build::{build_app, build_shell};
+use coyote::{CRcnfg, CThread, Oper, Platform, SgEntry, ShellConfig};
+use coyote_apps::HllKernel;
+use coyote_synth::{Ip, IpBlock};
+
+fn main() {
+    // Build the shell once and the HLL app against its checkpoint.
+    let cfg = ShellConfig::host_memory(1, 8);
+    println!("building shell checkpoint (one-off)...");
+    let shell = build_shell(&cfg, vec![vec![IpBlock::new(Ip::Hll)]]).expect("shell flow");
+    let hll_app = build_app(&[IpBlock::new(Ip::Hll)], 0, &shell.checkpoint).expect("app flow");
+    println!(
+        "  shell flow: {}, app flow: {} ({} bitstream)",
+        shell.report.total,
+        hll_app.report.total,
+        human_mb(hll_app.bitstream.len())
+    );
+
+    let mut platform = Platform::load(cfg).expect("platform");
+    platform.register_app(hll_app.bitstream.digest(), || Box::new(HllKernel::new()));
+    let rcnfg = CRcnfg::new(&mut platform, 1);
+
+    // The daemon loop: requests arrive, the kernel is loaded on demand.
+    for (req, n_items) in [(1u32, 200_000u64), (2, 50_000), (3, 1_000_000)] {
+        assert!(platform.vfpga(0).expect("region").kernel.is_none() || req > 1);
+        println!("request #{req}: estimate cardinality of {n_items} items");
+
+        // On-demand partial reconfiguration of the vFPGA.
+        let timing = rcnfg
+            .reconfigure_app_bytes(&mut platform, hll_app.bitstream.bytes(), 0, true)
+            .expect("app reconfiguration");
+        println!("  kernel loaded in {} (paper: ~57 ms)", timing.kernel_latency);
+
+        // Stream the items (64-bit keys, ~25% duplicates).
+        let t = CThread::create(&mut platform, 0, 100 + req).expect("thread");
+        let distinct = n_items * 3 / 4;
+        let mut data = Vec::with_capacity((n_items * 8) as usize);
+        for i in 0..n_items {
+            data.extend_from_slice(&(i % distinct).to_le_bytes());
+        }
+        let buf = t.get_mem(&mut platform, data.len() as u64).expect("buffer");
+        t.write(&mut platform, buf, &data).expect("stage");
+        let c = t
+            .invoke_sync(&mut platform, Oper::LocalRead, &SgEntry::source(buf, data.len() as u64))
+            .expect("invoke");
+        let estimate = t.get_csr(&mut platform, 0).expect("estimate");
+        let err = (estimate as f64 - distinct as f64).abs() / distinct as f64 * 100.0;
+        println!(
+            "  estimate {estimate} (true {distinct}, {err:.2}% error) in {}",
+            c.latency()
+        );
+
+        // The daemon unloads the kernel until the next request.
+        platform.unload_kernel(0).expect("unload");
+    }
+}
+
+fn human_mb(bytes: u64) -> String {
+    format!("{:.1} MB", bytes as f64 / 1e6)
+}

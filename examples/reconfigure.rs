@@ -1,0 +1,72 @@
+//! Run-time reconfiguration: the paper's Code 2, end to end, with the
+//! Table 3 latency decomposition printed for each step.
+//!
+//! Run with: `cargo run --example reconfigure`
+
+use coyote::build::{build_app, build_shell};
+use coyote::{CRcnfg, Platform, ShellConfig};
+use coyote_apps::{AesEcbKernel, VecAddKernel};
+use coyote_driver::VivadoBaseline;
+use coyote_fabric::{Device, DeviceKind};
+use coyote_synth::{Ip, IpBlock};
+
+fn main() {
+    // Synthesize two shell configurations and an alternative app.
+    let cfg_a = ShellConfig::host_only(1);
+    let cfg_b = ShellConfig::host_memory(2, 16);
+    println!("synthesizing shells (§4: all partial bitstreams up front)...");
+    let _shell_a = build_shell(&cfg_a, vec![vec![IpBlock::new(Ip::Passthrough)]]).expect("A");
+    let shell_b = build_shell(
+        &cfg_b,
+        vec![vec![IpBlock::new(Ip::Aes)], vec![IpBlock::new(Ip::VecAdd)]],
+    )
+    .expect("B");
+    let alt_app = build_app(&[IpBlock::new(Ip::VecAdd)], 0, &shell_b.checkpoint).expect("app");
+
+    // Write them to disk, as the real flow would.
+    let dir = std::env::temp_dir().join("coyote_bitstreams");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let shell_path = dir.join("shell_b.bin");
+    let app_path = dir.join("vecadd.bin");
+    std::fs::write(&shell_path, shell_b.shell_bitstream.bytes()).expect("write");
+    std::fs::write(&app_path, alt_app.bitstream.bytes()).expect("write");
+
+    // Bring up the platform on shell A and register what we may load.
+    let mut platform = Platform::load(cfg_a.clone()).expect("platform");
+    platform.register_built_shell(cfg_b.clone(), &shell_b);
+    platform.register_app(alt_app.bitstream.digest(), || Box::new(VecAddKernel::new()));
+
+    // Create a reconfiguration instance.
+    let rcnfg = CRcnfg::new(&mut platform, 0);
+
+    // Shell (dynamic + app) reconfiguration.
+    let t = rcnfg
+        .reconfigure_shell(&mut platform, &shell_path)
+        .expect("shell reconfiguration");
+    println!("reconfigureShell(\"{}\"):", shell_path.display());
+    println!("  disk read    done at {}", t.read_done);
+    println!("  kernel copy  done at {}", t.copy_done);
+    println!("  ICAP program done at {}", t.program_done);
+    println!("  kernel latency {}   total latency {}", t.kernel_latency, t.total_latency);
+
+    // The new shell has two empty vFPGAs; load AES into #1 directly and
+    // vecadd into #0 by partial reconfiguration.
+    platform.load_kernel(1, Box::new(AesEcbKernel::new())).expect("load");
+    let t2 = rcnfg
+        .reconfigure_app(&mut platform, &app_path, 0)
+        .expect("app reconfiguration");
+    println!("reconfigureApp(\"{}\", 0):", app_path.display());
+    println!("  kernel latency {}   total latency {}", t2.kernel_latency, t2.total_latency);
+    println!(
+        "  loaded kernel: {}",
+        platform.vfpga(0).expect("slot").kernel.as_ref().expect("kernel").name()
+    );
+
+    // Compare with the Table 3 baseline.
+    let vivado = VivadoBaseline::full_flow(Device::new(DeviceKind::U55C).full_config_bytes());
+    println!(
+        "Vivado Hardware Manager full flow: {} ({}x slower than the shell swap)",
+        vivado,
+        (vivado.as_secs_f64() / t.total_latency.as_secs_f64()).round()
+    );
+}

@@ -1,0 +1,136 @@
+//! Multi-tenant properties: fair sharing (§6.3), isolation (§7.2),
+//! back-pressure containment.
+
+use coyote::kernel::Passthrough;
+use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
+use coyote_apps::AesEcbKernel;
+
+#[test]
+fn eight_tenants_share_fairly() {
+    // The Fig. 8 scenario at full width: 8 vFPGAs, memory-bound ECB.
+    let len = 4 << 20;
+    let mut p = Platform::load(ShellConfig::host_only(8)).unwrap();
+    let mut work = Vec::new();
+    for v in 0..8u8 {
+        p.load_kernel(v, Box::new(AesEcbKernel::new())).unwrap();
+        let t = CThread::create(&mut p, v, 500 + v as u32).unwrap();
+        let src = t.get_mem(&mut p, len).unwrap();
+        let dst = t.get_mem(&mut p, len).unwrap();
+        t.write(&mut p, src, &vec![v; len as usize]).unwrap();
+        work.push((t, SgEntry::local(src, dst, len)));
+    }
+    for (t, sg) in &work {
+        t.invoke(&mut p, Oper::LocalTransfer, sg).unwrap();
+    }
+    let completions = p.drain().unwrap();
+    assert_eq!(completions.len(), 8);
+    let start = completions.iter().map(|c| c.issued_at).min().unwrap();
+    let end = completions.iter().map(|c| c.completed_at).max().unwrap();
+    let total = end.since(start);
+    // Per-tenant bandwidth within 10% of each other.
+    for c in &completions {
+        let own = c.completed_at.since(start);
+        assert!(
+            own.as_ps() as f64 > total.as_ps() as f64 * 0.9,
+            "a tenant finished suspiciously early: {own} of {total}"
+        );
+    }
+    // Cumulative ~12 GB/s.
+    let rate = coyote_sim::time::rate(8 * len, total);
+    assert!((10.5..12.5).contains(&rate.as_gbps_f64()), "{rate:?}");
+}
+
+#[test]
+fn address_spaces_are_isolated() {
+    let mut p = Platform::load(ShellConfig::host_only(2)).unwrap();
+    p.load_kernel(0, Box::new(Passthrough::default())).unwrap();
+    p.load_kernel(1, Box::new(Passthrough::default())).unwrap();
+    let t0 = CThread::create(&mut p, 0, 10).unwrap();
+    let t1 = CThread::create(&mut p, 1, 11).unwrap();
+    // Each process has its own address space: the same numeric virtual
+    // address maps to different physical pages (or nothing at all).
+    let buf0a = t0.get_mem(&mut p, 4096).unwrap();
+    let buf1a = t1.get_mem(&mut p, 4096).unwrap();
+    assert_eq!(buf0a, buf1a, "deterministic layout: same numeric vaddr");
+    t0.write(&mut p, buf0a, b"tenant zero secret").unwrap();
+    // Reading the same numeric address through tenant 1 sees tenant 1's
+    // (zeroed) page, never tenant 0's data.
+    assert_eq!(t1.read(&p, buf1a, 18).unwrap(), vec![0u8; 18]);
+    // A vaddr mapped only in tenant 0's space faults for tenant 1.
+    let buf0b = t0.get_mem(&mut p, 4096).unwrap();
+    assert!(t1.read(&p, buf0b, 4).is_err());
+    let err = t1
+        .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(buf0b, buf1a, 4096))
+        .unwrap_err();
+    assert!(matches!(err, coyote::PlatformError::Driver(_)));
+}
+
+#[test]
+fn unfinished_tenant_does_not_block_others() {
+    // A vFPGA with no kernel loaded ("fails to consume data") must not
+    // prevent other tenants from completing: its invocation errors, theirs
+    // proceed.
+    let mut p = Platform::load(ShellConfig::host_only(2)).unwrap();
+    p.load_kernel(0, Box::new(Passthrough::default())).unwrap();
+    // vFPGA 1 deliberately left empty.
+    let t0 = CThread::create(&mut p, 0, 20).unwrap();
+    let t1 = CThread::create(&mut p, 1, 21).unwrap();
+    let src0 = t0.get_mem(&mut p, 8192).unwrap();
+    let dst0 = t0.get_mem(&mut p, 8192).unwrap();
+    let src1 = t1.get_mem(&mut p, 8192).unwrap();
+    let dst1 = t1.get_mem(&mut p, 8192).unwrap();
+    t0.write(&mut p, src0, b"healthy tenant").unwrap();
+
+    t1.invoke(&mut p, Oper::LocalTransfer, &SgEntry::local(src1, dst1, 8192)).unwrap();
+    let err = p.drain().unwrap_err();
+    assert!(matches!(err, coyote::PlatformError::NoKernel(1)));
+    // Tenant 0 still works afterwards.
+    let c = t0
+        .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src0, dst0, 8192))
+        .unwrap();
+    assert_eq!(c.bytes_out, 8192);
+    assert_eq!(t0.read(&p, dst0, 14).unwrap(), b"healthy tenant");
+}
+
+#[test]
+fn many_threads_one_vfpga_all_complete() {
+    // §7.3: multiple cThreads on one vFPGA, thread differentiation
+    // preserved (each thread's data goes to its own destination).
+    let mut p = Platform::load(ShellConfig::host_only(1)).unwrap();
+    p.load_kernel(0, Box::new(Passthrough::default())).unwrap();
+    let n = 6;
+    let len = 64 * 1024u64;
+    let mut expect = Vec::new();
+    let mut dsts = Vec::new();
+    let mut threads = Vec::new();
+    for i in 0..n {
+        let t = CThread::create(&mut p, 0, 600 + i as u32).unwrap();
+        let src = t.get_mem(&mut p, len).unwrap();
+        let dst = t.get_mem(&mut p, len).unwrap();
+        let data = vec![i as u8 + 1; len as usize];
+        t.write(&mut p, src, &data).unwrap();
+        t.invoke(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+        expect.push(data);
+        dsts.push(dst);
+        threads.push(t);
+    }
+    let completions = p.drain().unwrap();
+    assert_eq!(completions.len(), n);
+    for (i, t) in threads.iter().enumerate() {
+        assert_eq!(
+            t.read(&p, dsts[i], len as usize).unwrap(),
+            expect[i],
+            "thread {i} data intact"
+        );
+    }
+}
+
+#[test]
+fn distinct_tids_per_vfpga() {
+    let mut p = Platform::load(ShellConfig::host_only(2)).unwrap();
+    let a = CThread::create(&mut p, 0, 1).unwrap();
+    let b = CThread::create(&mut p, 0, 1).unwrap();
+    let c = CThread::create(&mut p, 1, 1).unwrap();
+    assert_ne!(a.tid, b.tid, "same vFPGA: distinct TIDs");
+    assert_eq!(c.tid, 0, "fresh vFPGA starts its own TID space");
+}

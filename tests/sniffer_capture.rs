@@ -1,0 +1,103 @@
+//! The traffic sniffer service end to end (§8): filter RDMA traffic on the
+//! wire, capture with hardware timestamps, export to PCAP.
+
+use coyote::rdma::run_with_nic;
+use coyote::{CThread, Platform, ShellConfig};
+use coyote_apps::sniffer_app::{decode_records, encode_records, records_to_pcap};
+use coyote_net::pcap::read_pcap;
+use coyote_net::sniffer::Direction;
+use coyote_net::{CommodityNic, QpConfig, SnifferConfig, Switch, Verb};
+use coyote_sim::SimTime;
+
+fn sniffing_platform(config: SnifferConfig) -> (Platform, CThread) {
+    let cfg = ShellConfig::host_memory_network(1, 8).with_sniffer(config);
+    let mut p = Platform::load(cfg).unwrap();
+    p.load_kernel(0, Box::new(coyote_apps::SnifferApp::default())).unwrap();
+    let t = CThread::create(&mut p, 0, 7).unwrap();
+    (p, t)
+}
+
+fn run_write(p: &mut Platform, t: &CThread, qpn_base: u32, len: u64) {
+    let buf = t.get_mem(p, len.max(4096)).unwrap();
+    let mut nic = CommodityNic::new("mlx5_0", len as usize + 8192);
+    let mut switch = Switch::new(2);
+    let (qp_nic, qp_fpga) = QpConfig::pair(qpn_base, qpn_base + 0x100);
+    nic.create_qp(qp_nic);
+    p.rdma_create_qp(7, qp_fpga).unwrap();
+    let payload = vec![0xEEu8; len as usize];
+    nic.write_memory(0, &payload);
+    nic.post(qpn_base, 1, Verb::Write { remote_vaddr: buf, local_vaddr: 0, len });
+    run_with_nic(p, 0, &mut nic, 1, &mut switch, SimTime::ZERO);
+}
+
+#[test]
+fn capture_rdma_write_to_pcap() {
+    let (mut p, t) = sniffing_platform(SnifferConfig { roce_only: true, ..Default::default() });
+    p.sniffer_mut().unwrap().start();
+    run_write(&mut p, &t, 0x10, 40_000);
+    p.sniffer_mut().unwrap().stop();
+
+    let records = p.sniffer_mut().unwrap().take_records();
+    assert!(records.len() >= 10, "10 data packets + ACK, saw {}", records.len());
+    // Both directions present: data in (Rx at the shell), ACKs out.
+    assert!(records.iter().any(|r| r.direction == Direction::Rx));
+    assert!(records.iter().any(|r| r.direction == Direction::Tx));
+    // Timestamps are monotone non-decreasing.
+    for w in records.windows(2) {
+        assert!(w[1].at >= w[0].at);
+    }
+
+    // HBM round trip: encode into the card buffer format, decode, export.
+    let encoded = encode_records(&records);
+    let decoded = decode_records(&encoded).unwrap();
+    assert_eq!(decoded.len(), records.len());
+    let pcap = records_to_pcap(&decoded);
+    let parsed = read_pcap(&pcap).unwrap();
+    assert_eq!(parsed.len(), records.len());
+    // Every captured frame parses as a valid RoCE packet.
+    for rec in &parsed {
+        assert!(coyote_net::RocePacket::parse(&rec.bytes).is_ok());
+    }
+}
+
+#[test]
+fn qpn_filter_isolates_one_flow() {
+    let (mut p, t) = sniffing_platform(SnifferConfig {
+        roce_only: true,
+        qpn_filter: Some(0x20 + 0x100), // FPGA-side QPN of the second flow.
+        ..Default::default()
+    });
+    p.sniffer_mut().unwrap().start();
+    run_write(&mut p, &t, 0x10, 20_000); // Flow A (not matching).
+    run_write(&mut p, &t, 0x20, 20_000); // Flow B (matching, Rx side).
+    let records = p.sniffer_mut().unwrap().take_records();
+    assert!(!records.is_empty());
+    for r in &records {
+        let pkt = coyote_net::RocePacket::parse(&r.bytes).unwrap();
+        assert_eq!(pkt.dest_qp, 0x120, "only flow B captured");
+    }
+}
+
+#[test]
+fn header_only_capture() {
+    let (mut p, t) = sniffing_platform(SnifferConfig {
+        roce_only: true,
+        snap_len: Some(70), // Eth + IP + UDP + BTH + RETH.
+        ..Default::default()
+    });
+    p.sniffer_mut().unwrap().start();
+    run_write(&mut p, &t, 0x30, 30_000);
+    let records = p.sniffer_mut().unwrap().take_records();
+    assert!(records.iter().any(|r| r.orig_len > 70));
+    assert!(records.iter().all(|r| r.bytes.len() <= 70));
+}
+
+#[test]
+fn recording_toggle_from_control_interface() {
+    let (mut p, t) = sniffing_platform(SnifferConfig::default());
+    // Not started: traffic flows but nothing is captured.
+    run_write(&mut p, &t, 0x40, 10_000);
+    let (observed, captured) = p.sniffer_mut().unwrap().counters();
+    assert!(observed > 0);
+    assert_eq!(captured, 0);
+}

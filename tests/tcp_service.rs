@@ -1,0 +1,103 @@
+//! The TCP/IP service end to end: two platforms over the switched fabric,
+//! and the §8 story of both network stacks (RDMA + TCP) coexisting.
+
+use coyote::tcp_service::{run_tcp_pair, run_tcp_with_host};
+use coyote::{Platform, ShellConfig};
+use coyote_net::{Switch, TcpStack, TcpState};
+use coyote_sim::SimTime;
+
+fn node(id: u16) -> Platform {
+    let cfg = ShellConfig::host_memory_network(1, 8).with_node_id(id);
+    Platform::load(cfg).unwrap()
+}
+
+#[test]
+fn two_platforms_handshake_and_transfer() {
+    let mut a = node(1);
+    let mut b = node(2);
+    let mut switch = Switch::new(4);
+    b.tcp_listen(80).unwrap();
+    let key_a = a
+        .tcp_connect(5000, 80, b.config().mac(), b.config().ip())
+        .unwrap();
+    run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, SimTime::ZERO);
+    assert_eq!(a.tcp_mut().unwrap().socket(key_a).unwrap().state(), TcpState::Established);
+
+    // 100 KB each way.
+    let req: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    a.tcp_mut().unwrap().socket(key_a).unwrap().send(&req);
+    let now = a.now();
+    run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, now);
+    let got = b.tcp_mut().unwrap().socket((80, 5000)).unwrap().recv();
+    assert_eq!(got, req);
+
+    let resp = vec![0xEEu8; 50_000];
+    b.tcp_mut().unwrap().socket((80, 5000)).unwrap().send(&resp);
+    let now = b.now();
+    run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, now);
+    assert_eq!(a.tcp_mut().unwrap().socket(key_a).unwrap().recv(), resp);
+
+    // Simulated time advanced with the wire activity.
+    assert!(a.now() > SimTime::ZERO);
+}
+
+#[test]
+fn platform_talks_to_software_host() {
+    // The FPGA's TCP offload serving a plain software endpoint.
+    let mut p = node(3);
+    let mut host = TcpStack::new(coyote_net::MacAddr::node(9), [10, 0, 0, 9]);
+    let mut switch = Switch::new(2);
+    p.tcp_listen(7000).unwrap();
+    let hk = host.connect(41000, 7000, p.config().mac(), p.config().ip());
+    run_tcp_with_host(&mut p, 0, &mut host, 1, &mut switch, SimTime::ZERO);
+    assert_eq!(host.socket(hk).unwrap().state(), TcpState::Established);
+    host.socket(hk).unwrap().send(b"GET /stats");
+    let now = p.now();
+    run_tcp_with_host(&mut p, 0, &mut host, 1, &mut switch, now);
+    assert_eq!(p.tcp_mut().unwrap().socket((7000, 41000)).unwrap().recv(), b"GET /stats");
+}
+
+#[test]
+fn rdma_and_tcp_coexist_on_one_shell() {
+    // §8: the sniffer sits between "the available network stacks (RDMA,
+    // TCP/IP)" and the CMAC — both run on the same shell.
+    let mut a = node(1);
+    let mut b = node(2);
+    let mut switch = Switch::new(4);
+
+    // TCP connection up.
+    b.tcp_listen(80).unwrap();
+    let ka = a.tcp_connect(5000, 80, b.config().mac(), b.config().ip()).unwrap();
+    run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, SimTime::ZERO);
+    assert_eq!(a.tcp_mut().unwrap().socket(ka).unwrap().state(), TcpState::Established);
+
+    // RDMA QPs on the same platforms still work.
+    let (qa, qb) = coyote_net::QpConfig::pair(0x10, 0x20);
+    a.rdma_create_qp(1, qa).unwrap();
+    b.rdma_create_qp(1, qb).unwrap();
+    assert!(a.tcp_mut().is_ok() && b.tcp_mut().is_ok());
+}
+
+#[test]
+fn host_only_shell_has_no_tcp() {
+    let mut p = Platform::load(ShellConfig::host_only(1)).unwrap();
+    assert!(p.tcp_listen(80).is_err());
+}
+
+#[test]
+fn tcp_teardown_closes_cleanly() {
+    let mut a = node(1);
+    let mut b = node(2);
+    let mut switch = Switch::new(2);
+    b.tcp_listen(80).unwrap();
+    let ka = a.tcp_connect(5000, 80, b.config().mac(), b.config().ip()).unwrap();
+    run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, SimTime::ZERO);
+    a.tcp_mut().unwrap().socket(ka).unwrap().close();
+    let now = a.now();
+    run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, now);
+    b.tcp_mut().unwrap().socket((80, 5000)).unwrap().close();
+    let now = b.now();
+    run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, now);
+    assert!(a.tcp_mut().unwrap().socket(ka).unwrap().is_closed());
+    assert!(b.tcp_mut().unwrap().socket((80, 5000)).unwrap().is_closed());
+}
