@@ -78,7 +78,9 @@ fn round(acc: u64, input: u64) -> u64 {
 }
 
 fn merge_round(acc: u64, v: u64) -> u64 {
-    (acc ^ round(0, v)).wrapping_mul(PRIME1).wrapping_add(PRIME4)
+    (acc ^ round(0, v))
+        .wrapping_mul(PRIME1)
+        .wrapping_add(PRIME4)
 }
 
 /// The HyperLogLog sketch.
@@ -93,7 +95,11 @@ impl HyperLogLog {
     /// A sketch with `2^p` registers (`4 <= p <= 18`).
     pub fn new(p: u8) -> HyperLogLog {
         assert!((4..=18).contains(&p), "precision {p} out of range");
-        HyperLogLog { p, registers: vec![0; 1 << p], items: 0 }
+        HyperLogLog {
+            p,
+            registers: vec![0; 1 << p],
+            items: 0,
+        }
     }
 
     /// Absorb one item.
@@ -168,7 +174,9 @@ impl HllKernel {
     /// Default precision p = 14 (16 Ki registers), as in the FPGA sketch
     /// accelerator the paper cites.
     pub fn new() -> HllKernel {
-        HllKernel { sketch: HyperLogLog::new(14) }
+        HllKernel {
+            sketch: HyperLogLog::new(14),
+        }
     }
 }
 
@@ -189,7 +197,10 @@ impl Kernel for HllKernel {
 
     fn timing(&self) -> KernelTiming {
         // Eight hash lanes absorb a 512-bit beat per cycle.
-        KernelTiming::Streaming { bytes_per_cycle: 64, latency_cycles: 12 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: 64,
+            latency_cycles: 12,
+        }
     }
 
     fn process_packet(&mut self, _tid: u16, data: &[u8]) -> Vec<u8> {
@@ -241,7 +252,11 @@ mod tests {
         }
         let est = hll.estimate();
         let err = (est - n as f64).abs() / n as f64;
-        assert!(err < 0.025, "estimate {est} vs {n} ({:.2}% error)", err * 100.0);
+        assert!(
+            err < 0.025,
+            "estimate {est} vs {n} ({:.2}% error)",
+            err * 100.0
+        );
     }
 
     #[test]

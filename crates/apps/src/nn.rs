@@ -153,7 +153,11 @@ pub struct NnKernel {
 impl NnKernel {
     /// Wrap a compiled model.
     pub fn new(model: QuantizedMlp) -> NnKernel {
-        NnKernel { model, rows: 0, partial: std::collections::HashMap::new() }
+        NnKernel {
+            model,
+            rows: 0,
+            partial: std::collections::HashMap::new(),
+        }
     }
 
     /// The wrapped model.
@@ -164,7 +168,13 @@ impl NnKernel {
     /// Initiation interval per sample: one MAC column per cycle per layer
     /// stage, reuse-factor 8 (a typical hls4ml configuration).
     pub fn ii_cycles(&self) -> u64 {
-        let widest = self.model.layers.iter().map(|l| l.inputs as u64).max().unwrap_or(1);
+        let widest = self
+            .model
+            .layers
+            .iter()
+            .map(|l| l.inputs as u64)
+            .max()
+            .unwrap_or(1);
         (widest / 8).max(1)
     }
 }
@@ -175,7 +185,9 @@ impl Kernel for NnKernel {
     }
 
     fn ip(&self) -> coyote_synth::Ip {
-        coyote_synth::Ip::NnInference { params: self.model.param_count() }
+        coyote_synth::Ip::NnInference {
+            params: self.model.param_count(),
+        }
     }
 
     fn timing(&self) -> KernelTiming {
@@ -183,7 +195,10 @@ impl Kernel for NnKernel {
         // row_bytes / II bytes per cycle.
         let row_bytes = (self.model.input_width() * 4) as u64;
         let bpc = (row_bytes / self.ii_cycles()).clamp(1, 64) as u32;
-        KernelTiming::Streaming { bytes_per_cycle: bpc, latency_cycles: 64 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: bpc,
+            latency_cycles: 64,
+        }
     }
 
     fn process_packet(&mut self, tid: u16, data: &[u8]) -> Vec<u8> {
@@ -241,7 +256,13 @@ mod tests {
                     &[0.1, -0.2, 0.0],
                     Activation::Relu,
                 ),
-                DenseLayer::from_f32(3, 2, &[1.0, -1.0, 0.5, -0.5, 1.0, 0.25], &[0.0, 0.05], Activation::Linear),
+                DenseLayer::from_f32(
+                    3,
+                    2,
+                    &[1.0, -1.0, 0.5, -0.5, 1.0, 0.25],
+                    &[0.0, 0.05],
+                    Activation::Linear,
+                ),
             ],
         }
     }
@@ -283,7 +304,9 @@ mod tests {
     #[test]
     fn relu_clamps() {
         let layer = DenseLayer::from_f32(1, 1, &[-1.0], &[0.0], Activation::Relu);
-        let model = QuantizedMlp { layers: vec![layer] };
+        let model = QuantizedMlp {
+            layers: vec![layer],
+        };
         assert_eq!(model.infer(&[5.0])[0], 0.0);
     }
 
@@ -293,7 +316,10 @@ mod tests {
         let model = tiny_model();
         let mut k = NnKernel::new(model.clone());
         let input = [0.3f32, -0.7, 1.2, 0.05];
-        let row: Vec<u8> = input.iter().flat_map(|v| quantize(*v).to_le_bytes()).collect();
+        let row: Vec<u8> = input
+            .iter()
+            .flat_map(|v| quantize(*v).to_le_bytes())
+            .collect();
         // Split the 16-byte row over two packets.
         let out1 = k.process_packet(0, &row[..10]);
         assert!(out1.is_empty(), "partial row produces nothing");

@@ -100,7 +100,10 @@ impl Kernel for SnifferApp {
     }
 
     fn timing(&self) -> KernelTiming {
-        KernelTiming::Streaming { bytes_per_cycle: 64, latency_cycles: 3 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: 64,
+            latency_cycles: 3,
+        }
     }
 
     fn process_packet(&mut self, _tid: u16, data: &[u8]) -> Vec<u8> {

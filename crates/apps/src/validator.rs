@@ -61,7 +61,10 @@ impl Kernel for ValidatorKernel {
     }
 
     fn timing(&self) -> KernelTiming {
-        KernelTiming::Streaming { bytes_per_cycle: 64, latency_cycles: 6 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: 64,
+            latency_cycles: 6,
+        }
     }
 
     fn process_packet(&mut self, _tid: u16, data: &[u8]) -> Vec<u8> {

@@ -22,7 +22,12 @@ pub struct VecAddKernel {
 impl VecAddKernel {
     /// Fresh kernel in preload phase.
     pub fn new() -> VecAddKernel {
-        VecAddKernel { a: Vec::new(), cursor: 0, phase: 0, elements: 0 }
+        VecAddKernel {
+            a: Vec::new(),
+            cursor: 0,
+            phase: 0,
+            elements: 0,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ impl Kernel for VecAddKernel {
     }
 
     fn timing(&self) -> KernelTiming {
-        KernelTiming::Streaming { bytes_per_cycle: 64, latency_cycles: 6 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: 64,
+            latency_cycles: 6,
+        }
     }
 
     fn process_packet(&mut self, _tid: u16, data: &[u8]) -> Vec<u8> {
@@ -106,7 +114,11 @@ pub struct VecProductKernel {
 impl VecProductKernel {
     /// Fresh kernel in preload phase.
     pub fn new() -> VecProductKernel {
-        VecProductKernel { a: Vec::new(), cursor: 0, phase: 0 }
+        VecProductKernel {
+            a: Vec::new(),
+            cursor: 0,
+            phase: 0,
+        }
     }
 }
 
@@ -126,7 +138,10 @@ impl Kernel for VecProductKernel {
     }
 
     fn timing(&self) -> KernelTiming {
-        KernelTiming::Streaming { bytes_per_cycle: 64, latency_cycles: 8 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: 64,
+            latency_cycles: 8,
+        }
     }
 
     fn process_packet(&mut self, _tid: u16, data: &[u8]) -> Vec<u8> {
@@ -176,7 +191,10 @@ mod tests {
         let mut k = VecAddKernel::new();
         let a: Vec<i64> = (0..100).collect();
         let b: Vec<i64> = (0..100).map(|x| x * 10).collect();
-        assert!(k.process_packet(0, &to_bytes(&a)).is_empty(), "phase 0 is a sink");
+        assert!(
+            k.process_packet(0, &to_bytes(&a)).is_empty(),
+            "phase 0 is a sink"
+        );
         k.csr_write(0, 1);
         let out = from_bytes(&k.process_packet(0, &to_bytes(&b)));
         let expect: Vec<i64> = (0..100).map(|x| x + x * 10).collect();

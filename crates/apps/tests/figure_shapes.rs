@@ -21,8 +21,11 @@ fn cbc_single_thread_saturation() {
     let dst = t.get_mem(&mut p, len).unwrap();
     t.write(&mut p, src, &vec![0x5Au8; len as usize]).unwrap();
     // Warm the TLBs, then measure.
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
-    let c = t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
+    let c = t
+        .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
     let throughput = mbps(len, c.latency());
     assert!(
         (250.0..295.0).contains(&throughput),
@@ -39,7 +42,8 @@ fn cbc_small_messages_slower() {
     let src = t.get_mem(&mut p, 1 << 20).unwrap();
     let dst = t.get_mem(&mut p, 1 << 20).unwrap();
     t.write(&mut p, src, &vec![1u8; 1 << 20]).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 4096)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 4096))
+        .unwrap();
 
     let mut last = 0.0;
     for len in [1024u64, 4096, 32 * 1024, 1 << 20] {
@@ -47,10 +51,16 @@ fn cbc_small_messages_slower() {
             .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
             .unwrap();
         let thr = mbps(len, c.latency());
-        assert!(thr > last * 0.98, "throughput must grow with message size ({len}: {thr:.0})");
+        assert!(
+            thr > last * 0.98,
+            "throughput must grow with message size ({len}: {thr:.0})"
+        );
         last = thr;
     }
-    assert!((265.0..290.0).contains(&last), "1 MB saturation: {last:.0} MB/s");
+    assert!(
+        (265.0..290.0).contains(&last),
+        "1 MB saturation: {last:.0} MB/s"
+    );
 }
 
 /// Fig. 10(b): throughput scales linearly with cThreads at 32 KB.
@@ -60,8 +70,9 @@ fn cbc_multithreading_scales_linearly() {
     let per_thread = |n: usize| -> f64 {
         let mut p = Platform::load(ShellConfig::host_only(1)).unwrap();
         p.load_kernel(0, Box::new(AesCbcKernel::new())).unwrap();
-        let threads: Vec<CThread> =
-            (0..n).map(|i| CThread::create(&mut p, 0, 100 + i as u32).unwrap()).collect();
+        let threads: Vec<CThread> = (0..n)
+            .map(|i| CThread::create(&mut p, 0, 100 + i as u32).unwrap())
+            .collect();
         let mut sgs = Vec::new();
         for t in &threads {
             let src = t.get_mem(&mut p, len).unwrap();
@@ -127,7 +138,11 @@ fn ecb_multitenant_fair_sharing() {
         );
         // Fairness: per-tenant completion spread within 5%.
         let finishes: Vec<_> = completions.iter().map(|c| c.completed_at).collect();
-        let spread = finishes.iter().max().unwrap().since(*finishes.iter().min().unwrap());
+        let spread = finishes
+            .iter()
+            .max()
+            .unwrap()
+            .since(*finishes.iter().min().unwrap());
         let total = end.since(start);
         assert!(
             spread.as_ps() < total.as_ps() / 20,
@@ -152,7 +167,9 @@ fn hbm_scaling_tapers() {
         let src = t.get_card_mem(&mut p, len).unwrap();
         let dst = t.get_card_mem(&mut p, len).unwrap();
         t.write(&mut p, src, &vec![3u8; len as usize]).unwrap();
-        let c = t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+        let c = t
+            .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+            .unwrap();
         // Fig. 7(a) plots data-transfer throughput: bytes moved through the
         // memory system (read + write) over the span.
         mbps(2 * len, c.latency()) / 1000.0
@@ -163,9 +180,17 @@ fn hbm_scaling_tapers() {
     let t32 = throughput(32);
     // Linear region: ~x4 from 1 to 4 channels (14.4 GB/s per channel).
     assert!((12.0..15.0).contains(&t1), "1 channel: {t1:.1} GB/s");
-    assert!((3.2..4.3).contains(&(t4 / t1)), "1->4: {:.2}x ({t1:.1} -> {t4:.1})", t4 / t1);
+    assert!(
+        (3.2..4.3).contains(&(t4 / t1)),
+        "1->4: {:.2}x ({t1:.1} -> {t4:.1})",
+        t4 / t1
+    );
     // Taper: 8 -> 32 gains far less than 4x.
-    assert!(t32 / t8 < 1.8, "8->32 channels: {:.2}x ({t8:.1} -> {t32:.1})", t32 / t8);
+    assert!(
+        t32 / t8 < 1.8,
+        "8->32 channels: {:.2}x ({t8:.1} -> {t32:.1})",
+        t32 / t8
+    );
     // Ceiling: the shared virtualization pipeline caps the aggregate near
     // 4 KB / 30 ns = ~136 GB/s.
     assert!((100.0..140.0).contains(&t32), "32 channels: {t32:.1} GB/s");
@@ -184,7 +209,8 @@ fn end_to_end_data_integrity() {
     t.write(&mut p, src, &plain).unwrap();
     t.set_csr(&mut p, 0x6167_717a_7a76_7668, 0).unwrap();
     t.set_csr(&mut p, 0x0011_2233_4455_6677, 1).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
     let out = t.read(&p, dst, len as usize).unwrap();
     let mut expect = plain.clone();
     coyote_apps::Aes128::from_u64(0x6167_717a_7a76_7668, 0x0011_2233_4455_6677)

@@ -75,7 +75,11 @@ impl RegisterFile {
     /// Panics on an unaligned offset or a duplicate definition — both are
     /// design-time errors in the register map.
     pub fn define(&mut self, offset: u64, mode: AccessMode, reset: u64) -> &mut Self {
-        assert_eq!(offset % 8, 0, "register offset {offset:#x} not 8-byte aligned");
+        assert_eq!(
+            offset % 8,
+            0,
+            "register offset {offset:#x} not 8-byte aligned"
+        );
         let prev = self.regs.insert(offset, Register { value: reset, mode });
         assert!(prev.is_none(), "duplicate register at {offset:#x}");
         self
@@ -111,14 +115,20 @@ impl RegisterFile {
     pub fn read(&mut self, offset: u64) -> Result<u64, LiteError> {
         Self::check_align(offset)?;
         self.reads += 1;
-        self.regs.get(&offset).map(|r| r.value).ok_or(LiteError::Unmapped { offset })
+        self.regs
+            .get(&offset)
+            .map(|r| r.value)
+            .ok_or(LiteError::Unmapped { offset })
     }
 
     /// Software write, honoring the register's access mode.
     pub fn write(&mut self, offset: u64, value: u64) -> Result<(), LiteError> {
         Self::check_align(offset)?;
         self.writes += 1;
-        let reg = self.regs.get_mut(&offset).ok_or(LiteError::Unmapped { offset })?;
+        let reg = self
+            .regs
+            .get_mut(&offset)
+            .ok_or(LiteError::Unmapped { offset })?;
         match reg.mode {
             AccessMode::ReadWrite => reg.value = value,
             AccessMode::ReadOnly => return Err(LiteError::ReadOnlyWrite { offset }),
@@ -171,7 +181,10 @@ mod tests {
         let mut rf = RegisterFile::new();
         rf.define(0x08, AccessMode::ReadOnly, 7);
         assert_eq!(rf.read(0x08).unwrap(), 7);
-        assert!(matches!(rf.write(0x08, 1), Err(LiteError::ReadOnlyWrite { .. })));
+        assert!(matches!(
+            rf.write(0x08, 1),
+            Err(LiteError::ReadOnlyWrite { .. })
+        ));
         rf.hw_set(0x08, 42);
         assert_eq!(rf.read(0x08).unwrap(), 42);
     }
@@ -191,7 +204,10 @@ mod tests {
         rf.define(0x00, AccessMode::ReadWrite, 0);
         assert!(matches!(rf.read(0x20), Err(LiteError::Unmapped { .. })));
         assert!(matches!(rf.read(0x04), Err(LiteError::Unaligned { .. })));
-        assert!(matches!(rf.write(0x03, 0), Err(LiteError::Unaligned { .. })));
+        assert!(matches!(
+            rf.write(0x03, 0),
+            Err(LiteError::Unaligned { .. })
+        ));
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl AxiStream {
     /// A stream with an explicit bus width in bytes.
     pub fn with_width(width: usize) -> Self {
         assert!(width > 0 && width <= 512, "unreasonable bus width {width}");
-        AxiStream { width, beats: VecDeque::new(), bytes_pushed: 0 }
+        AxiStream {
+            width,
+            beats: VecDeque::new(),
+            bytes_pushed: 0,
+        }
     }
 
     /// Bus width in bytes.
@@ -111,10 +115,16 @@ impl AxiStream {
     /// Push one beat, validating AXI width rules.
     pub fn push(&mut self, beat: AxiBeat) -> Result<(), StreamError> {
         if beat.len() > self.width {
-            return Err(StreamError::BeatTooWide { len: beat.len(), width: self.width });
+            return Err(StreamError::BeatTooWide {
+                len: beat.len(),
+                width: self.width,
+            });
         }
         if !beat.tlast && beat.len() != self.width {
-            return Err(StreamError::PartialMidBeat { len: beat.len(), width: self.width });
+            return Err(StreamError::PartialMidBeat {
+                len: beat.len(),
+                width: self.width,
+            });
         }
         self.bytes_pushed += beat.len() as u64;
         self.beats.push_back(beat);
@@ -130,7 +140,12 @@ impl AxiStream {
     ///
     /// The final beat carries `tlast` and may be partial. An empty payload
     /// produces a single empty `tlast` beat (a zero-length packet).
-    pub fn push_packet(&mut self, payload: &[u8], tid: u16, tdest: u16) -> Result<usize, StreamError> {
+    pub fn push_packet(
+        &mut self,
+        payload: &[u8],
+        tid: u16,
+        tdest: u16,
+    ) -> Result<usize, StreamError> {
         let beats = pack(payload, self.width, tid, tdest);
         let n = beats.len();
         for b in beats {
@@ -171,7 +186,12 @@ impl Default for AxiStream {
 pub fn pack(payload: &[u8], width: usize, tid: u16, tdest: u16) -> Vec<AxiBeat> {
     assert!(width > 0, "zero bus width");
     if payload.is_empty() {
-        return vec![AxiBeat { data: Bytes::new(), tid, tdest, tlast: true }];
+        return vec![AxiBeat {
+            data: Bytes::new(),
+            tid,
+            tdest,
+            tlast: true,
+        }];
     }
     let mut beats = Vec::with_capacity(payload.len().div_ceil(width));
     let mut chunks = payload.chunks(width).peekable();
@@ -233,16 +253,29 @@ mod tests {
     fn mid_packet_partial_beat_rejected() {
         let mut s = AxiStream::with_width(64);
         let err = s
-            .push(AxiBeat { data: Bytes::from(vec![0u8; 10]), tid: 0, tdest: 0, tlast: false })
+            .push(AxiBeat {
+                data: Bytes::from(vec![0u8; 10]),
+                tid: 0,
+                tdest: 0,
+                tlast: false,
+            })
             .unwrap_err();
-        assert!(matches!(err, StreamError::PartialMidBeat { len: 10, width: 64 }));
+        assert!(matches!(
+            err,
+            StreamError::PartialMidBeat { len: 10, width: 64 }
+        ));
     }
 
     #[test]
     fn oversized_beat_rejected() {
         let mut s = AxiStream::with_width(16);
         let err = s
-            .push(AxiBeat { data: Bytes::from(vec![0u8; 17]), tid: 0, tdest: 0, tlast: true })
+            .push(AxiBeat {
+                data: Bytes::from(vec![0u8; 17]),
+                tid: 0,
+                tdest: 0,
+                tlast: true,
+            })
             .unwrap_err();
         assert!(matches!(err, StreamError::BeatTooWide { .. }));
     }
@@ -250,8 +283,13 @@ mod tests {
     #[test]
     fn truncated_packet_detected() {
         let mut s = AxiStream::with_width(8);
-        s.push(AxiBeat { data: Bytes::from(vec![0u8; 8]), tid: 0, tdest: 0, tlast: false })
-            .unwrap();
+        s.push(AxiBeat {
+            data: Bytes::from(vec![0u8; 8]),
+            tid: 0,
+            tdest: 0,
+            tlast: false,
+        })
+        .unwrap();
         assert_eq!(s.pop_packet(), Err(StreamError::TruncatedPacket));
     }
 
@@ -272,7 +310,11 @@ mod tests {
     fn beats_for_matches_pack() {
         for len in [0usize, 1, 63, 64, 65, 4096] {
             let payload = vec![0u8; len];
-            assert_eq!(pack(&payload, 64, 0, 0).len(), beats_for(len, 64), "len {len}");
+            assert_eq!(
+                pack(&payload, 64, 0, 0).len(),
+                beats_for(len, 64),
+                "len {len}"
+            );
         }
     }
 

@@ -25,9 +25,15 @@ fn run(threads: usize, len: u64) -> usize {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_aes_cbc");
     group.sample_size(10);
-    group.bench_function("fig10a_single_thread_32KB", |b| b.iter(|| black_box(run(1, 32 << 10))));
-    group.bench_function("fig10a_single_thread_1MB", |b| b.iter(|| black_box(run(1, 1 << 20))));
-    group.bench_function("fig10b_8_threads_32KB", |b| b.iter(|| black_box(run(8, 32 << 10))));
+    group.bench_function("fig10a_single_thread_32KB", |b| {
+        b.iter(|| black_box(run(1, 32 << 10)))
+    });
+    group.bench_function("fig10a_single_thread_1MB", |b| {
+        b.iter(|| black_box(run(1, 1 << 20)))
+    });
+    group.bench_function("fig10b_8_threads_32KB", |b| {
+        b.iter(|| black_box(run(8, 32 << 10)))
+    });
     group.finish();
 }
 

@@ -7,12 +7,14 @@ use std::hint::black_box;
 
 fn run(channels: usize, len: u64) -> coyote::Completion {
     let mut p = Platform::load(ShellConfig::host_memory(1, channels)).unwrap();
-    p.load_kernel(0, Box::new(Passthrough::with_streams(channels as u32))).unwrap();
+    p.load_kernel(0, Box::new(Passthrough::with_streams(channels as u32)))
+        .unwrap();
     let t = CThread::create(&mut p, 0, 1).unwrap();
     let src = t.get_card_mem(&mut p, len).unwrap();
     let dst = t.get_card_mem(&mut p, len).unwrap();
     t.write(&mut p, src, &vec![1u8; len as usize]).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap()
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap()
 }
 
 fn bench(c: &mut Criterion) {

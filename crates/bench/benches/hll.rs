@@ -26,18 +26,26 @@ fn bench(c: &mut Criterion) {
             let t = CThread::create(&mut p, 0, 1).unwrap();
             let buf = t.get_mem(&mut p, len).unwrap();
             t.write(&mut p, buf, &items).unwrap();
-            t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(buf, len)).unwrap();
+            t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(buf, len))
+                .unwrap();
             black_box(t.get_csr(&mut p, 0).unwrap())
         })
     });
     group.bench_function("coyote_v1_baseline", |b| {
         b.iter(|| {
             let mut v1 = V1Platform::load(ShellConfig::host_memory(1, 8)).unwrap();
-            v1.platform_mut().load_kernel(0, Box::new(HllKernel::new())).unwrap();
+            v1.platform_mut()
+                .load_kernel(0, Box::new(HllKernel::new()))
+                .unwrap();
             let t = v1.create_thread(0, 1).unwrap();
             let buf = t.get_mem(v1.platform_mut(), len).unwrap();
             t.write(v1.platform_mut(), buf, &items).unwrap();
-            t.invoke_sync(v1.platform_mut(), Oper::LocalRead, &SgEntry::source(buf, len)).unwrap();
+            t.invoke_sync(
+                v1.platform_mut(),
+                Oper::LocalRead,
+                &SgEntry::source(buf, len),
+            )
+            .unwrap();
             black_box(t.get_csr(v1.platform_mut(), 0).unwrap())
         })
     });

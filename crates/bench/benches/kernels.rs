@@ -1,8 +1,8 @@
 //! Raw kernel-compute benchmarks: the actual algorithm implementations
 //! (software-side wall clock, independent of the platform model).
 
-use coyote_apps::{Aes128, HyperLogLog};
 use coyote_apps::nn::{quantize, DenseLayer, QuantizedMlp};
+use coyote_apps::{Aes128, HyperLogLog};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -52,7 +52,9 @@ fn bench(c: &mut Criterion) {
     };
     let row: Vec<i32> = (0..593).map(|i| quantize(i as f32 / 593.0)).collect();
     group.throughput(Throughput::Elements(1));
-    group.bench_function("mlp_infer_593x64x2", |b| b.iter(|| black_box(model.infer_q(&row))));
+    group.bench_function("mlp_infer_593x64x2", |b| {
+        b.iter(|| black_box(model.infer_q(&row)))
+    });
     group.finish();
 }
 

@@ -2,10 +2,10 @@
 //! programming a ~40 MB partial bitstream (the simulated times themselves
 //! are checked by the harness; this measures the model's engine cost).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use coyote_fabric::config::{ConfigPort, ConfigPortKind, ConfigState};
 use coyote_fabric::{Bitstream, BitstreamKind, DeviceKind};
 use coyote_sim::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut port = ConfigPort::new(kind);
                 let mut state = ConfigState::new(DeviceKind::U55C);
-                black_box(port.program(SimTime::ZERO, black_box(&bs), &mut state).unwrap())
+                black_box(
+                    port.program(SimTime::ZERO, black_box(&bs), &mut state)
+                        .unwrap(),
+                )
             })
         });
     }

@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
             let mut p = Platform::load(ShellConfig::host_only(1)).unwrap();
             p.register_built_shell(cfg.clone(), &art);
             let rcnfg = CRcnfg::new(&mut p, 1);
-            black_box(rcnfg.reconfigure_shell_bytes(&mut p, black_box(&blob), true).unwrap())
+            black_box(
+                rcnfg
+                    .reconfigure_shell_bytes(&mut p, black_box(&blob), true)
+                    .unwrap(),
+            )
         })
     });
     group.finish();

@@ -60,7 +60,11 @@ pub fn ablation_tlb_geometry() -> ExperimentResult {
     let mut rows = Vec::new();
     for (sets, ways) in [(16usize, 1usize), (64, 2), (256, 4), (512, 4), (1024, 8)] {
         let cfg = MmuConfig {
-            stlb: TlbConfig { sets, ways, page: PageSize::Small },
+            stlb: TlbConfig {
+                sets,
+                ways,
+                page: PageSize::Small,
+            },
             ltlb: TlbConfig::huge_default(),
         };
         let mut mmu = Mmu::new(cfg);
@@ -114,8 +118,7 @@ pub fn ablation_page_size() -> ExperimentResult {
                 misses += 1;
             }
         }
-        let penalty_us =
-            misses as f64 * coyote_sim::params::TLB_MISS_LATENCY.as_micros_f64();
+        let penalty_us = misses as f64 * coyote_sim::params::TLB_MISS_LATENCY.as_micros_f64();
         rows.push(
             Row::new(name, "driver round trips", misses as f64).with("penalty us", penalty_us),
         );
@@ -187,7 +190,11 @@ pub fn ablation_virt_service() -> ExperimentResult {
             done = server.admit(SimTime::ZERO);
         }
         let ceiling = rate(n * 4096, done.since(SimTime::ZERO)).as_gbps_f64();
-        rows.push(Row::new(format!("{ns} ns/request"), "ceiling GB/s", ceiling));
+        rows.push(Row::new(
+            format!("{ns} ns/request"),
+            "ceiling GB/s",
+            ceiling,
+        ));
     }
     ExperimentResult {
         id: "ablation_virt".into(),
@@ -209,7 +216,8 @@ pub fn ablation_threads_vs_vfpgas() -> ExperimentResult {
         let per = total / (vfpgas as u64 * threads_per as u64);
         let mut work = Vec::new();
         for v in 0..vfpgas {
-            p.load_kernel(v, Box::new(coyote_apps::AesCbcKernel::new())).unwrap();
+            p.load_kernel(v, Box::new(coyote_apps::AesCbcKernel::new()))
+                .unwrap();
             for i in 0..threads_per {
                 let t = CThread::create(&mut p, v, 1000 + v as u32 * 100 + i as u32).unwrap();
                 let src = t.get_mem(&mut p, per).unwrap();

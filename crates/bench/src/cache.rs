@@ -1,0 +1,57 @@
+//! Per-process memoization of experiment results.
+//!
+//! `claims` re-derives its PASS/FAIL verdicts from seven full experiments
+//! that `coyote-bench all` also runs standalone; without a cache the whole
+//! suite computes each of them twice. Every experiment is a pure function
+//! of its constants, so memoizing is observationally invisible — the same
+//! `ExperimentResult` comes back no matter which caller got there first.
+//!
+//! Each id gets its own [`OnceLock`], so under the parallel runner two
+//! callers racing for the same experiment serialize on that cell (one
+//! computes, the other blocks and reuses) without holding the registry lock
+//! across the computation.
+
+use crate::report::ExperimentResult;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Registry = Mutex<HashMap<&'static str, Arc<OnceLock<ExperimentResult>>>>;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// Return the memoized result for `id`, computing it with `f` on first use.
+pub fn cached(id: &'static str, f: fn() -> ExperimentResult) -> ExperimentResult {
+    let cell = {
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = registry.lock().expect("cache registry poisoned");
+        Arc::clone(map.entry(id).or_default())
+    };
+    cell.get_or_init(f).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Row;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static CALLS: AtomicU32 = AtomicU32::new(0);
+
+    fn make() -> ExperimentResult {
+        CALLS.fetch_add(1, Ordering::SeqCst);
+        ExperimentResult {
+            id: "cache_test".into(),
+            title: "t".into(),
+            rows: vec![Row::new("r", "unit", 1.0)],
+            verdict: "v".into(),
+        }
+    }
+
+    #[test]
+    fn computes_once_and_replays() {
+        let a = cached("cache_test", make);
+        let b = cached("cache_test", make);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+        assert_eq!(a.rows[0].label, b.rows[0].label);
+    }
+}

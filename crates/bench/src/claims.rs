@@ -1,6 +1,7 @@
 //! Programmatic verification of the paper's headline claims: one PASS/FAIL
 //! line per claim, derived from freshly-run experiments.
 
+use crate::cache::cached;
 use crate::experiments;
 use crate::report::{ExperimentResult, Row};
 use coyote_sim::{params, PipelineModel, SimTime};
@@ -27,8 +28,12 @@ pub fn claims() -> ExperimentResult {
     let mut out: Vec<Claim> = Vec::new();
 
     // 1. "reduces synthesis times between 15% and 20%".
-    let fig7b = experiments::fig7b();
-    let savings: Vec<f64> = fig7b.rows.iter().map(|r| metric(&fig7b, &r.label, 2)).collect();
+    let fig7b = cached("fig7b", experiments::fig7b);
+    let savings: Vec<f64> = fig7b
+        .rows
+        .iter()
+        .map(|r| metric(&fig7b, &r.label, 2))
+        .collect();
     let min_s = savings.iter().cloned().fold(f64::INFINITY, f64::min);
     let max_s = savings.iter().cloned().fold(0.0, f64::max);
     out.push(Claim {
@@ -40,19 +45,23 @@ pub fn claims() -> ExperimentResult {
 
     // 2. "run-time reconfiguration times [reduced] by an order of
     //    magnitude" (Table 3).
-    let table3 = experiments::table3();
+    let table3 = cached("table3", experiments::table3);
     let kernel_ms = metric(&table3, "#3", 0);
     let total_ms = metric(&table3, "#3", 1);
     let vivado_ms = metric(&table3, "#3", 2);
     out.push(Claim {
         text: "shell reconfig >=10x faster than full reprogramming",
         paper: ">=10x",
-        measured: format!("{:.0}x (total) / {:.0}x (kernel)", vivado_ms / total_ms, vivado_ms / kernel_ms),
+        measured: format!(
+            "{:.0}x (total) / {:.0}x (kernel)",
+            vivado_ms / total_ms,
+            vivado_ms / kernel_ms
+        ),
         pass: vivado_ms / total_ms >= 10.0,
     });
 
     // 3. Table 2 ordering and ICAP rate.
-    let table2 = experiments::table2();
+    let table2 = cached("table2", experiments::table2);
     let icap = metric(&table2, "Coyote v2 ICAP", 0);
     let mcap = metric(&table2, "MCAP", 0);
     out.push(Claim {
@@ -83,7 +92,7 @@ pub fn claims() -> ExperimentResult {
     });
 
     // 5. Fig. 8: cumulative bandwidth constant at ~12 GB/s.
-    let fig8 = experiments::fig8();
+    let fig8 = cached("fig8", experiments::fig8);
     let c1 = metric(&fig8, "1 vFPGAs", 1);
     let c8 = metric(&fig8, "8 vFPGAs", 1);
     out.push(Claim {
@@ -94,7 +103,7 @@ pub fn claims() -> ExperimentResult {
     });
 
     // 6. Fig. 10(a): CBC saturates ~280 MB/s at 32 KB.
-    let fig10a = experiments::fig10a();
+    let fig10a = cached("fig10a", experiments::fig10a);
     let at32k = metric(&fig10a, "32 KB", 0);
     out.push(Claim {
         text: "single-thread CBC saturates ~280 MB/s at 32 KB",
@@ -104,7 +113,7 @@ pub fn claims() -> ExperimentResult {
     });
 
     // 7. Fig. 11: HLL on-demand load ~57 ms, utilization ~10%.
-    let fig11 = experiments::fig11();
+    let fig11 = cached("fig11", experiments::fig11);
     let load_ms = metric(&fig11, "on-demand", 0);
     let util = metric(&fig11, "Coyote v2 utilization", 0);
     out.push(Claim {
@@ -121,7 +130,7 @@ pub fn claims() -> ExperimentResult {
     });
 
     // 8. Fig. 12: NN inference an order of magnitude over the baseline.
-    let fig12 = experiments::fig12();
+    let fig12 = cached("fig12", experiments::fig12);
     let speedup_1024 = metric(&fig12, "batch 1024", 2);
     out.push(Claim {
         text: "NN inference order of magnitude over PYNQ baseline",

@@ -50,7 +50,10 @@ pub fn table1() -> ExperimentResult {
     ExperimentResult {
         id: "table1".into(),
         title: "Feature comparison of FPGA shells".into(),
-        rows: shells.iter().map(|(name, features)| Row::text(*name, *features)).collect(),
+        rows: shells
+            .iter()
+            .map(|(name, features)| Row::text(*name, *features))
+            .collect(),
         verdict: "qualitative; Coyote v2 is the only row with every feature".into(),
     }
 }
@@ -70,11 +73,17 @@ pub fn table2() -> ExperimentResult {
     for (kind, paper) in cases {
         let mut port = ConfigPort::new(kind);
         let mut state = ConfigState::new(DeviceKind::U55C);
-        let xfer = port.program(SimTime::ZERO, &bs, &mut state).expect("program");
+        let xfer = port
+            .program(SimTime::ZERO, &bs, &mut state)
+            .expect("program");
         let measured = mb / xfer.done.since(SimTime::ZERO).as_secs_f64();
         rows.push(
-            Row::new(format!("{} ({})", kind.name(), kind.interface()), "MB/s", measured)
-                .vs_paper(paper),
+            Row::new(
+                format!("{} ({})", kind.name(), kind.interface()),
+                "MB/s",
+                measured,
+            )
+            .vs_paper(paper),
         );
     }
     ExperimentResult {
@@ -101,7 +110,10 @@ pub fn table3() -> ExperimentResult {
         (
             "#2 RDMA -> 2 numeric kernels",
             ShellConfig::host_memory(2, 16),
-            vec![vec![IpBlock::new(Ip::VecAdd)], vec![IpBlock::new(Ip::VecProduct)]],
+            vec![
+                vec![IpBlock::new(Ip::VecAdd)],
+                vec![IpBlock::new(Ip::VecProduct)],
+            ],
             72.3,
             709.0,
             63_045.2,
@@ -119,10 +131,9 @@ pub fn table3() -> ExperimentResult {
     // The Vivado baseline re-programs the full device; the paper's per-
     // scenario spread comes from compressed-bitstream size differences,
     // which we approximate with the full-device image.
-    let vivado_ms = coyote_driver::VivadoBaseline::full_flow(
-        Device::new(DeviceKind::U55C).full_config_bytes(),
-    )
-    .as_millis_f64();
+    let vivado_ms =
+        coyote_driver::VivadoBaseline::full_flow(Device::new(DeviceKind::U55C).full_config_bytes())
+            .as_millis_f64();
     let mut rows = Vec::new();
     for (name, cfg, apps, paper_kernel, paper_total, paper_vivado) in scenarios {
         let art = build_shell(&cfg, apps).expect("shell flow");
@@ -145,8 +156,12 @@ pub fn table3() -> ExperimentResult {
                 .vs_paper(paper_kernel),
         );
         rows.push(
-            Row::new(format!("{name} (paper total/vivado)"), "total ms", paper_total)
-                .with("vivado ms", paper_vivado),
+            Row::new(
+                format!("{name} (paper total/vivado)"),
+                "total ms",
+                paper_total,
+            )
+            .with("vivado ms", paper_vivado),
         );
     }
     ExperimentResult {
@@ -171,7 +186,8 @@ pub fn fig7a() -> ExperimentResult {
             let t = CThread::create(&mut p, 0, 1).expect("thread");
             let src = t.get_card_mem(&mut p, len).expect("src");
             let dst = t.get_card_mem(&mut p, len).expect("dst");
-            t.write(&mut p, src, &vec![1u8; len as usize]).expect("stage");
+            t.write(&mut p, src, &vec![1u8; len as usize])
+                .expect("stage");
             // Warm-up run, then the measured run.
             t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
                 .expect("warm");
@@ -180,7 +196,11 @@ pub fn fig7a() -> ExperimentResult {
                 .expect("run");
             series.push(gbps(2 * len, c.latency()));
         }
-        rows.push(Row::new(format!("{channels} channels"), "GB/s", series.mean()));
+        rows.push(Row::new(
+            format!("{channels} channels"),
+            "GB/s",
+            series.mean(),
+        ));
     }
     let first = rows[0].measured[0].1;
     let last = rows.last().expect("rows").measured[0].1;
@@ -231,7 +251,8 @@ pub fn fig8() -> ExperimentResult {
         let mut p = Platform::load(ShellConfig::host_only(n)).expect("platform");
         let mut work = Vec::new();
         for v in 0..n {
-            p.load_kernel(v, Box::new(AesEcbKernel::new())).expect("kernel");
+            p.load_kernel(v, Box::new(AesEcbKernel::new()))
+                .expect("kernel");
             let t = CThread::create(&mut p, v, 100 + v as u32).expect("thread");
             let src = t.get_mem(&mut p, len).expect("src");
             let dst = t.get_mem(&mut p, len).expect("dst");
@@ -244,12 +265,20 @@ pub fn fig8() -> ExperimentResult {
         }
         let completions = p.drain().expect("drain");
         let start = completions.iter().map(|c| c.issued_at).min().expect("some");
-        let end = completions.iter().map(|c| c.completed_at).max().expect("some");
+        let end = completions
+            .iter()
+            .map(|c| c.completed_at)
+            .max()
+            .expect("some");
         let cumulative = gbps(len * n as u64, end.since(start));
         rows.push(
-            Row::new(format!("{n} vFPGAs"), "per-vFPGA GB/s", cumulative / n as f64)
-                .with("cumulative GB/s", cumulative)
-                .vs_paper(12.0 / n as f64),
+            Row::new(
+                format!("{n} vFPGAs"),
+                "per-vFPGA GB/s",
+                cumulative / n as f64,
+            )
+            .with("cumulative GB/s", cumulative)
+            .vs_paper(12.0 / n as f64),
         );
     }
     ExperimentResult {
@@ -262,27 +291,37 @@ pub fn fig8() -> ExperimentResult {
 
 fn cbc_run(threads: usize, len: u64) -> f64 {
     let mut p = Platform::load(ShellConfig::host_only(1)).expect("platform");
-    p.load_kernel(0, Box::new(AesCbcKernel::new())).expect("kernel");
+    p.load_kernel(0, Box::new(AesCbcKernel::new()))
+        .expect("kernel");
     let mut work = Vec::new();
     for i in 0..threads {
         let t = CThread::create(&mut p, 0, 200 + i as u32).expect("thread");
         let src = t.get_mem(&mut p, len).expect("src");
         let dst = t.get_mem(&mut p, len).expect("dst");
-        t.write(&mut p, src, &vec![0x11u8; len as usize]).expect("stage");
+        t.write(&mut p, src, &vec![0x11u8; len as usize])
+            .expect("stage");
         t.set_csr(&mut p, 0xC0DE, 0).expect("key");
         work.push((t, SgEntry::local(src, dst, len)));
     }
     // Warm TLBs with a small transfer per thread.
     for (t, sg) in &work {
-        t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(sg.src_addr, sg.dst_addr, 4096))
-            .expect("warm");
+        t.invoke_sync(
+            &mut p,
+            Oper::LocalTransfer,
+            &SgEntry::local(sg.src_addr, sg.dst_addr, 4096),
+        )
+        .expect("warm");
     }
     for (t, sg) in &work {
         t.invoke(&mut p, Oper::LocalTransfer, sg).expect("invoke");
     }
     let completions = p.drain().expect("drain");
     let start = completions.iter().map(|c| c.issued_at).min().expect("some");
-    let end = completions.iter().map(|c| c.completed_at).max().expect("some");
+    let end = completions
+        .iter()
+        .map(|c| c.completed_at)
+        .max()
+        .expect("some");
     mbps(len * threads as u64, end.since(start))
 }
 
@@ -336,24 +375,38 @@ pub fn fig11() -> ExperimentResult {
     // Coyote v2.
     let cfg = ShellConfig::host_memory(1, 8);
     let mut p2 = Platform::load(cfg.clone()).expect("platform");
-    p2.load_kernel(0, Box::new(HllKernel::new())).expect("kernel");
+    p2.load_kernel(0, Box::new(HllKernel::new()))
+        .expect("kernel");
     let t2 = CThread::create(&mut p2, 0, 1).expect("thread");
     let buf = t2.get_mem(&mut p2, len).expect("buffer");
     t2.write(&mut p2, buf, &data).expect("stage");
-    t2.invoke_sync(&mut p2, Oper::LocalRead, &SgEntry::source(buf, 4096)).expect("warm");
-    let c2 = t2.invoke_sync(&mut p2, Oper::LocalRead, &SgEntry::source(buf, len)).expect("run");
+    t2.invoke_sync(&mut p2, Oper::LocalRead, &SgEntry::source(buf, 4096))
+        .expect("warm");
+    let c2 = t2
+        .invoke_sync(&mut p2, Oper::LocalRead, &SgEntry::source(buf, len))
+        .expect("run");
     let v2_thr = gbps(len, c2.latency());
 
     // Coyote v1 baseline: same kernel behind the single-stream shell.
     let mut v1 = V1Platform::load(cfg.clone()).expect("v1");
-    v1.platform_mut().load_kernel(0, Box::new(HllKernel::new())).expect("kernel");
+    v1.platform_mut()
+        .load_kernel(0, Box::new(HllKernel::new()))
+        .expect("kernel");
     let t1 = v1.create_thread(0, 1).expect("thread");
     let buf1 = t1.get_mem(v1.platform_mut(), len).expect("buffer");
     t1.write(v1.platform_mut(), buf1, &data).expect("stage");
-    t1.invoke_sync(v1.platform_mut(), Oper::LocalRead, &SgEntry::source(buf1, 4096))
-        .expect("warm");
+    t1.invoke_sync(
+        v1.platform_mut(),
+        Oper::LocalRead,
+        &SgEntry::source(buf1, 4096),
+    )
+    .expect("warm");
     let c1 = t1
-        .invoke_sync(v1.platform_mut(), Oper::LocalRead, &SgEntry::source(buf1, len))
+        .invoke_sync(
+            v1.platform_mut(),
+            Oper::LocalRead,
+            &SgEntry::source(buf1, len),
+        )
         .expect("run");
     let v1_thr = gbps(len, c1.latency());
 
@@ -383,8 +436,12 @@ pub fn fig11() -> ExperimentResult {
             Row::new("Coyote v1 throughput", "GB/s", v1_thr),
             Row::new("Coyote v2 utilization", "% of U55C", v2_util).vs_paper(10.0),
             Row::new("Coyote v1 utilization", "% of U55C", v1_util),
-            Row::new("on-demand app load", "ms", timing.kernel_latency.as_millis_f64())
-                .vs_paper(57.0),
+            Row::new(
+                "on-demand app load",
+                "ms",
+                timing.kernel_latency.as_millis_f64(),
+            )
+            .vs_paper(57.0),
         ],
         verdict: "comparable throughput, v2 slightly higher utilization (~10% total), ~57 ms \
                   on-demand load — the Fig. 11 shape"
@@ -417,9 +474,13 @@ pub fn fig12() -> ExperimentResult {
         let speedup = rep_p.latency.as_secs_f64() / rep_c.latency.as_secs_f64();
         speedups.push(speedup);
         rows.push(
-            Row::new(format!("batch {batch}"), "Coyote v2 rows/s", rep_c.rows_per_sec)
-                .with("PYNQ rows/s", rep_p.rows_per_sec)
-                .with("speedup x", speedup),
+            Row::new(
+                format!("batch {batch}"),
+                "Coyote v2 rows/s",
+                rep_c.rows_per_sec,
+            )
+            .with("PYNQ rows/s", rep_p.rows_per_sec)
+            .with("speedup x", speedup),
         );
     }
     // Resource comparison: both backends deploy the same generated IP; the

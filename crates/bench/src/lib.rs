@@ -7,6 +7,7 @@
 //! in `benches/` measure the wall-clock cost of regenerating each result.
 
 pub mod ablations;
+pub mod cache;
 pub mod claims;
 pub mod experiments;
 pub mod report;

@@ -3,42 +3,133 @@
 //! ```text
 //! coyote-bench all            # every table and figure
 //! coyote-bench fig7a fig10b   # a selection
+//! coyote-bench all --timings  # also record wall-clock to BENCH_wallclock.json
 //! coyote-bench --list
 //! ```
 //!
 //! Results print as paper-vs-measured tables and are written as JSON under
-//! `results/`.
+//! `results/`. Experiments are independent (each owns its own simulation),
+//! so they run concurrently; results are merged and printed in selection
+//! order, making the output and every `results/*.json` byte bit-identical
+//! to a serial run. `COYOTE_THREADS=1` forces serial execution.
 
+use coyote_bench::cache::cached;
 use coyote_bench::experiments;
 use coyote_bench::ExperimentResult;
+use coyote_sim::par_map;
+use serde_json::Value;
+use std::time::Instant;
 
 const IDS: &[&str] = &[
-    "table1", "table2", "table3", "fig7a", "fig7b", "fig8", "fig10a", "fig10b", "fig11", "fig12",
-    "ablation_chunk", "ablation_tlb", "ablation_pages", "ablation_credits", "ablation_virt",
-    "ablation_mt", "claims",
+    "table1",
+    "table2",
+    "table3",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "ablation_chunk",
+    "ablation_tlb",
+    "ablation_pages",
+    "ablation_credits",
+    "ablation_virt",
+    "ablation_mt",
+    "claims",
 ];
+
+/// Where `--timings` records the wall-clock trajectory.
+const WALLCLOCK_FILE: &str = "BENCH_wallclock.json";
 
 fn run_one(id: &str) -> Option<ExperimentResult> {
     Some(match id {
-        "table1" => experiments::table1(),
-        "table2" => experiments::table2(),
-        "table3" => experiments::table3(),
-        "fig7a" => experiments::fig7a(),
-        "fig7b" => experiments::fig7b(),
-        "fig8" => experiments::fig8(),
-        "fig10a" => experiments::fig10a(),
-        "fig10b" => experiments::fig10b(),
-        "fig11" => experiments::fig11(),
-        "fig12" => experiments::fig12(),
-        "ablation_chunk" => coyote_bench::ablations::ablation_chunk_size(),
-        "ablation_tlb" => coyote_bench::ablations::ablation_tlb_geometry(),
-        "ablation_pages" => coyote_bench::ablations::ablation_page_size(),
-        "ablation_credits" => coyote_bench::ablations::ablation_credits(),
-        "ablation_virt" => coyote_bench::ablations::ablation_virt_service(),
-        "ablation_mt" => coyote_bench::ablations::ablation_threads_vs_vfpgas(),
-        "claims" => coyote_bench::claims::claims(),
+        "table1" => cached("table1", experiments::table1),
+        "table2" => cached("table2", experiments::table2),
+        "table3" => cached("table3", experiments::table3),
+        "fig7a" => cached("fig7a", experiments::fig7a),
+        "fig7b" => cached("fig7b", experiments::fig7b),
+        "fig8" => cached("fig8", experiments::fig8),
+        "fig10a" => cached("fig10a", experiments::fig10a),
+        "fig10b" => cached("fig10b", experiments::fig10b),
+        "fig11" => cached("fig11", experiments::fig11),
+        "fig12" => cached("fig12", experiments::fig12),
+        "ablation_chunk" => cached(
+            "ablation_chunk",
+            coyote_bench::ablations::ablation_chunk_size,
+        ),
+        "ablation_tlb" => cached(
+            "ablation_tlb",
+            coyote_bench::ablations::ablation_tlb_geometry,
+        ),
+        "ablation_pages" => cached(
+            "ablation_pages",
+            coyote_bench::ablations::ablation_page_size,
+        ),
+        "ablation_credits" => cached(
+            "ablation_credits",
+            coyote_bench::ablations::ablation_credits,
+        ),
+        "ablation_virt" => cached(
+            "ablation_virt",
+            coyote_bench::ablations::ablation_virt_service,
+        ),
+        "ablation_mt" => cached(
+            "ablation_mt",
+            coyote_bench::ablations::ablation_threads_vs_vfpgas,
+        ),
+        "claims" => cached("claims", coyote_bench::claims::claims),
         _ => return None,
     })
+}
+
+/// Round to whole microseconds: precise enough for a trajectory record,
+/// stable enough to diff by eye.
+fn ms(elapsed: std::time::Duration) -> f64 {
+    (elapsed.as_secs_f64() * 1e6).round() / 1e3
+}
+
+/// Append this run to the wall-clock trajectory file.
+fn record_wallclock(
+    label: &str,
+    threads: usize,
+    total: std::time::Duration,
+    per_exp: &[(&str, std::time::Duration)],
+) -> std::io::Result<()> {
+    let mut runs = match std::fs::read(WALLCLOCK_FILE) {
+        Ok(raw) => match serde_json::value_from_slice(&raw) {
+            Ok(Value::Object(fields)) => fields
+                .into_iter()
+                .find(|(k, _)| k == "runs")
+                .and_then(|(_, v)| match v {
+                    Value::Array(runs) => Some(runs),
+                    _ => None,
+                })
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let experiments = per_exp
+        .iter()
+        .map(|(id, d)| {
+            Value::Object(vec![
+                ("id".into(), Value::Str((*id).into())),
+                ("wall_ms".into(), Value::Float(ms(*d))),
+            ])
+        })
+        .collect();
+    runs.push(Value::Object(vec![
+        ("label".into(), Value::Str(label.into())),
+        ("threads".into(), Value::Int(threads as i128)),
+        ("total_ms".into(), Value::Float(ms(total))),
+        ("experiments".into(), Value::Array(experiments)),
+    ]));
+    let doc = Value::Object(vec![("runs".into(), Value::Array(runs))]);
+    let mut bytes = serde_json::to_vec_pretty(&doc).expect("serializable document");
+    bytes.push(b'\n');
+    std::fs::write(WALLCLOCK_FILE, bytes)
 }
 
 fn main() {
@@ -49,30 +140,76 @@ fn main() {
         }
         return;
     }
-    let selection: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let timings = args.iter().any(|a| a == "--timings");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
+    let named: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--label" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
+    let selection: Vec<&str> = if named.is_empty() || named.iter().any(|a| *a == "all") {
         IDS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        named
     };
-    let out_dir = std::path::PathBuf::from("results");
-    let mut failed = false;
-    for id in selection {
-        match run_one(id) {
-            Some(result) => {
-                result.print();
-                if let Err(e) = result.write_json(&out_dir) {
-                    eprintln!("warning: could not write {id}.json: {e}");
-                }
-            }
-            None => {
-                eprintln!("unknown experiment '{id}' (use --list)");
-                failed = true;
-            }
+    let unknown: Vec<&str> = selection
+        .iter()
+        .copied()
+        .filter(|id| !IDS.contains(id))
+        .collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("unknown experiment '{id}' (use --list)");
         }
-    }
-    if failed {
         std::process::exit(2);
+    }
+
+    // Fan the experiments out; merge in selection order so stdout and the
+    // JSON files match a serial run byte for byte.
+    let threads = coyote_sim::thread_budget().min(selection.len().max(1));
+    let wall_start = Instant::now();
+    let runs = par_map(&selection, |_, id| {
+        let start = Instant::now();
+        let result = run_one(id).expect("selection validated above");
+        (result, start.elapsed())
+    });
+    let wall_total = wall_start.elapsed();
+
+    let out_dir = std::path::PathBuf::from("results");
+    let mut per_exp = Vec::with_capacity(runs.len());
+    for (id, (result, elapsed)) in selection.iter().zip(&runs) {
+        result.print();
+        if let Err(e) = result.write_json(&out_dir) {
+            eprintln!("warning: could not write {id}.json: {e}");
+        }
+        per_exp.push((*id, *elapsed));
     }
     println!();
     println!("JSON records in {}/", out_dir.display());
+    if timings {
+        let label = label.unwrap_or_else(|| format!("threads={threads}"));
+        match record_wallclock(&label, threads, wall_total, &per_exp) {
+            Ok(()) => println!(
+                "wall-clock: {:.1} ms over {} experiments on {threads} threads -> {WALLCLOCK_FILE}",
+                ms(wall_total),
+                per_exp.len(),
+            ),
+            Err(e) => eprintln!("warning: could not write {WALLCLOCK_FILE}: {e}"),
+        }
+    }
 }

@@ -18,12 +18,22 @@ pub struct Row {
 impl Row {
     /// Construct a row with one measured metric.
     pub fn new(label: impl Into<String>, metric: impl Into<String>, value: f64) -> Row {
-        Row { label: label.into(), measured: vec![(metric.into(), value)], paper: None, note: None }
+        Row {
+            label: label.into(),
+            measured: vec![(metric.into(), value)],
+            paper: None,
+            note: None,
+        }
     }
 
     /// A purely qualitative row.
     pub fn text(label: impl Into<String>, note: impl Into<String>) -> Row {
-        Row { label: label.into(), measured: Vec::new(), paper: None, note: Some(note.into()) }
+        Row {
+            label: label.into(),
+            measured: Vec::new(),
+            paper: None,
+            note: Some(note.into()),
+        }
     }
 
     /// Attach the paper's published value.
@@ -114,7 +124,9 @@ mod tests {
 
     #[test]
     fn rows_compose() {
-        let r = Row::new("cfg1", "MB/s", 800.0).vs_paper(800.0).with("latency_ms", 51.6);
+        let r = Row::new("cfg1", "MB/s", 800.0)
+            .vs_paper(800.0)
+            .with("latency_ms", 51.6);
         assert_eq!(r.measured.len(), 2);
         assert_eq!(r.paper, Some(800.0));
     }

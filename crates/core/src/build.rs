@@ -53,8 +53,7 @@ mod tests {
     #[test]
     fn build_and_register_roundtrip() {
         let config = ShellConfig::host_only(1);
-        let artifacts =
-            build_shell(&config, vec![vec![IpBlock::new(Ip::Passthrough)]]).unwrap();
+        let artifacts = build_shell(&config, vec![vec![IpBlock::new(Ip::Passthrough)]]).unwrap();
         let mut platform = Platform::load(config.clone()).unwrap();
         platform.register_built_shell(config, &artifacts);
         assert!(platform

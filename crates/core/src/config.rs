@@ -79,7 +79,11 @@ impl ShellConfig {
         ShellConfig {
             device: DeviceKind::U55C,
             n_vfpgas,
-            services: ShellServices { memory_channels: 0, networking: false, sniffer: false },
+            services: ShellServices {
+                memory_channels: 0,
+                networking: false,
+                sniffer: false,
+            },
             mmu: MmuConfig::default_2m(),
             n_host_streams: 4,
             n_card_streams: 0,
@@ -93,7 +97,11 @@ impl ShellConfig {
         ShellConfig {
             device: DeviceKind::U55C,
             n_vfpgas,
-            services: ShellServices { memory_channels: channels, networking: false, sniffer: false },
+            services: ShellServices {
+                memory_channels: channels,
+                networking: false,
+                sniffer: false,
+            },
             mmu: MmuConfig::default_2m(),
             n_host_streams: 4,
             n_card_streams: channels.min(16) as u8,
@@ -107,7 +115,11 @@ impl ShellConfig {
         ShellConfig {
             device: DeviceKind::U55C,
             n_vfpgas,
-            services: ShellServices { memory_channels: channels, networking: true, sniffer: false },
+            services: ShellServices {
+                memory_channels: channels,
+                networking: true,
+                sniffer: false,
+            },
             mmu: MmuConfig::default_2m(),
             n_host_streams: 4,
             n_card_streams: channels.min(16) as u8,
@@ -182,7 +194,9 @@ impl ShellConfig {
             blocks.push(IpBlock::new(Ip::MemoryCtrl {
                 channels: self.services.memory_channels as u16,
             }));
-            blocks.push(IpBlock::new(Ip::Mmu { sram_bits: self.mmu.sram_bits() }));
+            blocks.push(IpBlock::new(Ip::Mmu {
+                sram_bits: self.mmu.sram_bits(),
+            }));
         }
         if self.services.networking {
             blocks.push(IpBlock::new(Ip::Cmac));
@@ -229,7 +243,10 @@ mod tests {
     #[test]
     fn profiles_derive_from_services() {
         assert_eq!(ShellConfig::host_only(1).profile(), ShellProfile::HostOnly);
-        assert_eq!(ShellConfig::host_memory(1, 8).profile(), ShellProfile::HostMemory);
+        assert_eq!(
+            ShellConfig::host_memory(1, 8).profile(),
+            ShellProfile::HostMemory
+        );
         assert_eq!(
             ShellConfig::host_memory_network(1, 8).profile(),
             ShellProfile::HostMemoryNetwork

@@ -40,12 +40,20 @@ pub struct SgEntry {
 impl SgEntry {
     /// A local src/dst pair.
     pub fn local(src_addr: u64, dst_addr: u64, len: u64) -> SgEntry {
-        SgEntry { src_addr, dst_addr, len }
+        SgEntry {
+            src_addr,
+            dst_addr,
+            len,
+        }
     }
 
     /// Source-only (for `LocalRead` and migrations).
     pub fn source(src_addr: u64, len: u64) -> SgEntry {
-        SgEntry { src_addr, dst_addr: 0, len }
+        SgEntry {
+            src_addr,
+            dst_addr: 0,
+            len,
+        }
     }
 }
 
@@ -97,14 +105,23 @@ impl CThread {
         platform.next_tid[vfpga as usize] = tid.wrapping_add(1);
         let id = platform.next_thread;
         platform.next_thread += 1;
-        platform.threads.insert(id, ThreadState { vfpga, hpid, tid });
-        Ok(CThread { id, vfpga, hpid, tid })
+        platform
+            .threads
+            .insert(id, ThreadState { vfpga, hpid, tid });
+        Ok(CThread {
+            id,
+            vfpga,
+            hpid,
+            tid,
+        })
     }
 
     /// `getMem({Alloc::HPF, len})`: allocate huge-page host memory mapped
     /// into this process and visible to the shell MMU.
     pub fn get_mem(&self, platform: &mut Platform, len: u64) -> Result<u64, PlatformError> {
-        let m = platform.driver_mut().alloc_host(self.hpid, len, PageSize::Huge2M)?;
+        let m = platform
+            .driver_mut()
+            .alloc_host(self.hpid, len, PageSize::Huge2M)?;
         Ok(m.vaddr)
     }
 
@@ -126,20 +143,35 @@ impl CThread {
     }
 
     /// Host-side write through a virtual address.
-    pub fn write(&self, platform: &mut Platform, vaddr: u64, data: &[u8]) -> Result<(), PlatformError> {
+    pub fn write(
+        &self,
+        platform: &mut Platform,
+        vaddr: u64,
+        data: &[u8],
+    ) -> Result<(), PlatformError> {
         platform.driver_mut().user_write(self.hpid, vaddr, data)?;
         Ok(())
     }
 
     /// Host-side read through a virtual address.
-    pub fn read(&self, platform: &Platform, vaddr: u64, len: usize) -> Result<Vec<u8>, PlatformError> {
+    pub fn read(
+        &self,
+        platform: &Platform,
+        vaddr: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, PlatformError> {
         Ok(platform.driver().user_read(self.hpid, vaddr, len)?)
     }
 
     /// `setCSR(value, idx)`: write a control register of this vFPGA. The
     /// control bus is memory-mapped into user space, so this is a plain
     /// store plus the kernel's register hook.
-    pub fn set_csr(&self, platform: &mut Platform, value: u64, idx: u64) -> Result<(), PlatformError> {
+    pub fn set_csr(
+        &self,
+        platform: &mut Platform,
+        value: u64,
+        idx: u64,
+    ) -> Result<(), PlatformError> {
         let slot = platform.vfpga_mut(self.vfpga)?;
         // Application-defined register map; write-through to the kernel.
         let _ = slot.csr.write(idx * 8, value);
@@ -155,7 +187,9 @@ impl CThread {
         if let Some(kernel) = slot.kernel.as_ref() {
             return Ok(kernel.csr_read(idx * 8));
         }
-        slot.csr.read(idx * 8).map_err(|_| PlatformError::NoKernel(self.vfpga))
+        slot.csr
+            .read(idx * 8)
+            .map_err(|_| PlatformError::NoKernel(self.vfpga))
     }
 
     /// Queue an invocation; returns its id. Execution happens at the next

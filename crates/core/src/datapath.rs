@@ -21,9 +21,10 @@
 use crate::cthread::{CThread, Completion, Oper, SgEntry};
 use crate::kernel::KernelTiming;
 use crate::platform::{Platform, PlatformError};
+use bytes::Bytes;
+use coyote_axi::stream::{beats_for, DEFAULT_BUS_BYTES};
 use coyote_dma::{DmaJob, XdmaDir};
 use coyote_mmu::{MemLocation, TranslateOutcome};
-use coyote_axi::stream::{beats_for, DEFAULT_BUS_BYTES};
 use coyote_sched::packetize;
 use coyote_sim::{params, RrQueue, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -52,7 +53,9 @@ pub(crate) fn queue_invocation(
         return Err(PlatformError::BadThread(thread.id));
     }
     if sg.len == 0 {
-        return Err(PlatformError::Driver(coyote_driver::DriverError::BadAddress(sg.src_addr)));
+        return Err(PlatformError::Driver(
+            coyote_driver::DriverError::BadAddress(sg.src_addr),
+        ));
     }
     let id = platform.next_invocation;
     platform.next_invocation += 1;
@@ -83,7 +86,9 @@ struct InputPacket {
     inv_idx: usize,
     seq: u32,
     arrival: SimTime,
-    data: Vec<u8>,
+    /// Payload as a refcounted buffer: moving a packet between the booking,
+    /// sort, and per-thread queues of `drain` never copies the bytes.
+    data: Bytes,
 }
 
 impl Platform {
@@ -108,14 +113,20 @@ impl Platform {
                     };
                     let start = inv.issued_at + params::INVOKE_SW_OVERHEAD;
                     let (m, done) =
-                        self.driver.service_fault(start, inv.hpid, inv.sg.src_addr, wanted)?;
+                        self.driver
+                            .service_fault(start, inv.hpid, inv.sg.src_addr, wanted)?;
                     // The moved mapping's stale TLB entries must go; the
                     // shoot-down and the serviced fault surface as MSI-X
                     // interrupts (§5.1's interrupt sources).
-                    self.vfpgas[inv.vfpga as usize].mmu.invalidate_page(inv.hpid, m.vaddr);
+                    self.vfpgas[inv.vfpga as usize]
+                        .mmu
+                        .invalidate_page(inv.hpid, m.vaddr);
                     self.msix.raise(
                         1,
-                        coyote_dma::IrqReason::PageFault { vfpga: inv.vfpga, vaddr: m.vaddr },
+                        coyote_dma::IrqReason::PageFault {
+                            vfpga: inv.vfpga,
+                            vaddr: m.vaddr,
+                        },
                         done,
                     );
                     self.msix.raise(
@@ -213,7 +224,11 @@ impl Platform {
         for done in self.xdma.book_all(min_start, XdmaDir::H2C) {
             let (inv_idx, _) = host_job_map[&done.job.id];
             let r = &resolved[inv_idx];
-            let key = (r.inv.vfpga, (r.inv.tid % self.config.n_host_streams as u16) as u8, false);
+            let key = (
+                r.inv.vfpga,
+                (r.inv.tid % self.config.n_host_streams as u16) as u8,
+                false,
+            );
             let mut arrival = done.transfer.arrival.max(r.start);
             // Credit window: if the pool is exhausted, this packet waits
             // for the oldest outstanding completion (§7.2 back-pressure).
@@ -231,14 +246,16 @@ impl Platform {
                 window.pop_front();
                 self.credits.release(key, 1);
             }
-            let data = self
-                .driver
-                .phys_read(MemLocation::Host, done.packet.addr, done.packet.len as usize)?;
+            let data = self.driver.phys_read(
+                MemLocation::Host,
+                done.packet.addr,
+                done.packet.len as usize,
+            )?;
             inputs.push(InputPacket {
                 inv_idx,
                 seq: done.packet.index,
                 arrival,
-                data,
+                data: Bytes::from(data),
             });
         }
         // Release any credits still held by the drained windows.
@@ -267,7 +284,12 @@ impl Platform {
             *last = arrival;
             let data = self.driver.phys_read(r.src_loc, p.addr, p.len as usize)?;
             let seq = card_seq.entry(inv_idx).or_insert(0);
-            inputs.push(InputPacket { inv_idx, seq: *seq, arrival, data });
+            inputs.push(InputPacket {
+                inv_idx,
+                seq: *seq,
+                arrival,
+                data: Bytes::from(data),
+            });
             *seq += 1;
         }
 
@@ -278,7 +300,7 @@ impl Platform {
         // order at their line rate.
         inputs.sort_by_key(|p| (p.arrival, p.inv_idx, p.seq));
         // (inv idx, ready time, output bytes, seq).
-        let mut outputs: Vec<(usize, SimTime, Vec<u8>, u32)> = Vec::new();
+        let mut outputs: Vec<(usize, SimTime, Bytes, u32)> = Vec::new();
         let mut kernel_latency: HashMap<usize, SimDuration> = HashMap::new();
         // Packets destined to block-pipeline kernels, grouped per
         // (vfpga, tid), in order.
@@ -300,13 +322,21 @@ impl Platform {
             #[cfg(debug_assertions)]
             {
                 let mut stream = coyote_axi::AxiStream::new();
-                stream.push_packet(&p.data, r.inv.tid, 0).expect("bus-width packing");
-                let (back, tid) = stream.pop_packet().expect("well-formed").expect("one packet");
+                stream
+                    .push_packet(&p.data, r.inv.tid, 0)
+                    .expect("bus-width packing");
+                let (back, tid) = stream
+                    .pop_packet()
+                    .expect("well-formed")
+                    .expect("one packet");
                 debug_assert_eq!(back, p.data);
                 debug_assert_eq!(tid, r.inv.tid);
             }
             match timing {
-                KernelTiming::Streaming { bytes_per_cycle, latency_cycles } => {
+                KernelTiming::Streaming {
+                    bytes_per_cycle,
+                    latency_cycles,
+                } => {
                     let done_at = {
                         let slot = &mut self.vfpgas[v];
                         let start = p.arrival.max(slot.kernel_ready);
@@ -326,9 +356,11 @@ impl Platform {
                     };
                     self.deliver_user_interrupts(r.inv.vfpga, r.inv.hpid, done_at, irqs);
                     self.vfpgas[v].beats_out += beats_for(out.len(), DEFAULT_BUS_BYTES) as u64;
-                    let extra =
-                        kernel_latency.get(&p.inv_idx).copied().unwrap_or(SimDuration::ZERO);
-                    outputs.push((p.inv_idx, done_at + extra, out, p.seq));
+                    let extra = kernel_latency
+                        .get(&p.inv_idx)
+                        .copied()
+                        .unwrap_or(SimDuration::ZERO);
+                    outputs.push((p.inv_idx, done_at + extra, Bytes::from(out), p.seq));
                 }
                 KernelTiming::BlockPipeline { .. } => {
                     block_queues.entry((v, r.inv.tid)).or_default().push_back(p);
@@ -350,13 +382,15 @@ impl Platform {
                 .expect("checked above")
                 .timing()
             {
-                KernelTiming::BlockPipeline { block_bytes, overhead_cycles, .. } => {
-                    (block_bytes as u64, overhead_cycles as u64)
-                }
+                KernelTiming::BlockPipeline {
+                    block_bytes,
+                    overhead_cycles,
+                    ..
+                } => (block_bytes as u64, overhead_cycles as u64),
                 KernelTiming::Streaming { .. } => unreachable!("block queue"),
             };
             queues.sort_by_key(|(key, _)| key.1); // Deterministic thread order.
-            // Per-queue progress: (remaining blocks of head packet).
+                                                  // Per-queue progress: (remaining blocks of head packet).
             let mut heads: Vec<u64> = queues
                 .iter()
                 .map(|(_, q)| {
@@ -402,7 +436,7 @@ impl Platform {
                     let hpid = resolved[p.inv_idx].inv.hpid;
                     self.deliver_user_interrupts(v as u8, hpid, done, irqs);
                     self.vfpgas[v].beats_out += beats_for(out.len(), DEFAULT_BUS_BYTES) as u64;
-                    outputs.push((p.inv_idx, done, out, p.seq));
+                    outputs.push((p.inv_idx, done, Bytes::from(out), p.seq));
                     if let Some(next) = q.front() {
                         heads[qi] = (next.data.len() as u64).div_ceil(block_bytes).max(1);
                         heap.push(Reverse((next.arrival.max(done), qi)));
@@ -427,7 +461,9 @@ impl Platform {
                 *off += out.len() as u64;
                 let arrival = match dst_loc {
                     MemLocation::Host => {
-                        self.xdma.book_direct(ready, XdmaDir::C2H, out.len() as u64).arrival
+                        self.xdma
+                            .book_direct(ready, XdmaDir::C2H, out.len() as u64)
+                            .arrival
                     }
                     MemLocation::Card | MemLocation::Gpu => {
                         let virt_done = self.virt_server.admit(ready);
@@ -458,13 +494,15 @@ impl Platform {
                 MemLocation::Host => 0u8,
                 _ => 1,
             };
-            self.writeback.bump((r.inv.vfpga, rd_src), self.driver.host_mut());
+            self.writeback
+                .bump((r.inv.vfpga, rd_src), self.driver.host_mut());
             if let Some((dst_loc, _)) = r.dst {
                 let wr_src = match dst_loc {
                     MemLocation::Host => 3u8,
                     _ => 4,
                 };
-                self.writeback.bump((r.inv.vfpga, wr_src), self.driver.host_mut());
+                self.writeback
+                    .bump((r.inv.vfpga, wr_src), self.driver.host_mut());
             }
             completions.push(Completion {
                 invocation: r.inv.id,
@@ -503,7 +541,8 @@ impl Platform {
                 coyote_dma::IrqReason::User { vfpga, value },
                 at,
             );
-            self.driver.notify(hpid, coyote_driver::IrqEvent::User { vfpga, value });
+            self.driver
+                .notify(hpid, coyote_driver::IrqEvent::User { vfpga, value });
         }
     }
 }

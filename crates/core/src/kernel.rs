@@ -39,7 +39,10 @@ pub enum KernelTiming {
 impl KernelTiming {
     /// The pass-through default: one 64-byte beat per cycle.
     pub fn line_rate() -> KernelTiming {
-        KernelTiming::Streaming { bytes_per_cycle: 64, latency_cycles: 4 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: 64,
+            latency_cycles: 4,
+        }
     }
 }
 
@@ -105,7 +108,10 @@ pub struct Passthrough {
 
 impl Default for Passthrough {
     fn default() -> Self {
-        Passthrough { bytes: 0, streams: 1 }
+        Passthrough {
+            bytes: 0,
+            streams: 1,
+        }
     }
 }
 
@@ -127,7 +133,10 @@ impl Kernel for Passthrough {
     }
 
     fn timing(&self) -> KernelTiming {
-        KernelTiming::Streaming { bytes_per_cycle: 64 * self.streams, latency_cycles: 4 }
+        KernelTiming::Streaming {
+            bytes_per_cycle: 64 * self.streams,
+            latency_cycles: 4,
+        }
     }
 
     fn process_packet(&mut self, _tid: u16, data: &[u8]) -> Vec<u8> {
@@ -158,7 +167,10 @@ mod tests {
 
     #[test]
     fn line_rate_is_one_beat_per_cycle() {
-        let KernelTiming::Streaming { bytes_per_cycle, .. } = KernelTiming::line_rate() else {
+        let KernelTiming::Streaming {
+            bytes_per_cycle, ..
+        } = KernelTiming::line_rate()
+        else {
             panic!("line_rate is streaming");
         };
         // 64 B x 250 MHz = 16 GB/s, comfortably above the 12 GB/s host link.

@@ -163,7 +163,9 @@ impl Platform {
             CoyoteDriver::without_card_memory(config.device)
         };
         let _ = &mut driver;
-        let vfpgas = (0..config.n_vfpgas).map(|_| VfpgaState::new(&config)).collect();
+        let vfpgas = (0..config.n_vfpgas)
+            .map(|_| VfpgaState::new(&config))
+            .collect();
         let sniffer = config
             .sniffer_config
             .filter(|_| config.services.sniffer)
@@ -246,17 +248,23 @@ impl Platform {
     /// The TCP/IP stack (the second BALBOA network service), when the
     /// shell has networking.
     pub fn tcp_mut(&mut self) -> Result<&mut coyote_net::TcpStack, PlatformError> {
-        self.tcp.as_mut().ok_or(PlatformError::MissingService("networking (TCP/IP)"))
+        self.tcp
+            .as_mut()
+            .ok_or(PlatformError::MissingService("networking (TCP/IP)"))
     }
 
     /// A vFPGA slot.
     pub fn vfpga(&self, v: u8) -> Result<&VfpgaState, PlatformError> {
-        self.vfpgas.get(v as usize).ok_or(PlatformError::BadVfpga(v))
+        self.vfpgas
+            .get(v as usize)
+            .ok_or(PlatformError::BadVfpga(v))
     }
 
     /// Mutable vFPGA slot.
     pub fn vfpga_mut(&mut self, v: u8) -> Result<&mut VfpgaState, PlatformError> {
-        self.vfpgas.get_mut(v as usize).ok_or(PlatformError::BadVfpga(v))
+        self.vfpgas
+            .get_mut(v as usize)
+            .ok_or(PlatformError::BadVfpga(v))
     }
 
     /// Load user logic directly into a vFPGA (tests and the pre-built
@@ -268,9 +276,15 @@ impl Platform {
         kernel.define_csrs(&mut csr);
         slot.csr = csr;
         slot.pipeline = match timing {
-            KernelTiming::BlockPipeline { depth_cycles, ii_cycles, .. } => Some(
-                PipelineModel::new(params::SYS_CLOCK, depth_cycles as u64, ii_cycles as u64),
-            ),
+            KernelTiming::BlockPipeline {
+                depth_cycles,
+                ii_cycles,
+                ..
+            } => Some(PipelineModel::new(
+                params::SYS_CLOCK,
+                depth_cycles as u64,
+                ii_cycles as u64,
+            )),
             KernelTiming::Streaming { .. } => None,
         };
         slot.thread_ready.clear();
@@ -330,7 +344,10 @@ mod tests {
         assert!(Platform::load(ShellConfig::host_only(0)).is_err());
         let p = Platform::load(ShellConfig::host_only(2)).unwrap();
         assert_eq!(p.config().n_vfpgas, 2);
-        assert!(p.driver().card().is_none(), "host-only shell has no card memory");
+        assert!(
+            p.driver().card().is_none(),
+            "host-only shell has no card memory"
+        );
     }
 
     #[test]
@@ -342,13 +359,13 @@ mod tests {
     #[test]
     fn kernel_slots() {
         let mut p = Platform::load(ShellConfig::host_only(2)).unwrap();
-        assert!(matches!(
-            p.vfpga(0).map(|s| s.kernel.is_some()),
-            Ok(false)
-        ));
+        assert!(matches!(p.vfpga(0).map(|s| s.kernel.is_some()), Ok(false)));
         p.load_kernel(1, Box::new(Passthrough::default())).unwrap();
         assert!(p.vfpga(1).unwrap().kernel.is_some());
-        assert!(matches!(p.load_kernel(7, Box::new(Passthrough::default())), Err(PlatformError::BadVfpga(7))));
+        assert!(matches!(
+            p.load_kernel(7, Box::new(Passthrough::default())),
+            Err(PlatformError::BadVfpga(7))
+        ));
         p.unload_kernel(1).unwrap();
         assert!(p.vfpga(1).unwrap().kernel.is_none());
     }

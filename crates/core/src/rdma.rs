@@ -27,11 +27,15 @@ struct VirtualMemory<'a> {
 
 impl RdmaMemory for VirtualMemory<'_> {
     fn read(&self, vaddr: u64, len: usize) -> Result<Vec<u8>, String> {
-        self.driver.user_read(self.hpid, vaddr, len).map_err(|e| e.to_string())
+        self.driver
+            .user_read(self.hpid, vaddr, len)
+            .map_err(|e| e.to_string())
     }
 
     fn write(&mut self, vaddr: u64, data: &[u8]) -> Result<(), String> {
-        self.driver.user_write(self.hpid, vaddr, data).map_err(|e| e.to_string())
+        self.driver
+            .user_write(self.hpid, vaddr, data)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -44,7 +48,9 @@ pub struct BalboaService {
 impl BalboaService {
     /// An empty service (QPs created per connection).
     pub fn new() -> BalboaService {
-        BalboaService { qps: HashMap::new() }
+        BalboaService {
+            qps: HashMap::new(),
+        }
     }
 
     /// Number of active QPs.
@@ -63,7 +69,10 @@ impl Platform {
     /// Create an RC queue pair owned by `hpid` ("initiate Queue Pair (QP)
     /// numbers for RDMA connections", §7.3).
     pub fn rdma_create_qp(&mut self, hpid: u32, cfg: QpConfig) -> Result<u32, PlatformError> {
-        let balboa = self.balboa.as_mut().ok_or(PlatformError::MissingService("networking"))?;
+        let balboa = self
+            .balboa
+            .as_mut()
+            .ok_or(PlatformError::MissingService("networking"))?;
         let qpn = cfg.qpn;
         balboa.qps.insert(qpn, (hpid, QueuePair::new(cfg)));
         Ok(qpn)
@@ -71,7 +80,10 @@ impl Platform {
 
     /// Post a work request on a QP. Payload addresses are virtual.
     pub fn rdma_post(&mut self, qpn: u32, wr_id: u64, verb: Verb) -> Result<(), PlatformError> {
-        let balboa = self.balboa.as_mut().ok_or(PlatformError::MissingService("networking"))?;
+        let balboa = self
+            .balboa
+            .as_mut()
+            .ok_or(PlatformError::MissingService("networking"))?;
         let (_, qp) = balboa
             .qps
             .get_mut(&qpn)
@@ -83,10 +95,15 @@ impl Platform {
     /// Gather outbound frames from every QP (serialized wire bytes). Frames
     /// pass the TX side of the sniffer.
     pub fn net_poll_tx(&mut self, now: SimTime) -> Vec<Vec<u8>> {
-        let Some(balboa) = self.balboa.as_mut() else { return Vec::new() };
+        let Some(balboa) = self.balboa.as_mut() else {
+            return Vec::new();
+        };
         let mut frames = Vec::new();
         for (hpid, qp) in balboa.qps.values_mut() {
-            let mem = VirtualMemory { driver: &mut self.driver, hpid: *hpid };
+            let mem = VirtualMemory {
+                driver: &mut self.driver,
+                hpid: *hpid,
+            };
             for pkt in qp.poll_tx(&mem) {
                 frames.push(pkt.serialize());
             }
@@ -105,14 +122,19 @@ impl Platform {
         if let Some(sniffer) = self.sniffer.as_mut() {
             sniffer.observe(now, Direction::Rx, frame);
         }
-        let Some(balboa) = self.balboa.as_mut() else { return Vec::new() };
+        let Some(balboa) = self.balboa.as_mut() else {
+            return Vec::new();
+        };
         let Ok(pkt) = RocePacket::parse(frame) else {
             return Vec::new(); // Corrupt on the wire; the CMAC drops it.
         };
         let Some((hpid, qp)) = balboa.qps.get_mut(&pkt.dest_qp) else {
             return Vec::new();
         };
-        let mut mem = VirtualMemory { driver: &mut self.driver, hpid: *hpid };
+        let mut mem = VirtualMemory {
+            driver: &mut self.driver,
+            hpid: *hpid,
+        };
         let action = qp.on_rx(&pkt, &mut mem);
         let responses: Vec<Vec<u8>> = action.tx.iter().map(RocePacket::serialize).collect();
         if let Some(sniffer) = self.sniffer.as_mut() {
@@ -125,7 +147,9 @@ impl Platform {
 
     /// Fire every QP's retransmission timer (frames pass the TX sniffer).
     pub fn rdma_timeout(&mut self, now: SimTime) -> Vec<Vec<u8>> {
-        let Some(balboa) = self.balboa.as_mut() else { return Vec::new() };
+        let Some(balboa) = self.balboa.as_mut() else {
+            return Vec::new();
+        };
         let mut frames = Vec::new();
         for (_, qp) in balboa.qps.values_mut() {
             for pkt in qp.on_timeout() {
@@ -142,7 +166,9 @@ impl Platform {
 
     /// RDMA completions across all QPs.
     pub fn rdma_completions(&mut self) -> Vec<(u32, NetCompletion)> {
-        let Some(balboa) = self.balboa.as_mut() else { return Vec::new() };
+        let Some(balboa) = self.balboa.as_mut() else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for (&qpn, (_, qp)) in balboa.qps.iter_mut() {
             for c in qp.poll_completions() {

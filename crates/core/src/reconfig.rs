@@ -59,19 +59,24 @@ impl CRcnfg {
         let now = platform.now;
         let timing = platform
             .driver_mut()
-            .reconfigure(now, blob, from_disk)
+            .reconfigure_parsed(now, &bs, from_disk)
             .map_err(PlatformError::Reconfig)?;
 
         // Swap the dynamic layer to the new services.
-        platform.driver_mut().set_card(if new_config.services.memory_channels > 0 {
-            Some(CardMemory::with_channels(
-                CardMemKind::Hbm,
-                new_config.services.memory_channels,
-            ))
-        } else {
-            None
-        });
-        platform.balboa = new_config.services.networking.then(crate::rdma::BalboaService::new);
+        platform
+            .driver_mut()
+            .set_card(if new_config.services.memory_channels > 0 {
+                Some(CardMemory::with_channels(
+                    CardMemKind::Hbm,
+                    new_config.services.memory_channels,
+                ))
+            } else {
+                None
+            });
+        platform.balboa = new_config
+            .services
+            .networking
+            .then(crate::rdma::BalboaService::new);
         platform.tcp = new_config
             .services
             .networking
@@ -92,7 +97,9 @@ impl CRcnfg {
         // Reconfiguration completion interrupt (§5.1).
         platform.driver_mut().notify(
             self.hpid,
-            coyote_driver::IrqEvent::ReconfigDone { at: timing.program_done },
+            coyote_driver::IrqEvent::ReconfigDone {
+                at: timing.program_done,
+            },
         );
         Ok(timing)
     }
@@ -141,14 +148,16 @@ impl CRcnfg {
         let now = platform.now;
         let timing = platform
             .driver_mut()
-            .reconfigure(now, blob, from_disk)
+            .reconfigure_parsed(now, &bs, from_disk)
             .map_err(PlatformError::Reconfig)?;
         platform.load_kernel(vfpga, factory_kernel)?;
         platform.vfpga_mut(vfpga)?.loaded_digest = digest;
         platform.advance_to(timing.program_done);
         platform.driver_mut().notify(
             self.hpid,
-            coyote_driver::IrqEvent::ReconfigDone { at: timing.program_done },
+            coyote_driver::IrqEvent::ReconfigDone {
+                at: timing.program_done,
+            },
         );
         Ok(timing)
     }

@@ -59,7 +59,10 @@ impl AppScheduler {
         AppScheduler {
             apps: HashMap::new(),
             regions: vec![
-                RegionState { loaded: 0, last_used: SimTime::ZERO };
+                RegionState {
+                    loaded: 0,
+                    last_used: SimTime::ZERO
+                };
                 platform.config().n_vfpgas as usize
             ],
             hpid,
@@ -80,7 +83,12 @@ impl AppScheduler {
         F: Fn() -> Box<dyn crate::kernel::Kernel> + 'static,
     {
         platform.register_app(digest, factory);
-        self.apps.insert(digest, AppEntry { bitstreams: bitstreams.into_iter().collect() });
+        self.apps.insert(
+            digest,
+            AppEntry {
+                bitstreams: bitstreams.into_iter().collect(),
+            },
+        );
     }
 
     /// Current statistics.
@@ -135,7 +143,10 @@ impl AppScheduler {
         // "keeping certain frequently used shell bitstreams in memory").
         let rcnfg = CRcnfg::new(platform, self.hpid);
         let timing = rcnfg.reconfigure_app_bytes(platform, &blob, idx as u8, false)?;
-        self.regions[idx] = RegionState { loaded: digest, last_used: platform.now() };
+        self.regions[idx] = RegionState {
+            loaded: digest,
+            last_used: platform.now(),
+        };
         if evicting {
             self.stats.evictions += 1;
         } else {
@@ -154,22 +165,21 @@ mod tests {
 
     fn setup(n_vfpgas: u8) -> (Platform, AppScheduler, u64, u64) {
         let cfg = ShellConfig::host_memory(n_vfpgas, 8);
-        let apps: Vec<Vec<IpBlock>> =
-            (0..n_vfpgas).map(|_| vec![IpBlock::new(Ip::Hll)]).collect();
+        let apps: Vec<Vec<IpBlock>> = (0..n_vfpgas).map(|_| vec![IpBlock::new(Ip::Hll)]).collect();
         let shell = build_shell(&cfg, apps).expect("shell");
         let mut platform = Platform::load(cfg).expect("platform");
         let mut sched = AppScheduler::new(&mut platform, 1);
 
         let register = |platform: &mut Platform,
-                            sched: &mut AppScheduler,
-                            ip: Ip,
-                            factory: fn() -> Box<dyn crate::kernel::Kernel>|
+                        sched: &mut AppScheduler,
+                        ip: Ip,
+                        factory: fn() -> Box<dyn crate::kernel::Kernel>|
          -> u64 {
             let mut bitstreams = Vec::new();
             let mut digest = 0;
             for v in 0..n_vfpgas {
-                let app = build_app(&[IpBlock::new(ip.clone())], v, &shell.checkpoint)
-                    .expect("app flow");
+                let app =
+                    build_app(&[IpBlock::new(ip.clone())], v, &shell.checkpoint).expect("app flow");
                 digest = app.bitstream.digest();
                 bitstreams.push((v, app.bitstream.bytes().to_vec()));
             }
@@ -179,9 +189,12 @@ mod tests {
                 let bs = coyote_fabric::Bitstream::from_bytes(blob.clone()).expect("valid");
                 platform.register_app(bs.digest(), factory);
             }
-            sched.apps.insert(digest, AppEntry {
-                bitstreams: bitstreams.clone().into_iter().collect(),
-            });
+            sched.apps.insert(
+                digest,
+                AppEntry {
+                    bitstreams: bitstreams.clone().into_iter().collect(),
+                },
+            );
             // Also map every per-region digest to the same entry.
             for (_, blob) in &bitstreams {
                 let bs = coyote_fabric::Bitstream::from_bytes(blob.clone()).expect("valid");
@@ -208,7 +221,14 @@ mod tests {
         let (region2, t2) = sched.acquire(&mut p, hll).unwrap();
         assert_eq!(region, region2);
         assert_eq!(t2, SimDuration::ZERO, "hit needs no reconfiguration");
-        assert_eq!(sched.stats(), SchedulerStats { hits: 1, cold_loads: 1, evictions: 0 });
+        assert_eq!(
+            sched.stats(),
+            SchedulerStats {
+                hits: 1,
+                cold_loads: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]

@@ -26,12 +26,16 @@ impl Platform {
         remote_mac: MacAddr,
         remote_ip: [u8; 4],
     ) -> Result<(u16, u16), PlatformError> {
-        Ok(self.tcp_mut()?.connect(local_port, remote_port, remote_mac, remote_ip))
+        Ok(self
+            .tcp_mut()?
+            .connect(local_port, remote_port, remote_mac, remote_ip))
     }
 
     /// Gather outbound TCP frames (observed by the TX sniffer).
     pub fn tcp_poll_tx(&mut self, now: SimTime) -> Vec<Vec<u8>> {
-        let Some(tcp) = self.tcp.as_mut() else { return Vec::new() };
+        let Some(tcp) = self.tcp.as_mut() else {
+            return Vec::new();
+        };
         let frames = tcp.poll_tx();
         if let Some(sniffer) = self.sniffer.as_mut() {
             for f in &frames {
@@ -47,7 +51,9 @@ impl Platform {
         if let Some(sniffer) = self.sniffer.as_mut() {
             sniffer.observe(now, Direction::Rx, frame);
         }
-        let Some(tcp) = self.tcp.as_mut() else { return Vec::new() };
+        let Some(tcp) = self.tcp.as_mut() else {
+            return Vec::new();
+        };
         let responses = tcp.on_wire(frame);
         if let Some(sniffer) = self.sniffer.as_mut() {
             for f in &responses {

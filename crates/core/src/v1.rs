@@ -31,7 +31,9 @@ impl V1Platform {
     pub fn load(mut config: ShellConfig) -> Result<V1Platform, PlatformError> {
         config.n_host_streams = 1;
         config.n_card_streams = config.n_card_streams.min(1);
-        Ok(V1Platform { inner: Platform::load(config)? })
+        Ok(V1Platform {
+            inner: Platform::load(config)?,
+        })
     }
 
     /// Access the underlying platform (kernel loading, buffers, invokes).

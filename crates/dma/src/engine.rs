@@ -85,12 +85,8 @@ impl XdmaEngine {
     /// An engine with the calibrated U55C constants.
     pub fn new() -> XdmaEngine {
         XdmaEngine {
-            h2c: Interleaver::new(
-                LinkModel::new(params::HOST_LINK_BW, params::PCIE_LATENCY),
-            ),
-            c2h: Interleaver::new(
-                LinkModel::new(params::HOST_LINK_BW, params::PCIE_LATENCY),
-            ),
+            h2c: Interleaver::new(LinkModel::new(params::HOST_LINK_BW, params::PCIE_LATENCY)),
+            c2h: Interleaver::new(LinkModel::new(params::HOST_LINK_BW, params::PCIE_LATENCY)),
             remaining: HashMap::new(),
             next_id: 1,
             chunk: params::DEFAULT_PACKET_BYTES,
@@ -177,7 +173,12 @@ impl XdmaEngine {
         if job_done {
             self.remaining.remove(&job.id);
         }
-        Some(PacketDone { job, packet, transfer, job_done })
+        Some(PacketDone {
+            job,
+            packet,
+            transfer,
+            job_done,
+        })
     }
 
     /// Book one packet directly on a direction's link at or after `now`,
@@ -218,7 +219,13 @@ mod tests {
 
     fn job(engine: &mut XdmaEngine, tenant: u8, len: u64, dir: XdmaDir) -> DmaJob {
         let id = engine.next_job_id();
-        let j = DmaJob { id, dir, tenant, host_addr: 0, len };
+        let j = DmaJob {
+            id,
+            dir,
+            tenant,
+            host_addr: 0,
+            len,
+        };
         engine.submit(j);
         j
     }
@@ -246,7 +253,10 @@ mod tests {
         let h = e.book_all(SimTime::ZERO, XdmaDir::H2C);
         let c = e.book_all(SimTime::ZERO, XdmaDir::C2H);
         // Full duplex: both directions finish at the same instant.
-        assert_eq!(h.last().unwrap().transfer.done, c.last().unwrap().transfer.done);
+        assert_eq!(
+            h.last().unwrap().transfer.done,
+            c.last().unwrap().transfer.done
+        );
     }
 
     #[test]
@@ -265,7 +275,10 @@ mod tests {
         finishes.sort();
         assert_eq!(finishes.len(), 4);
         let spread = finishes[3].since(finishes[0]);
-        assert!(spread <= Bandwidth::gbps(12).time_for(4096) * 4, "spread {spread}");
+        assert!(
+            spread <= Bandwidth::gbps(12).time_for(4096) * 4,
+            "spread {spread}"
+        );
     }
 
     #[test]
@@ -281,14 +294,16 @@ mod tests {
             );
         }
         // In-order delivery: arrivals are non-decreasing.
-        assert!(done.windows(2).all(|w| w[1].transfer.arrival >= w[0].transfer.arrival));
+        assert!(done
+            .windows(2)
+            .all(|w| w[1].transfer.arrival >= w[0].transfer.arrival));
     }
 
     #[test]
     fn event_driven_pump_interleaves_late_arrivals() {
         let mut e = XdmaEngine::new();
         job(&mut e, 0, 64 << 10, XdmaDir::H2C); // 16 packets from tenant 0.
-        // Serve two packets, then tenant 1 arrives.
+                                                // Serve two packets, then tenant 1 arrives.
         let first = e.book_next(SimTime::ZERO, XdmaDir::H2C).unwrap();
         let second = e.book_next(first.transfer.done, XdmaDir::H2C).unwrap();
         job(&mut e, 1, 8 << 10, XdmaDir::H2C);
@@ -301,7 +316,11 @@ mod tests {
         }
         // Tenant 0 holds the current grant; from the next round tenant 1
         // interleaves 1:1.
-        assert_eq!(&order[..4], &[0, 1, 0, 1], "late tenant interleaves from the next round");
+        assert_eq!(
+            &order[..4],
+            &[0, 1, 0, 1],
+            "late tenant interleaves from the next round"
+        );
     }
 
     #[test]

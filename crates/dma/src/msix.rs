@@ -114,9 +114,22 @@ mod tests {
     fn fifo_delivery() {
         let mut msix = MsiX::new();
         msix.raise(0, IrqReason::ReconfigDone, SimTime::ZERO);
-        msix.raise(1, IrqReason::User { vfpga: 0, value: 42 }, SimTime::ZERO);
+        msix.raise(
+            1,
+            IrqReason::User {
+                vfpga: 0,
+                value: 42,
+            },
+            SimTime::ZERO,
+        );
         assert_eq!(msix.take().unwrap().reason, IrqReason::ReconfigDone);
-        assert_eq!(msix.take().unwrap().reason, IrqReason::User { vfpga: 0, value: 42 });
+        assert_eq!(
+            msix.take().unwrap().reason,
+            IrqReason::User {
+                vfpga: 0,
+                value: 42
+            }
+        );
         assert!(msix.take().is_none());
     }
 

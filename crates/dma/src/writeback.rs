@@ -32,7 +32,8 @@ impl WritebackTable {
     /// Register a counter living at `host_addr`, zeroing it.
     pub fn register(&mut self, key: WbKey, host_addr: u64, host: &mut HostMemory) {
         self.counters.insert(key, host_addr);
-        host.write(host_addr, &0u32.to_le_bytes()).expect("counter address valid");
+        host.write(host_addr, &0u32.to_le_bytes())
+            .expect("counter address valid");
     }
 
     /// Address of a counter.
@@ -47,13 +48,16 @@ impl WritebackTable {
     pub fn bump(&mut self, key: WbKey, host: &mut HostMemory) {
         if let Some(&addr) = self.counters.get(&key) {
             let cur = Self::read_counter_at(addr, host);
-            host.write(addr, &(cur + 1).to_le_bytes()).expect("counter address valid");
+            host.write(addr, &(cur + 1).to_le_bytes())
+                .expect("counter address valid");
         }
     }
 
     /// Poll a counter the way software does: a plain host-memory read.
     pub fn read_counter(&self, key: WbKey, host: &HostMemory) -> Option<u32> {
-        self.counters.get(&key).map(|&addr| Self::read_counter_at(addr, host))
+        self.counters
+            .get(&key)
+            .map(|&addr| Self::read_counter_at(addr, host))
     }
 
     fn read_counter_at(addr: u64, host: &HostMemory) -> u32 {

@@ -170,7 +170,10 @@ impl CoyoteDriver {
 
     /// `close`: tear down every mapping and allocation of the process.
     pub fn close(&mut self, hpid: Hpid) -> Result<(), DriverError> {
-        let ctx = self.processes.remove(&hpid).ok_or(DriverError::NoSuchProcess(hpid))?;
+        let ctx = self
+            .processes
+            .remove(&hpid)
+            .ok_or(DriverError::NoSuchProcess(hpid))?;
         for (loc, paddr, len) in ctx.owned {
             match loc {
                 MemLocation::Host => self
@@ -197,7 +200,9 @@ impl CoyoteDriver {
     }
 
     fn ctx(&mut self, hpid: Hpid) -> Result<&mut ProcessCtx, DriverError> {
-        self.processes.get_mut(&hpid).ok_or(DriverError::NoSuchProcess(hpid))
+        self.processes
+            .get_mut(&hpid)
+            .ok_or(DriverError::NoSuchProcess(hpid))
     }
 
     /// The page table of a process (read-only; used by the shell MMU's
@@ -235,9 +240,14 @@ impl CoyoteDriver {
         if !self.processes.contains_key(&hpid) {
             return Err(DriverError::NoSuchProcess(hpid));
         }
-        let range = self.host.alloc_buffer(len, page).ok_or(DriverError::NoMemory)?;
+        let range = self
+            .host
+            .alloc_buffer(len, page)
+            .ok_or(DriverError::NoMemory)?;
         let ctx = self.processes.get_mut(&hpid).expect("checked above");
-        let mapping = ctx.space.map_fresh(len, page, MemLocation::Host, range.start, true);
+        let mapping = ctx
+            .space
+            .map_fresh(len, page, MemLocation::Host, range.start, true);
         ctx.owned.push((MemLocation::Host, range.start, range.len));
         Ok(mapping)
     }
@@ -253,7 +263,9 @@ impl CoyoteDriver {
         let total = PageSize::Huge2M.pages_for(len) * PageSize::Huge2M.bytes();
         let paddr = card.alloc_buffer(total).ok_or(DriverError::NoMemory)?;
         let ctx = self.processes.get_mut(&hpid).expect("checked above");
-        let mapping = ctx.space.map_fresh(len, PageSize::Huge2M, MemLocation::Card, paddr, true);
+        let mapping = ctx
+            .space
+            .map_fresh(len, PageSize::Huge2M, MemLocation::Card, paddr, true);
         debug_assert_eq!(mapping.len, total);
         ctx.owned.push((MemLocation::Card, paddr, total));
         Ok(mapping)
@@ -269,7 +281,9 @@ impl CoyoteDriver {
         let total = PageSize::Small.pages_for(len) * PageSize::Small.bytes();
         let paddr = gpu.alloc_buffer(total).ok_or(DriverError::NoMemory)?;
         let ctx = self.processes.get_mut(&hpid).expect("checked above");
-        let mapping = ctx.space.map_fresh(len, PageSize::Small, MemLocation::Gpu, paddr, true);
+        let mapping = ctx
+            .space
+            .map_fresh(len, PageSize::Small, MemLocation::Gpu, paddr, true);
         debug_assert_eq!(mapping.len, total);
         ctx.owned.push((MemLocation::Gpu, paddr, total));
         Ok(mapping)
@@ -284,7 +298,10 @@ impl CoyoteDriver {
 
     /// User-space read through a virtual address.
     pub fn user_read(&self, hpid: Hpid, vaddr: u64, len: usize) -> Result<Vec<u8>, DriverError> {
-        let ctx = self.processes.get(&hpid).ok_or(DriverError::NoSuchProcess(hpid))?;
+        let ctx = self
+            .processes
+            .get(&hpid)
+            .ok_or(DriverError::NoSuchProcess(hpid))?;
         let t = ctx
             .space
             .translate(vaddr, false, None)
@@ -299,7 +316,9 @@ impl CoyoteDriver {
         write: bool,
     ) -> Result<coyote_mmu::Translation, DriverError> {
         let ctx = self.ctx(hpid)?;
-        ctx.space.translate(vaddr, write, None).map_err(DriverError::Fault)
+        ctx.space
+            .translate(vaddr, write, None)
+            .map_err(DriverError::Fault)
     }
 
     /// Raw physical write to one of the memories.
@@ -310,9 +329,10 @@ impl CoyoteDriver {
         data: &[u8],
     ) -> Result<(), DriverError> {
         match loc {
-            MemLocation::Host => {
-                self.host.write(paddr, data).map_err(|_| DriverError::BadAddress(paddr))
-            }
+            MemLocation::Host => self
+                .host
+                .write(paddr, data)
+                .map_err(|_| DriverError::BadAddress(paddr)),
             MemLocation::Card => self
                 .card
                 .as_mut()
@@ -336,9 +356,10 @@ impl CoyoteDriver {
         len: usize,
     ) -> Result<Vec<u8>, DriverError> {
         match loc {
-            MemLocation::Host => {
-                self.host.read(paddr, len).map_err(|_| DriverError::BadAddress(paddr))
-            }
+            MemLocation::Host => self
+                .host
+                .read(paddr, len)
+                .map_err(|_| DriverError::BadAddress(paddr)),
             MemLocation::Card => self
                 .card
                 .as_ref()
@@ -369,7 +390,10 @@ impl CoyoteDriver {
         vaddr: u64,
         wanted: MemLocation,
     ) -> Result<(Mapping, SimTime), DriverError> {
-        let ctx = self.processes.get(&hpid).ok_or(DriverError::NoSuchProcess(hpid))?;
+        let ctx = self
+            .processes
+            .get(&hpid)
+            .ok_or(DriverError::NoSuchProcess(hpid))?;
         let mapping = *ctx
             .space
             .find(vaddr)
@@ -380,11 +404,12 @@ impl CoyoteDriver {
         }
         // Allocate the destination.
         let dst_paddr = match wanted {
-            MemLocation::Host => self
-                .host
-                .alloc_buffer(mapping.len, mapping.page)
-                .ok_or(DriverError::NoMemory)?
-                .start,
+            MemLocation::Host => {
+                self.host
+                    .alloc_buffer(mapping.len, mapping.page)
+                    .ok_or(DriverError::NoMemory)?
+                    .start
+            }
             MemLocation::Card => self
                 .card
                 .as_mut()
@@ -402,7 +427,9 @@ impl CoyoteDriver {
         let data = self.phys_read(mapping.loc, mapping.paddr, mapping.len as usize)?;
         self.phys_write(wanted, dst_paddr, &data)?;
         // Timing: fixed fault cost + bulk transfer on the migration channel.
-        let xfer = self.migration_link.transmit(now + params::PAGE_FAULT_LATENCY, mapping.len);
+        let xfer = self
+            .migration_link
+            .transmit(now + params::PAGE_FAULT_LATENCY, mapping.len);
         // Release the old physical range and retarget the mapping.
         self.release_phys(mapping.loc, mapping.paddr, mapping.len);
         let ctx = self.processes.get_mut(&hpid).expect("checked above");
@@ -419,9 +446,9 @@ impl CoyoteDriver {
 
     fn release_phys(&mut self, loc: MemLocation, paddr: u64, len: u64) {
         match loc {
-            MemLocation::Host => {
-                self.host.free_buffer(coyote_mem::host::PhysRange { start: paddr, len })
-            }
+            MemLocation::Host => self
+                .host
+                .free_buffer(coyote_mem::host::PhysRange { start: paddr, len }),
             MemLocation::Card => {
                 if let Some(card) = &mut self.card {
                     card.free_buffer(paddr, len);
@@ -475,7 +502,10 @@ mod tests {
     fn card_alloc_requires_memory_shell() {
         let mut d = CoyoteDriver::without_card_memory(DeviceKind::U55C);
         d.open(1);
-        assert_eq!(d.alloc_card(1, 4096).unwrap_err(), DriverError::NoCardMemory);
+        assert_eq!(
+            d.alloc_card(1, 4096).unwrap_err(),
+            DriverError::NoCardMemory
+        );
     }
 
     #[test]
@@ -486,7 +516,9 @@ mod tests {
         let data: Vec<u8> = (0..(1 << 20)).map(|i| (i % 249) as u8).collect();
         d.user_write(1, m.vaddr, &data).unwrap();
 
-        let (new_m, done) = d.service_fault(SimTime::ZERO, 1, m.vaddr, MemLocation::Card).unwrap();
+        let (new_m, done) = d
+            .service_fault(SimTime::ZERO, 1, m.vaddr, MemLocation::Card)
+            .unwrap();
         assert_eq!(new_m.loc, MemLocation::Card);
         assert!(done > SimTime::ZERO + params::PAGE_FAULT_LATENCY);
         // Data followed the migration; virtual address is unchanged.
@@ -494,7 +526,10 @@ mod tests {
         assert_eq!(d.migrations(), 1);
         // Old host range was released.
         let ctx_alloc = d.host().allocated();
-        assert!(ctx_alloc < (1 << 20) + (2 << 20), "host side freed, got {ctx_alloc}");
+        assert!(
+            ctx_alloc < (1 << 20) + (2 << 20),
+            "host side freed, got {ctx_alloc}"
+        );
     }
 
     #[test]
@@ -502,7 +537,9 @@ mod tests {
         let mut d = CoyoteDriver::new(DeviceKind::U55C);
         d.open(1);
         let m = d.alloc_host(1, 4096, PageSize::Small).unwrap();
-        let (_, done) = d.service_fault(SimTime::ZERO, 1, m.vaddr, MemLocation::Host).unwrap();
+        let (_, done) = d
+            .service_fault(SimTime::ZERO, 1, m.vaddr, MemLocation::Host)
+            .unwrap();
         assert_eq!(done, SimTime::ZERO);
         assert_eq!(d.migrations(), 0);
     }
@@ -514,20 +551,37 @@ mod tests {
         d.open(1);
         let m = d.alloc_host(1, 8192, PageSize::Small).unwrap();
         d.user_write(1, m.vaddr, b"to the gpu").unwrap();
-        let (new_m, _) = d.service_fault(SimTime::ZERO, 1, m.vaddr, MemLocation::Gpu).unwrap();
+        let (new_m, _) = d
+            .service_fault(SimTime::ZERO, 1, m.vaddr, MemLocation::Gpu)
+            .unwrap();
         assert_eq!(new_m.loc, MemLocation::Gpu);
         assert_eq!(d.user_read(1, m.vaddr, 10).unwrap(), b"to the gpu");
         // The bytes physically live in GPU memory.
-        assert_eq!(d.gpu().unwrap().read(new_m.paddr, 10).unwrap(), b"to the gpu");
+        assert_eq!(
+            d.gpu().unwrap().read(new_m.paddr, 10).unwrap(),
+            b"to the gpu"
+        );
     }
 
     #[test]
     fn interrupts_reach_the_process_eventfd() {
         let mut d = CoyoteDriver::new(DeviceKind::U55C);
         d.open(1);
-        d.notify(1, IrqEvent::User { vfpga: 0, value: 0xCAFE });
+        d.notify(
+            1,
+            IrqEvent::User {
+                vfpga: 0,
+                value: 0xCAFE,
+            },
+        );
         let ev = d.eventfd_mut(1).unwrap().poll().unwrap();
-        assert_eq!(ev, IrqEvent::User { vfpga: 0, value: 0xCAFE });
+        assert_eq!(
+            ev,
+            IrqEvent::User {
+                vfpga: 0,
+                value: 0xCAFE
+            }
+        );
     }
 
     #[test]
@@ -537,6 +591,9 @@ mod tests {
         d.open(2);
         let m1 = d.alloc_host(1, 4096, PageSize::Small).unwrap();
         // Process 2 cannot read through process 1's mapping.
-        assert!(matches!(d.user_read(2, m1.vaddr, 4), Err(DriverError::Fault(_))));
+        assert!(matches!(
+            d.user_read(2, m1.vaddr, 4),
+            Err(DriverError::Fault(_))
+        ));
     }
 }

@@ -116,16 +116,28 @@ impl CoyoteDriver {
                 .map_err(IoctlError::Driver),
             Ioctl::ReadCfg => Ok(IoctlReply::Cfg {
                 device: self.device().name(),
-                shell_digest: self.config_state().image(PartitionId::Shell).map(|i| i.digest),
+                shell_digest: self
+                    .config_state()
+                    .image(PartitionId::Shell)
+                    .map(|i| i.digest),
                 reconfig_count: self.config_state().reconfig_count(),
             }),
-            Ioctl::Reconfigure { hpid, blob, from_disk } => {
+            Ioctl::Reconfigure {
+                hpid,
+                blob,
+                from_disk,
+            } => {
                 let timing = self
                     .reconfigure(now, &blob, from_disk)
                     .map_err(IoctlError::Reconfig)?;
                 // Completion is signalled by interrupt (§5.1: "sources of
                 // interrupts, such as ... reconfiguration completions").
-                self.notify(hpid, crate::irq::IrqEvent::ReconfigDone { at: timing.program_done });
+                self.notify(
+                    hpid,
+                    crate::irq::IrqEvent::ReconfigDone {
+                        at: timing.program_done,
+                    },
+                );
                 Ok(IoctlReply::Reconfig(timing))
             }
         }
@@ -141,21 +153,35 @@ mod tests {
     #[test]
     fn register_map_unregister_sequence() {
         let mut d = CoyoteDriver::new(DeviceKind::U55C);
-        d.ioctl(SimTime::ZERO, Ioctl::RegisterPid { hpid: 7 }).unwrap();
-        let reply = d
-            .ioctl(SimTime::ZERO, Ioctl::MapUser { hpid: 7, len: 4096, page: PageSize::Huge2M })
+        d.ioctl(SimTime::ZERO, Ioctl::RegisterPid { hpid: 7 })
             .unwrap();
-        let IoctlReply::Mapping(m) = reply else { panic!("expected mapping") };
+        let reply = d
+            .ioctl(
+                SimTime::ZERO,
+                Ioctl::MapUser {
+                    hpid: 7,
+                    len: 4096,
+                    page: PageSize::Huge2M,
+                },
+            )
+            .unwrap();
+        let IoctlReply::Mapping(m) = reply else {
+            panic!("expected mapping")
+        };
         assert!(m.len >= 4096);
-        d.ioctl(SimTime::ZERO, Ioctl::UnregisterPid { hpid: 7 }).unwrap();
+        d.ioctl(SimTime::ZERO, Ioctl::UnregisterPid { hpid: 7 })
+            .unwrap();
         assert!(!d.is_open(7));
     }
 
     #[test]
     fn read_cfg_reflects_loaded_shell() {
         let mut d = CoyoteDriver::new(DeviceKind::U55C);
-        let IoctlReply::Cfg { device, shell_digest, .. } =
-            d.ioctl(SimTime::ZERO, Ioctl::ReadCfg).unwrap()
+        let IoctlReply::Cfg {
+            device,
+            shell_digest,
+            ..
+        } = d.ioctl(SimTime::ZERO, Ioctl::ReadCfg).unwrap()
         else {
             panic!("expected cfg")
         };
@@ -166,11 +192,18 @@ mod tests {
         let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 100, 0xBEEF);
         d.ioctl(
             SimTime::ZERO,
-            Ioctl::Reconfigure { hpid: 1, blob: bs.bytes().to_vec(), from_disk: false },
+            Ioctl::Reconfigure {
+                hpid: 1,
+                blob: bs.bytes().to_vec(),
+                from_disk: false,
+            },
         )
         .unwrap();
-        let IoctlReply::Cfg { shell_digest, reconfig_count, .. } =
-            d.ioctl(SimTime::ZERO, Ioctl::ReadCfg).unwrap()
+        let IoctlReply::Cfg {
+            shell_digest,
+            reconfig_count,
+            ..
+        } = d.ioctl(SimTime::ZERO, Ioctl::ReadCfg).unwrap()
         else {
             panic!("expected cfg")
         };
@@ -187,7 +220,14 @@ mod tests {
     fn errors_propagate() {
         let mut d = CoyoteDriver::new(DeviceKind::U55C);
         let err = d
-            .ioctl(SimTime::ZERO, Ioctl::MapUser { hpid: 99, len: 1, page: PageSize::Small })
+            .ioctl(
+                SimTime::ZERO,
+                Ioctl::MapUser {
+                    hpid: 99,
+                    len: 1,
+                    page: PageSize::Small,
+                },
+            )
             .unwrap_err();
         assert_eq!(err, IoctlError::Driver(DriverError::NoSuchProcess(99)));
     }

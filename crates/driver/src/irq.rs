@@ -57,7 +57,11 @@ impl std::fmt::Debug for EventFd {
 impl EventFd {
     /// A fresh channel.
     pub fn new() -> EventFd {
-        EventFd { queue: VecDeque::new(), callback: None, delivered: 0 }
+        EventFd {
+            queue: VecDeque::new(),
+            callback: None,
+            delivered: 0,
+        }
     }
 
     /// Install a callback invoked synchronously on every signal.

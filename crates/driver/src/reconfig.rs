@@ -60,8 +60,22 @@ impl CoyoteDriver {
         blob: &[u8],
         from_disk: bool,
     ) -> Result<ReconfigTiming, ReconfigError> {
+        let bs = Bitstream::from_bytes(blob.to_vec()).map_err(ReconfigError::Bitstream)?;
+        self.reconfigure_parsed(now, &bs, from_disk)
+    }
+
+    /// Load an already-parsed bitstream. Callers that validated the blob
+    /// themselves (e.g. to look up its digest) use this to avoid a second
+    /// copy + CRC pass over a multi-megabyte image; the modeled latencies
+    /// are identical to [`CoyoteDriver::reconfigure`].
+    pub fn reconfigure_parsed(
+        &mut self,
+        now: SimTime,
+        bs: &Bitstream,
+        from_disk: bool,
+    ) -> Result<ReconfigTiming, ReconfigError> {
         // Stage 1: read from disk.
-        let len = blob.len() as u64;
+        let len = bs.len();
         let read_done = if from_disk {
             now + params::BITSTREAM_DISK_BW.time_for(len)
         } else {
@@ -69,12 +83,12 @@ impl CoyoteDriver {
         };
         // Stage 2: copy into kernel space.
         let copy_done = read_done + params::KERNEL_COPY_BW.time_for(len);
-        // Stage 3: validate + program through the ICAP via a dedicated XDMA
-        // channel.
-        let bs = Bitstream::from_bytes(blob.to_vec()).map_err(ReconfigError::Bitstream)?;
+        // Stage 3: program through the ICAP via a dedicated XDMA channel.
         let program_start = copy_done + params::RECONFIG_SETUP;
         let (icap, state) = self.icap_and_state();
-        let xfer = icap.program(program_start, &bs, state).map_err(ReconfigError::Config)?;
+        let xfer = icap
+            .program(program_start, bs, state)
+            .map_err(ReconfigError::Config)?;
         let program_done = xfer.done;
         Ok(ReconfigTiming {
             read_done,
@@ -147,7 +161,10 @@ mod tests {
         let mid = blob.len() / 2;
         blob[mid] ^= 0xFF;
         let err = d.reconfigure(SimTime::ZERO, &blob, false).unwrap_err();
-        assert!(matches!(err, ReconfigError::Bitstream(BitstreamError::CrcMismatch { .. })));
+        assert!(matches!(
+            err,
+            ReconfigError::Bitstream(BitstreamError::CrcMismatch { .. })
+        ));
         assert_eq!(d.config_state().reconfig_count(), 0);
     }
 
@@ -169,6 +186,9 @@ mod tests {
         let mut d = CoyoteDriver::new(DeviceKind::U55C);
         let blob = shell_blob(ShellProfile::HostMemory);
         d.reconfigure(SimTime::ZERO, &blob, false).unwrap();
-        assert_eq!(d.config_state().image(PartitionId::Shell).unwrap().digest, 0xAA);
+        assert_eq!(
+            d.config_state().image(PartitionId::Shell).unwrap().digest,
+            0xAA
+        );
     }
 }

@@ -23,8 +23,8 @@
 //! 32+n*376 4    CRC-32 over everything before it
 //! ```
 
-use crate::crc::{crc32, Crc32};
-use crate::device::{DeviceKind, FRAME_PAYLOAD_BYTES, FRAME_RECORD_BYTES};
+use crate::crc::Crc32;
+use crate::device::{DeviceKind, FRAME_RECORD_BYTES};
 
 /// Header length in bytes.
 pub const HEADER_BYTES: usize = 32;
@@ -103,11 +103,17 @@ impl std::fmt::Display for BitstreamError {
             BitstreamError::BadVersion(v) => write!(f, "unsupported bitstream version {v}"),
             BitstreamError::UnknownDevice(id) => write!(f, "unknown device id {id:#06x}"),
             BitstreamError::BadKind(k) => write!(f, "unknown bitstream kind {k}"),
-            BitstreamError::Truncated { expected_frames, have_bytes } => {
+            BitstreamError::Truncated {
+                expected_frames,
+                have_bytes,
+            } => {
                 write!(f, "truncated: header promises {expected_frames} frames, {have_bytes} bytes present")
             }
             BitstreamError::CrcMismatch { stored, computed } => {
-                write!(f, "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
         }
     }
@@ -130,45 +136,68 @@ impl Bitstream {
     /// design identified by `digest`. Frame payloads are a deterministic
     /// function of `(digest, frame index)` so distinct designs produce
     /// distinct, reproducible blobs.
-    pub fn assemble(device: DeviceKind, kind: BitstreamKind, frames: u64, digest: u64) -> Bitstream {
+    pub fn assemble(
+        device: DeviceKind,
+        kind: BitstreamKind,
+        frames: u64,
+        digest: u64,
+    ) -> Bitstream {
         let body_len = HEADER_BYTES + frames as usize * FRAME_RECORD_BYTES;
-        let mut bytes = Vec::with_capacity(body_len + 4);
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
-        bytes.extend_from_slice(&device.id().to_le_bytes());
+        // One sized allocation, filled in place: shell images run to tens
+        // of megabytes, so per-frame `extend` bookkeeping on the growth
+        // path is measurable against the splitmix fill itself.
+        let mut bytes = vec![0u8; body_len + 4];
+        bytes[0..4].copy_from_slice(MAGIC);
+        bytes[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        bytes[6..8].copy_from_slice(&device.id().to_le_bytes());
         let (k, v) = kind.code();
-        bytes.push(k);
-        bytes.push(v);
-        bytes.extend_from_slice(&frames.to_le_bytes());
-        bytes.extend_from_slice(&digest.to_le_bytes());
-        bytes.extend_from_slice(&[0u8; 6]);
-        debug_assert_eq!(bytes.len(), HEADER_BYTES);
+        bytes[8] = k;
+        bytes[9] = v;
+        bytes[10..18].copy_from_slice(&frames.to_le_bytes());
+        bytes[18..26].copy_from_slice(&digest.to_le_bytes());
 
         // Frame records: address + pseudo-random payload derived from the
         // digest. A splitmix64 step per word keeps assembly fast.
-        let mut word = digest ^ 0x9E37_79B9_7F4A_7C15;
-        let mut next = move || {
-            word = word.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = word;
+        #[inline(always)]
+        fn next(word: &mut u64) -> u64 {
+            *word = word.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *word;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
-        };
-        for addr in 0..frames {
-            bytes.extend_from_slice(&(addr as u32).to_le_bytes());
-            let mut payload = [0u8; FRAME_PAYLOAD_BYTES];
-            for chunk in payload.chunks_exact_mut(8) {
-                chunk.copy_from_slice(&next().to_le_bytes());
+        }
+        let mut word = digest ^ 0x9E37_79B9_7F4A_7C15;
+        // The CRC is folded into the fill loop: each record is checksummed
+        // while it is still cache-hot, instead of re-reading the multi-MB
+        // blob from memory in a second pass.
+        let mut crc = Crc32::new();
+        crc.update(&bytes[..HEADER_BYTES]);
+        let records = &mut bytes[HEADER_BYTES..body_len];
+        for (addr, record) in records.chunks_exact_mut(FRAME_RECORD_BYTES).enumerate() {
+            let record: &mut [u8; FRAME_RECORD_BYTES] =
+                record.try_into().expect("exact record chunk");
+            record[..4].copy_from_slice(&(addr as u32).to_le_bytes());
+            let payload = &mut record[4..];
+            let mut chunks = payload.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&next(&mut word).to_le_bytes());
             }
             // 372 = 46 * 8 + 4: fill the tail from one more word.
-            let tail = FRAME_PAYLOAD_BYTES - FRAME_PAYLOAD_BYTES % 8;
-            let last = next().to_le_bytes();
-            payload[tail..].copy_from_slice(&last[..FRAME_PAYLOAD_BYTES - tail]);
-            bytes.extend_from_slice(&payload);
+            let tail = chunks.into_remainder();
+            let last = next(&mut word).to_le_bytes();
+            let n = tail.len();
+            tail.copy_from_slice(&last[..n]);
+            crc.update(record);
         }
-        let crc = crc32(&bytes);
-        bytes.extend_from_slice(&crc.to_le_bytes());
-        Bitstream { bytes, device, kind, frames, digest }
+        let crc = crc.finish();
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        Bitstream {
+            bytes,
+            device,
+            kind,
+            frames,
+            digest,
+        }
     }
 
     /// Parse and validate a blob.
@@ -185,8 +214,8 @@ impl Bitstream {
         }
         let dev_id = u16::from_le_bytes([bytes[6], bytes[7]]);
         let device = DeviceKind::from_id(dev_id).ok_or(BitstreamError::UnknownDevice(dev_id))?;
-        let kind =
-            BitstreamKind::from_code(bytes[8], bytes[9]).ok_or(BitstreamError::BadKind(bytes[8]))?;
+        let kind = BitstreamKind::from_code(bytes[8], bytes[9])
+            .ok_or(BitstreamError::BadKind(bytes[8]))?;
         let frames = u64::from_le_bytes(bytes[10..18].try_into().expect("slice len 8"));
         let digest = u64::from_le_bytes(bytes[18..26].try_into().expect("slice len 8"));
         let frame_bytes = (bytes.len() - HEADER_BYTES - 4) as u64;
@@ -202,15 +231,20 @@ impl Bitstream {
             }
         }
         let body = &bytes[..bytes.len() - 4];
-        let stored =
-            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("slice len 4"));
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("slice len 4"));
         let mut c = Crc32::new();
         c.update(body);
         let computed = c.finish();
         if stored != computed {
             return Err(BitstreamError::CrcMismatch { stored, computed });
         }
-        Ok(Bitstream { bytes, device, kind, frames, digest })
+        Ok(Bitstream {
+            bytes,
+            device,
+            kind,
+            frames,
+            digest,
+        })
     }
 
     /// The raw blob (what sits in the `.bin` file).
@@ -258,7 +292,12 @@ mod tests {
 
     #[test]
     fn assemble_parse_roundtrip() {
-        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::App { vfpga: 3 }, 100, 0xABCD);
+        let bs = Bitstream::assemble(
+            DeviceKind::U55C,
+            BitstreamKind::App { vfpga: 3 },
+            100,
+            0xABCD,
+        );
         let parsed = Bitstream::from_bytes(bs.bytes().to_vec()).unwrap();
         assert_eq!(parsed.device(), DeviceKind::U55C);
         assert_eq!(parsed.kind(), BitstreamKind::App { vfpga: 3 });
@@ -300,7 +339,10 @@ mod tests {
         let body_end = bytes.len() - 4;
         let crc = crate::crc::crc32(&bytes[..body_end]).to_le_bytes();
         bytes[body_end..].copy_from_slice(&crc);
-        assert!(matches!(Bitstream::from_bytes(bytes), Err(BitstreamError::Truncated { .. })));
+        assert!(matches!(
+            Bitstream::from_bytes(bytes),
+            Err(BitstreamError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -308,7 +350,10 @@ mod tests {
         let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 1, 0);
         let mut bad_magic = bs.bytes().to_vec();
         bad_magic[0] = b'X';
-        assert_eq!(Bitstream::from_bytes(bad_magic).unwrap_err(), BitstreamError::BadMagic);
+        assert_eq!(
+            Bitstream::from_bytes(bad_magic).unwrap_err(),
+            BitstreamError::BadMagic
+        );
 
         let mut bad_version = bs.bytes().to_vec();
         bad_version[4] = 9;

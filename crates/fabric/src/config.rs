@@ -114,7 +114,11 @@ pub struct ConfigState {
 impl ConfigState {
     /// A blank device of the given kind.
     pub fn new(device: DeviceKind) -> ConfigState {
-        ConfigState { device, loaded: HashMap::new(), reconfig_count: 0 }
+        ConfigState {
+            device,
+            loaded: HashMap::new(),
+            reconfig_count: 0,
+        }
     }
 
     /// The card's device kind.
@@ -134,7 +138,11 @@ impl ConfigState {
 
     /// Commit a validated bitstream at `at`.
     fn commit(&mut self, bs: &Bitstream, at: SimTime) {
-        let image = LoadedImage { digest: bs.digest(), frames: bs.frames(), at };
+        let image = LoadedImage {
+            digest: bs.digest(),
+            frames: bs.frames(),
+            at,
+        };
         match bs.kind() {
             BitstreamKind::Full => {
                 // Full reprogramming wipes every partition.
@@ -145,7 +153,8 @@ impl ConfigState {
             BitstreamKind::Shell => {
                 // A shell image rewrites the services *and* every vFPGA
                 // region (§4: fail-safe against dangling service deps).
-                self.loaded.retain(|id, _| !matches!(id, PartitionId::Vfpga(_) | PartitionId::Shell));
+                self.loaded
+                    .retain(|id, _| !matches!(id, PartitionId::Vfpga(_) | PartitionId::Shell));
                 self.loaded.insert(PartitionId::Shell, image);
             }
             BitstreamKind::App { vfpga } => {
@@ -167,7 +176,10 @@ pub struct ConfigPort {
 impl ConfigPort {
     /// Instantiate a port of the given kind.
     pub fn new(kind: ConfigPortKind) -> ConfigPort {
-        ConfigPort { kind, link: LinkModel::new(kind.bandwidth(), SimDuration::ZERO) }
+        ConfigPort {
+            kind,
+            link: LinkModel::new(kind.bandwidth(), SimDuration::ZERO),
+        }
     }
 
     /// Which controller this is.
@@ -187,7 +199,10 @@ impl ConfigPort {
         state: &mut ConfigState,
     ) -> Result<Transfer, ConfigError> {
         if bs.device() != state.device() {
-            return Err(ConfigError::DeviceMismatch { card: state.device(), bitstream: bs.device() });
+            return Err(ConfigError::DeviceMismatch {
+                card: state.device(),
+                bitstream: bs.device(),
+            });
         }
         let xfer = self.link.transmit(now, bs.len());
         state.commit(bs, xfer.done);
@@ -254,16 +269,21 @@ mod tests {
         port.program(SimTime::ZERO, &app, &mut state).unwrap();
         assert_eq!(state.image(PartitionId::Vfpga(2)).unwrap().digest, 77);
 
-        port.program(SimTime::ZERO, &shell_bs(99), &mut state).unwrap();
+        port.program(SimTime::ZERO, &shell_bs(99), &mut state)
+            .unwrap();
         assert_eq!(state.image(PartitionId::Shell).unwrap().digest, 99);
-        assert!(state.image(PartitionId::Vfpga(2)).is_none(), "shell reconfig rewrote the app region");
+        assert!(
+            state.image(PartitionId::Vfpga(2)).is_none(),
+            "shell reconfig rewrote the app region"
+        );
     }
 
     #[test]
     fn app_reconfig_leaves_shell_intact() {
         let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
         let mut state = ConfigState::new(DeviceKind::U55C);
-        port.program(SimTime::ZERO, &shell_bs(1), &mut state).unwrap();
+        port.program(SimTime::ZERO, &shell_bs(1), &mut state)
+            .unwrap();
         let app = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::App { vfpga: 0 }, 50, 2);
         port.program(SimTime::ZERO, &app, &mut state).unwrap();
         assert_eq!(state.image(PartitionId::Shell).unwrap().digest, 1);
@@ -275,16 +295,24 @@ mod tests {
     fn programming_serializes_on_the_port() {
         let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
         let mut state = ConfigState::new(DeviceKind::U55C);
-        let a = port.program(SimTime::ZERO, &shell_bs(1), &mut state).unwrap();
-        let b = port.program(SimTime::ZERO, &shell_bs(2), &mut state).unwrap();
-        assert_eq!(b.start, a.done, "second programming queues behind the first");
+        let a = port
+            .program(SimTime::ZERO, &shell_bs(1), &mut state)
+            .unwrap();
+        let b = port
+            .program(SimTime::ZERO, &shell_bs(2), &mut state)
+            .unwrap();
+        assert_eq!(
+            b.start, a.done,
+            "second programming queues behind the first"
+        );
     }
 
     #[test]
     fn full_reprogram_resets_everything() {
         let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
         let mut state = ConfigState::new(DeviceKind::U55C);
-        port.program(SimTime::ZERO, &shell_bs(5), &mut state).unwrap();
+        port.program(SimTime::ZERO, &shell_bs(5), &mut state)
+            .unwrap();
         let full = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 100, 6);
         port.program(SimTime::ZERO, &full, &mut state).unwrap();
         assert_eq!(state.image(PartitionId::Shell).unwrap().digest, 6);

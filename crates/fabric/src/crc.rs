@@ -7,23 +7,41 @@
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// 256-entry lookup table, built at compile time.
-static TABLE: [u32; 256] = build_table();
+/// Slice-by-16 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[k][i]` advances byte `i` over `k`
+/// further zero bytes, letting `update` fold sixteen input bytes per step
+/// instead of one (bitstream blobs run to tens of megabytes, so the CRC is
+/// the assembly and reconfiguration paths' dominant wall-clock cost).
+static TABLES: [[u32; 256]; 16] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
 /// Streaming CRC-32 state.
@@ -46,10 +64,52 @@ impl Crc32 {
 
     /// Absorb bytes.
     pub fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
-            self.state = (self.state >> 8) ^ TABLE[idx];
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(16);
+        for chunk in &mut chunks {
+            let a = crc ^ u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes"));
+            let b = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+            let c = u32::from_le_bytes(chunk[8..12].try_into().expect("4 bytes"));
+            let d = u32::from_le_bytes(chunk[12..16].try_into().expect("4 bytes"));
+            crc = TABLES[15][(a & 0xFF) as usize]
+                ^ TABLES[14][((a >> 8) & 0xFF) as usize]
+                ^ TABLES[13][((a >> 16) & 0xFF) as usize]
+                ^ TABLES[12][(a >> 24) as usize]
+                ^ TABLES[11][(b & 0xFF) as usize]
+                ^ TABLES[10][((b >> 8) & 0xFF) as usize]
+                ^ TABLES[9][((b >> 16) & 0xFF) as usize]
+                ^ TABLES[8][(b >> 24) as usize]
+                ^ TABLES[7][(c & 0xFF) as usize]
+                ^ TABLES[6][((c >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((c >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(c >> 24) as usize]
+                ^ TABLES[3][(d & 0xFF) as usize]
+                ^ TABLES[2][((d >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((d >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(d >> 24) as usize];
         }
+        // Fold one 8-byte step out of the sub-16 remainder, so streaming
+        // callers that update in record-sized pieces (16k + 8 bytes) never
+        // hit the byte loop.
+        let mut rest = chunks.remainder();
+        if rest.len() >= 8 {
+            let lo = crc ^ u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+            let hi = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+            rest = &rest[8..];
+        }
+        for &b in rest {
+            let idx = ((crc ^ b as u32) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLES[0][idx];
+        }
+        self.state = crc;
     }
 
     /// Final checksum.
@@ -74,7 +134,10 @@ mod tests {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

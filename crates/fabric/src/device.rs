@@ -121,7 +121,12 @@ impl Device {
             ColumnKind::Uram,
         ];
         let column_kinds = (0..cols).map(|c| pattern[(c % 10) as usize]).collect();
-        Device { kind, cols, rows, column_kinds }
+        Device {
+            kind,
+            cols,
+            rows,
+            column_kinds,
+        }
     }
 
     /// Which card this is.
@@ -161,7 +166,9 @@ impl Device {
     /// (`col0..col1`, `row0..row1`, half-open).
     pub fn resources_in(&self, col0: u32, col1: u32, row0: u32, row1: u32) -> ResourceVec {
         let rows = (row1 - row0) as u64;
-        (col0..col1).map(|c| self.column_kind(c).tile_resources() * rows).sum()
+        (col0..col1)
+            .map(|c| self.column_kind(c).tile_resources() * rows)
+            .sum()
     }
 
     /// Configuration frames for a tile count.

@@ -32,7 +32,12 @@ impl Rect {
     /// Construct a rectangle; `col0 < col1` and `row0 < row1` required.
     pub fn new(col0: u32, row0: u32, col1: u32, row1: u32) -> Rect {
         assert!(col0 < col1 && row0 < row1, "degenerate rect");
-        Rect { col0, row0, col1, row1 }
+        Rect {
+            col0,
+            row0,
+            col1,
+            row1,
+        }
     }
 
     /// Tile count.
@@ -178,8 +183,14 @@ impl Floorplan {
 
         let app_c0 = shell_c0 + profile.service_cols();
         let mut partitions = vec![
-            Partition { id: PartitionId::Static, rect: static_rect },
-            Partition { id: PartitionId::Shell, rect: shell_rect },
+            Partition {
+                id: PartitionId::Static,
+                rect: static_rect,
+            },
+            Partition {
+                id: PartitionId::Shell,
+                rect: shell_rect,
+            },
         ];
         let band = rows / n_vfpgas as u32;
         for v in 0..n_vfpgas {
@@ -191,7 +202,8 @@ impl Floorplan {
             });
         }
         let fp = Floorplan { device, partitions };
-        fp.validate(&dev).expect("preset floorplan is valid by construction");
+        fp.validate(&dev)
+            .expect("preset floorplan is valid by construction");
         fp
     }
 
@@ -246,7 +258,10 @@ impl Floorplan {
                 }
                 PartitionId::Static => {
                     if p.rect.overlaps(&shell) {
-                        return Err(FloorplanError::Overlap(PartitionId::Static, PartitionId::Shell));
+                        return Err(FloorplanError::Overlap(
+                            PartitionId::Static,
+                            PartitionId::Shell,
+                        ));
                     }
                 }
                 PartitionId::Shell => {}
@@ -359,15 +374,27 @@ mod tests {
         let fp = Floorplan::custom(
             DeviceKind::U55C,
             vec![
-                Partition { id: PartitionId::Shell, rect: Rect::new(8, 0, 60, 100) },
-                Partition { id: PartitionId::Vfpga(0), rect: Rect::new(20, 0, 40, 60) },
-                Partition { id: PartitionId::Vfpga(1), rect: Rect::new(30, 40, 50, 100) },
+                Partition {
+                    id: PartitionId::Shell,
+                    rect: Rect::new(8, 0, 60, 100),
+                },
+                Partition {
+                    id: PartitionId::Vfpga(0),
+                    rect: Rect::new(20, 0, 40, 60),
+                },
+                Partition {
+                    id: PartitionId::Vfpga(1),
+                    rect: Rect::new(30, 40, 50, 100),
+                },
             ],
         );
         let dev = Device::new(DeviceKind::U55C);
         assert_eq!(
             fp.validate(&dev),
-            Err(FloorplanError::Overlap(PartitionId::Vfpga(0), PartitionId::Vfpga(1)))
+            Err(FloorplanError::Overlap(
+                PartitionId::Vfpga(0),
+                PartitionId::Vfpga(1)
+            ))
         );
     }
 
@@ -376,8 +403,14 @@ mod tests {
         let fp = Floorplan::custom(
             DeviceKind::U55C,
             vec![
-                Partition { id: PartitionId::Shell, rect: Rect::new(8, 0, 40, 100) },
-                Partition { id: PartitionId::Vfpga(0), rect: Rect::new(38, 0, 45, 50) },
+                Partition {
+                    id: PartitionId::Shell,
+                    rect: Rect::new(8, 0, 40, 100),
+                },
+                Partition {
+                    id: PartitionId::Vfpga(0),
+                    rect: Rect::new(38, 0, 45, 50),
+                },
             ],
         );
         let dev = Device::new(DeviceKind::U55C);
@@ -388,7 +421,10 @@ mod tests {
     fn missing_shell_rejected() {
         let fp = Floorplan::custom(
             DeviceKind::U55C,
-            vec![Partition { id: PartitionId::Static, rect: Rect::new(0, 0, 8, 100) }],
+            vec![Partition {
+                id: PartitionId::Static,
+                rect: Rect::new(0, 0, 8, 100),
+            }],
         );
         let dev = Device::new(DeviceKind::U55C);
         assert_eq!(fp.validate(&dev), Err(FloorplanError::MissingShell));

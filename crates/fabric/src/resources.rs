@@ -25,16 +25,32 @@ pub struct ResourceVec {
 
 impl ResourceVec {
     /// The zero bundle.
-    pub const ZERO: ResourceVec = ResourceVec { lut: 0, ff: 0, bram: 0, uram: 0, dsp: 0 };
+    pub const ZERO: ResourceVec = ResourceVec {
+        lut: 0,
+        ff: 0,
+        bram: 0,
+        uram: 0,
+        dsp: 0,
+    };
 
     /// Convenience constructor.
     pub fn new(lut: u64, ff: u64, bram: u64, uram: u64, dsp: u64) -> Self {
-        ResourceVec { lut, ff, bram, uram, dsp }
+        ResourceVec {
+            lut,
+            ff,
+            bram,
+            uram,
+            dsp,
+        }
     }
 
     /// A LUT/FF-only bundle (plain logic).
     pub fn logic(lut: u64, ff: u64) -> Self {
-        ResourceVec { lut, ff, ..Self::ZERO }
+        ResourceVec {
+            lut,
+            ff,
+            ..Self::ZERO
+        }
     }
 
     /// True if every component of `self` fits within `capacity`.
@@ -196,7 +212,9 @@ mod tests {
     fn utilization_with_zero_capacity() {
         let cap = ResourceVec::new(100, 100, 0, 0, 0);
         assert_eq!(ResourceVec::logic(10, 10).utilization(&cap), 0.1);
-        assert!(ResourceVec::new(0, 0, 1, 0, 0).utilization(&cap).is_infinite());
+        assert!(ResourceVec::new(0, 0, 1, 0, 0)
+            .utilization(&cap)
+            .is_infinite());
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub struct HlsConfig {
 impl HlsConfig {
     /// Defaults matching the paper's deployment (250 MHz, reuse 8).
     pub fn new(backend: Backend) -> HlsConfig {
-        HlsConfig { backend, clock_period_ns: 4, reuse_factor: 8 }
+        HlsConfig {
+            backend,
+            clock_period_ns: 4,
+            reuse_factor: 8,
+        }
     }
 }
 
@@ -76,7 +80,11 @@ impl HlsModel {
                 })
                 .collect(),
         };
-        HlsModel { spec, config, compiled }
+        HlsModel {
+            spec,
+            config,
+            compiled,
+        }
     }
 
     /// The source spec.
@@ -99,7 +107,9 @@ impl HlsModel {
     /// a host+memory shell checkpoint and reports resources + build time.
     pub fn build(&self) -> Result<BuildOutput, PlatformError> {
         let shell_cfg = ShellConfig::host_memory(1, 8);
-        let ip = IpBlock::new(Ip::NnInference { params: self.compiled.param_count() });
+        let ip = IpBlock::new(Ip::NnInference {
+            params: self.compiled.param_count(),
+        });
         let shell = coyote::build::build_shell(&shell_cfg, vec![vec![ip.clone()]])?;
         let app = coyote::build::build_app(std::slice::from_ref(&ip), 0, &shell.checkpoint)?;
         Ok(BuildOutput {
@@ -169,7 +179,11 @@ impl CoyoteOverlay {
         let input_width = network.input_width();
         platform.load_kernel(0, Box::new(NnKernel::new(network)))?;
         let thread = CThread::create(platform, 0, 0x4E4E)?;
-        Ok(CoyoteOverlay { thread, classes, input_width })
+        Ok(CoyoteOverlay {
+            thread,
+            classes,
+            input_width,
+        })
     }
 
     /// `overlay.predict(X, ...)`: stream the batch directly from host
@@ -186,9 +200,11 @@ impl CoyoteOverlay {
         let src = self.thread.get_mem(platform, in_len)?;
         let dst = self.thread.get_mem(platform, out_len.max(64))?;
         self.thread.write(platform, src, &bytes)?;
-        let c = self
-            .thread
-            .invoke_sync(platform, Oper::LocalTransfer, &SgEntry::local(src, dst, in_len))?;
+        let c = self.thread.invoke_sync(
+            platform,
+            Oper::LocalTransfer,
+            &SgEntry::local(src, dst, in_len),
+        )?;
         let out = self.thread.read(platform, dst, out_len as usize)?;
         let classes = argmax_rows(&out, self.classes);
         let latency = c.latency();
@@ -220,7 +236,11 @@ impl PynqOverlay {
         let input_width = network.input_width();
         platform.load_kernel(0, Box::new(NnKernel::new(network)))?;
         let thread = CThread::create(platform, 0, 0x504E)?;
-        Ok(PynqOverlay { thread, classes, input_width })
+        Ok(PynqOverlay {
+            thread,
+            classes,
+            input_width,
+        })
     }
 
     /// Baseline predict: copy the batch host -> HBM, run the kernel from
@@ -244,12 +264,17 @@ impl PynqOverlay {
         self.thread
             .invoke_sync(platform, Oper::MigrateToCard, &SgEntry::source(src, in_len))?;
         // Kernel consumes from card memory.
-        let c = self
-            .thread
-            .invoke_sync(platform, Oper::LocalTransfer, &SgEntry::local(src, dst, in_len))?;
+        let c = self.thread.invoke_sync(
+            platform,
+            Oper::LocalTransfer,
+            &SgEntry::local(src, dst, in_len),
+        )?;
         // Results return to the host.
-        self.thread
-            .invoke_sync(platform, Oper::MigrateToHost, &SgEntry::source(dst, out_len.max(64)))?;
+        self.thread.invoke_sync(
+            platform,
+            Oper::MigrateToHost,
+            &SgEntry::source(dst, out_len.max(64)),
+        )?;
         let out = self.thread.read(platform, dst, out_len as usize)?;
         // The Python runtime's per-call control steps.
         let end = platform.now() + PYNQ_CALL_OVERHEAD;
@@ -307,7 +332,10 @@ mod tests {
         assert_eq!(pred_c, emu);
         assert_eq!(pred_p, emu, "both backends compute the same classes");
         let speedup = rep_p.latency.as_secs_f64() / rep_c.latency.as_secs_f64();
-        assert!(speedup > 8.0, "Coyote v2 only {speedup:.1}x faster (Fig. 12 expects ~10x)");
+        assert!(
+            speedup > 8.0,
+            "Coyote v2 only {speedup:.1}x faster (Fig. 12 expects ~10x)"
+        );
     }
 
     #[test]

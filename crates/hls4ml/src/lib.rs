@@ -32,5 +32,7 @@
 pub mod backend;
 pub mod model;
 
-pub use backend::{Backend, BuildOutput, CoyoteOverlay, HlsConfig, HlsModel, InferenceReport, PynqOverlay};
+pub use backend::{
+    Backend, BuildOutput, CoyoteOverlay, HlsConfig, HlsModel, InferenceReport, PynqOverlay,
+};
 pub use model::{intrusion_detection_model, sample_batch, LayerSpec, ModelSpec};

@@ -86,7 +86,9 @@ pub fn intrusion_detection_model(seed: u64) -> ModelSpec {
             weights: (0..inputs * outputs)
                 .map(|_| (rng.gen_f64() as f32 * 2.0 - 1.0) * scale)
                 .collect(),
-            biases: (0..outputs).map(|_| rng.gen_f64() as f32 * 0.2 - 0.1).collect(),
+            biases: (0..outputs)
+                .map(|_| rng.gen_f64() as f32 * 0.2 - 0.1)
+                .collect(),
             activation,
         }
     };
@@ -105,7 +107,11 @@ pub fn intrusion_detection_model(seed: u64) -> ModelSpec {
 pub fn sample_batch(model: &ModelSpec, rows: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = Xorshift64Star::new(seed ^ 0xDA7A);
     (0..rows)
-        .map(|_| (0..model.input_width()).map(|_| rng.gen_f64() as f32).collect())
+        .map(|_| {
+            (0..model.input_width())
+                .map(|_| rng.gen_f64() as f32)
+                .collect()
+        })
         .collect()
 }
 
@@ -119,7 +125,10 @@ mod tests {
         m.validate().unwrap();
         assert_eq!(m.input_width(), 593);
         assert_eq!(m.output_width(), 2);
-        assert_eq!(m.param_count(), (593 * 64 + 64 + 64 * 64 + 64 + 64 * 2 + 2) as u64);
+        assert_eq!(
+            m.param_count(),
+            (593 * 64 + 64 + 64 * 64 + 64 + 64 * 2 + 2) as u64
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ impl RangeAlloc {
         if capacity > 0 {
             free.insert(0, capacity);
         }
-        RangeAlloc { capacity, free, allocated: 0 }
+        RangeAlloc {
+            capacity,
+            free,
+            allocated: 0,
+        }
     }
 
     /// Total managed bytes.
@@ -74,7 +78,10 @@ impl RangeAlloc {
         if let Some((&n, _)) = self.free.range(start..).next() {
             assert!(start + len <= n, "double free at {start:#x}");
         }
-        self.allocated = self.allocated.checked_sub(len).expect("free exceeds allocated");
+        self.allocated = self
+            .allocated
+            .checked_sub(len)
+            .expect("free exceeds allocated");
         // Coalesce with successor.
         let mut new_start = start;
         let mut new_len = len;
@@ -124,7 +131,9 @@ mod tests {
     fn alignment_respected() {
         let mut a = RangeAlloc::new(4 << 30);
         a.alloc(100, 1).unwrap();
-        let huge = a.alloc(2 << 20, 1 << 30).unwrap_or_else(|| panic!("no space"));
+        let huge = a
+            .alloc(2 << 20, 1 << 30)
+            .unwrap_or_else(|| panic!("no space"));
         assert_eq!(huge % (1 << 30), 0, "1 GB alignment for 1 GB huge pages");
     }
 

@@ -112,7 +112,10 @@ impl CardMemory {
 
     /// Change the stripe granularity (a power of two).
     pub fn set_stripe_bytes(&mut self, stripe: u64) {
-        assert!(stripe.is_power_of_two() && stripe >= 64, "bad stripe size {stripe}");
+        assert!(
+            stripe.is_power_of_two() && stripe >= 64,
+            "bad stripe size {stripe}"
+        );
         self.stripe_bytes = stripe;
     }
 
@@ -154,7 +157,11 @@ impl CardMemory {
 
     /// Completion instant of a booked access.
     pub fn completion_of(transfers: &[Transfer]) -> SimTime {
-        transfers.iter().map(|t| t.arrival).max().unwrap_or(SimTime::ZERO)
+        transfers
+            .iter()
+            .map(|t| t.arrival)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Write data.
@@ -201,7 +208,9 @@ mod tests {
         assert_eq!(transfers.len(), 16);
         let done = CardMemory::completion_of(&transfers);
         // 16 stripes over 4 channels: 4 serialized stripes per channel.
-        let per_stripe = CardMemKind::Hbm.channel_bandwidth().time_for(hbm.stripe_bytes());
+        let per_stripe = CardMemKind::Hbm
+            .channel_bandwidth()
+            .time_for(hbm.stripe_bytes());
         let expected = SimTime::ZERO + per_stripe * 4 + CardMemKind::Hbm.latency();
         assert_eq!(done, expected);
         // Every channel moved the same number of bytes.

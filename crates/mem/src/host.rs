@@ -60,7 +60,10 @@ pub struct HostMemory {
 impl HostMemory {
     /// A host with `capacity` bytes of DRAM.
     pub fn new(capacity: u64) -> HostMemory {
-        HostMemory { store: SparseBytes::new(capacity), alloc: RangeAlloc::new(capacity) }
+        HostMemory {
+            store: SparseBytes::new(capacity),
+            alloc: RangeAlloc::new(capacity),
+        }
     }
 
     /// Total DRAM.

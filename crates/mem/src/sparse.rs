@@ -20,7 +20,10 @@ pub struct SparseBytes {
 impl SparseBytes {
     /// A store of `capacity` addressable bytes.
     pub fn new(capacity: u64) -> SparseBytes {
-        SparseBytes { blocks: BTreeMap::new(), capacity }
+        SparseBytes {
+            blocks: BTreeMap::new(),
+            capacity,
+        }
     }
 
     /// Addressable size.
@@ -34,13 +37,19 @@ impl SparseBytes {
     }
 
     fn check(&self, addr: u64, len: usize) -> Result<(), MemAccessError> {
-        let end = addr.checked_add(len as u64).ok_or(MemAccessError::OutOfRange {
-            addr,
-            len,
-            capacity: self.capacity,
-        })?;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(MemAccessError::OutOfRange {
+                addr,
+                len,
+                capacity: self.capacity,
+            })?;
         if end > self.capacity {
-            return Err(MemAccessError::OutOfRange { addr, len, capacity: self.capacity });
+            return Err(MemAccessError::OutOfRange {
+                addr,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -114,8 +123,15 @@ pub enum MemAccessError {
 impl std::fmt::Display for MemAccessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemAccessError::OutOfRange { addr, len, capacity } => {
-                write!(f, "access [{addr:#x}, +{len}) exceeds capacity {capacity:#x}")
+            MemAccessError::OutOfRange {
+                addr,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "access [{addr:#x}, +{len}) exceeds capacity {capacity:#x}"
+                )
             }
         }
     }

@@ -30,12 +30,18 @@ pub struct MmuConfig {
 impl MmuConfig {
     /// The default configuration: 4 KB sTLB + 2 MB lTLB.
     pub fn default_2m() -> MmuConfig {
-        MmuConfig { stlb: TlbConfig::small_default(), ltlb: TlbConfig::huge_default() }
+        MmuConfig {
+            stlb: TlbConfig::small_default(),
+            ltlb: TlbConfig::huge_default(),
+        }
     }
 
     /// The 1 GB huge-page configuration of §9.3 scenario #1.
     pub fn huge_1g() -> MmuConfig {
-        MmuConfig { stlb: TlbConfig::small_default(), ltlb: TlbConfig::huge_1g() }
+        MmuConfig {
+            stlb: TlbConfig::small_default(),
+            ltlb: TlbConfig::huge_1g(),
+        }
     }
 
     /// SRAM cost of both TLBs (feeds the resource model).
@@ -79,9 +85,8 @@ impl TranslateOutcome {
     /// accounted separately by the driver).
     pub fn latency(&self) -> SimDuration {
         match self {
-            TranslateOutcome::Hit { latency, .. } | TranslateOutcome::MissFilled { latency, .. } => {
-                *latency
-            }
+            TranslateOutcome::Hit { latency, .. }
+            | TranslateOutcome::MissFilled { latency, .. } => *latency,
             TranslateOutcome::Faulted(_) => SimDuration::ZERO,
         }
     }
@@ -99,7 +104,12 @@ pub struct Mmu {
 impl Mmu {
     /// Build an MMU.
     pub fn new(config: MmuConfig) -> Mmu {
-        Mmu { config, stlb: Tlb::new(config.stlb), ltlb: Tlb::new(config.ltlb), faults: 0 }
+        Mmu {
+            config,
+            stlb: Tlb::new(config.stlb),
+            ltlb: Tlb::new(config.ltlb),
+            faults: 0,
+        }
     }
 
     /// Geometry.
@@ -168,13 +178,19 @@ impl Mmu {
                     });
                 }
             }
-            return TranslateOutcome::Hit { translation: base, latency: params::TLB_HIT_LATENCY };
+            return TranslateOutcome::Hit {
+                translation: base,
+                latency: params::TLB_HIT_LATENCY,
+            };
         }
         // Driver fallback.
         match space.translate(vaddr, write, wanted) {
             Ok(t) => {
                 self.install(hpid, vaddr, space, t);
-                TranslateOutcome::MissFilled { translation: t, latency: params::TLB_MISS_LATENCY }
+                TranslateOutcome::MissFilled {
+                    translation: t,
+                    latency: params::TLB_MISS_LATENCY,
+                }
             }
             Err(fault) => {
                 self.faults += 1;
@@ -197,14 +213,20 @@ impl Mmu {
         // Cache the page-base translation so any offset within the page
         // hits: stored paddr = exact paddr minus the in-page offset.
         let page_base = vaddr & !(page.bytes() - 1);
-        let base = Translation { paddr: t.paddr - (vaddr - page_base), ..t };
+        let base = Translation {
+            paddr: t.paddr - (vaddr - page_base),
+            ..t
+        };
         tlb.insert(hpid, page_base, base);
     }
 
     /// Resolve a TLB hit's page-base translation to the exact address.
     pub fn resolve(base: Translation, vaddr: u64, page_bytes: u64) -> Translation {
         let off = vaddr & (page_bytes - 1);
-        Translation { paddr: base.paddr + off, ..base }
+        Translation {
+            paddr: base.paddr + off,
+            ..base
+        }
     }
 
     /// Invalidate all entries of a process (teardown / migration storm).
@@ -241,7 +263,11 @@ impl VirtServer {
 
     /// A server with an explicit per-request service time.
     pub fn with_service(service: SimDuration) -> VirtServer {
-        VirtServer { service, busy_until: SimTime::ZERO, served: 0 }
+        VirtServer {
+            service,
+            busy_until: SimTime::ZERO,
+            served: 0,
+        }
     }
 
     /// Admit one request at or after `now`; returns the instant the request
@@ -286,7 +312,10 @@ mod tests {
         assert_eq!(first.latency(), params::TLB_MISS_LATENCY);
 
         let second = mmu.translate(1, va + 200, false, None, &space);
-        assert!(matches!(second, TranslateOutcome::Hit { .. }), "same page now hits");
+        assert!(
+            matches!(second, TranslateOutcome::Hit { .. }),
+            "same page now hits"
+        );
         assert_eq!(second.latency(), params::TLB_HIT_LATENCY);
     }
 
@@ -344,7 +373,10 @@ mod tests {
         let mut mmu = Mmu::new(MmuConfig::default_2m());
         let (space, va) = space_with(PageSize::Small, MemLocation::Host);
         let out = mmu.translate(1, va, false, Some(MemLocation::Card), &space);
-        assert!(matches!(out, TranslateOutcome::Faulted(Fault::WrongLocation { .. })));
+        assert!(matches!(
+            out,
+            TranslateOutcome::Faulted(Fault::WrongLocation { .. })
+        ));
         assert_eq!(mmu.faults(), 1);
     }
 
@@ -357,7 +389,10 @@ mod tests {
         // A card-targeted access hits the cached entry but the location
         // disagrees: the MMU raises the fault from the cached state.
         let out = mmu.translate(1, va, false, Some(MemLocation::Card), &space);
-        assert!(matches!(out, TranslateOutcome::Faulted(Fault::WrongLocation { .. })));
+        assert!(matches!(
+            out,
+            TranslateOutcome::Faulted(Fault::WrongLocation { .. })
+        ));
     }
 
     #[test]
@@ -380,7 +415,8 @@ mod tests {
         for _ in 0..n {
             done = server.admit(SimTime::ZERO);
         }
-        let rate = coyote_sim::time::rate(n * params::DEFAULT_PACKET_BYTES, done.since(SimTime::ZERO));
+        let rate =
+            coyote_sim::time::rate(n * params::DEFAULT_PACKET_BYTES, done.since(SimTime::ZERO));
         assert!((rate.as_gbps_f64() - 136.5).abs() < 1.5, "got {rate:?}");
     }
 }

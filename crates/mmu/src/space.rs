@@ -85,8 +85,15 @@ impl std::fmt::Display for Fault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Fault::Unmapped { vaddr } => write!(f, "unmapped address {vaddr:#x}"),
-            Fault::WrongLocation { vaddr, current, wanted } => {
-                write!(f, "page at {vaddr:#x} is in {current:?}, access wants {wanted:?}")
+            Fault::WrongLocation {
+                vaddr,
+                current,
+                wanted,
+            } => {
+                write!(
+                    f,
+                    "page at {vaddr:#x} is in {current:?}, access wants {wanted:?}"
+                )
             }
             Fault::Protection { vaddr } => write!(f, "write to read-only page {vaddr:#x}"),
         }
@@ -108,7 +115,10 @@ impl AddressSpace {
     /// An empty address space. Virtual allocation starts above zero so a
     /// null pointer never translates.
     pub fn new() -> AddressSpace {
-        AddressSpace { mappings: BTreeMap::new(), next_vaddr: 1 << 30 }
+        AddressSpace {
+            mappings: BTreeMap::new(),
+            next_vaddr: 1 << 30,
+        }
     }
 
     /// Pick a fresh virtual range for a new mapping of `len` bytes with the
@@ -124,7 +134,14 @@ impl AddressSpace {
         let total = page.pages_for(len) * page.bytes();
         let vaddr = next_aligned(self.next_vaddr, page.bytes());
         self.next_vaddr = vaddr + total;
-        let m = Mapping { vaddr, len: total, page, loc, paddr, writable };
+        let m = Mapping {
+            vaddr,
+            len: total,
+            page,
+            loc,
+            paddr,
+            writable,
+        };
         self.mappings.insert(vaddr, m);
         m
     }
@@ -176,15 +193,28 @@ impl AddressSpace {
         }
         if let Some(w) = wanted {
             if w != m.loc {
-                return Err(Fault::WrongLocation { vaddr, current: m.loc, wanted: w });
+                return Err(Fault::WrongLocation {
+                    vaddr,
+                    current: m.loc,
+                    wanted: w,
+                });
             }
         }
-        Ok(Translation { paddr: m.paddr + (vaddr - m.vaddr), loc: m.loc, writable: m.writable })
+        Ok(Translation {
+            paddr: m.paddr + (vaddr - m.vaddr),
+            loc: m.loc,
+            writable: m.writable,
+        })
     }
 
     /// Move the mapping containing `vaddr` to a new location/physical base
     /// (after the driver migrated the data). Returns the old mapping.
-    pub fn migrate(&mut self, vaddr: u64, new_loc: MemLocation, new_paddr: PhysAddr) -> Option<Mapping> {
+    pub fn migrate(
+        &mut self,
+        vaddr: u64,
+        new_loc: MemLocation,
+        new_paddr: PhysAddr,
+    ) -> Option<Mapping> {
         let key = self.find(vaddr)?.vaddr;
         let m = self.mappings.get_mut(&key).expect("key just found");
         let old = *m;
@@ -238,7 +268,10 @@ mod tests {
     #[test]
     fn unmapped_faults() {
         let space = AddressSpace::new();
-        assert_eq!(space.translate(0x1234, false, None), Err(Fault::Unmapped { vaddr: 0x1234 }));
+        assert_eq!(
+            space.translate(0x1234, false, None),
+            Err(Fault::Unmapped { vaddr: 0x1234 })
+        );
     }
 
     #[test]
@@ -255,13 +288,30 @@ mod tests {
     #[test]
     fn wrong_location_fault_and_migration() {
         let mut space = AddressSpace::new();
-        let m = space.map_fresh(2 << 20, PageSize::Huge2M, MemLocation::Host, 0x40_0000, true);
+        let m = space.map_fresh(
+            2 << 20,
+            PageSize::Huge2M,
+            MemLocation::Host,
+            0x40_0000,
+            true,
+        );
         // A card-side access wants the page on the card: GPU-style fault.
-        let err = space.translate(m.vaddr, false, Some(MemLocation::Card)).unwrap_err();
-        assert!(matches!(err, Fault::WrongLocation { current: MemLocation::Host, wanted: MemLocation::Card, .. }));
+        let err = space
+            .translate(m.vaddr, false, Some(MemLocation::Card))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::WrongLocation {
+                current: MemLocation::Host,
+                wanted: MemLocation::Card,
+                ..
+            }
+        ));
         // The driver migrates, then translation succeeds.
         space.migrate(m.vaddr, MemLocation::Card, 0x80_0000);
-        let t = space.translate(m.vaddr + 100, false, Some(MemLocation::Card)).unwrap();
+        let t = space
+            .translate(m.vaddr + 100, false, Some(MemLocation::Card))
+            .unwrap();
         assert_eq!(t.paddr, 0x80_0000 + 100);
     }
 
@@ -288,6 +338,9 @@ mod tests {
     fn map_at_rejects_overlap() {
         let mut space = AddressSpace::new();
         let m = space.map_fresh(4096, PageSize::Small, MemLocation::Host, 0, true);
-        space.map_at(Mapping { vaddr: m.vaddr + 2048, ..m });
+        space.map_at(Mapping {
+            vaddr: m.vaddr + 2048,
+            ..m
+        });
     }
 }

@@ -23,18 +23,30 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// The default small-page TLB: 512 sets x 4 ways of 4 KB pages.
     pub fn small_default() -> TlbConfig {
-        TlbConfig { sets: 512, ways: 4, page: PageSize::Small }
+        TlbConfig {
+            sets: 512,
+            ways: 4,
+            page: PageSize::Small,
+        }
     }
 
     /// The default huge-page TLB: 32 sets x 4 ways of 2 MB pages.
     pub fn huge_default() -> TlbConfig {
-        TlbConfig { sets: 32, ways: 4, page: PageSize::Huge2M }
+        TlbConfig {
+            sets: 32,
+            ways: 4,
+            page: PageSize::Huge2M,
+        }
     }
 
     /// A huge-page TLB for 1 GB pages (scenario #1 of §9.3 reconfigures the
     /// shell from a 2 MB-page MMU to this one).
     pub fn huge_1g() -> TlbConfig {
-        TlbConfig { sets: 8, ways: 2, page: PageSize::Huge1G }
+        TlbConfig {
+            sets: 8,
+            ways: 2,
+            page: PageSize::Huge1G,
+        }
     }
 
     /// Total entries.
@@ -99,11 +111,16 @@ impl Tlb {
     ///
     /// Panics if `sets` is not a power of two or either dimension is zero.
     pub fn new(config: TlbConfig) -> Tlb {
-        assert!(config.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(config.ways >= 1, "zero ways");
         Tlb {
             config,
-            sets: (0..config.sets).map(|_| Vec::with_capacity(config.ways)).collect(),
+            sets: (0..config.sets)
+                .map(|_| Vec::with_capacity(config.ways))
+                .collect(),
             clock: 0,
             stats: TlbStats::default(),
         }
@@ -136,7 +153,10 @@ impl Tlb {
         let vpn = self.vpn_of(vaddr);
         let set = self.set_of(vpn, hpid);
         let clock = self.clock;
-        match self.sets[set].iter_mut().find(|e| e.hpid == hpid && e.vpn == vpn) {
+        match self.sets[set]
+            .iter_mut()
+            .find(|e| e.hpid == hpid && e.vpn == vpn)
+        {
             Some(e) => {
                 e.lru = clock;
                 self.stats.hits += 1;
@@ -172,7 +192,12 @@ impl Tlb {
             entries.swap_remove(idx);
             self.stats.evictions += 1;
         }
-        entries.push(Entry { hpid, vpn, translation, lru: clock });
+        entries.push(Entry {
+            hpid,
+            vpn,
+            translation,
+            lru: clock,
+        });
     }
 
     /// Drop every entry of one process (process teardown, or the
@@ -207,7 +232,11 @@ mod tests {
     use crate::space::MemLocation;
 
     fn tr(paddr: u64) -> Translation {
-        Translation { paddr, loc: MemLocation::Host, writable: true }
+        Translation {
+            paddr,
+            loc: MemLocation::Host,
+            writable: true,
+        }
     }
 
     #[test]
@@ -237,7 +266,11 @@ mod tests {
     #[test]
     fn lru_evicts_coldest() {
         // 1 set x 2 ways: the set holds exactly two pages.
-        let cfg = TlbConfig { sets: 1, ways: 2, page: PageSize::Small };
+        let cfg = TlbConfig {
+            sets: 1,
+            ways: 2,
+            page: PageSize::Small,
+        };
         let mut tlb = Tlb::new(cfg);
         tlb.insert(1, 0x1000, tr(1));
         tlb.insert(1, 0x2000, tr(2));
@@ -294,6 +327,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_sets_rejected() {
-        Tlb::new(TlbConfig { sets: 3, ways: 1, page: PageSize::Small });
+        Tlb::new(TlbConfig {
+            sets: 3,
+            ways: 1,
+            page: PageSize::Small,
+        });
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests on the TLB against a reference model.
 
-use coyote_mmu::{MemLocation, Tlb, TlbConfig, Translation};
 use coyote_mem::PageSize;
+use coyote_mmu::{MemLocation, Tlb, TlbConfig, Translation};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

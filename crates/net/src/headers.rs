@@ -25,7 +25,11 @@ impl MacAddr {
 impl std::fmt::Display for MacAddr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let b = self.0;
-        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
     }
 }
 
@@ -63,7 +67,14 @@ impl EthernetHdr {
         dst.copy_from_slice(&data[0..6]);
         src.copy_from_slice(&data[6..12]);
         let ethertype = u16::from_be_bytes([data[12], data[13]]);
-        Some((EthernetHdr { dst: MacAddr(dst), src: MacAddr(src), ethertype }, &data[Self::LEN..]))
+        Some((
+            EthernetHdr {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            &data[Self::LEN..],
+        ))
     }
 }
 
@@ -255,7 +266,11 @@ mod tests {
 
     #[test]
     fn udp_roundtrip() {
-        let h = UdpHdr { src_port: 49152, dst_port: ROCE_UDP_PORT, payload_len: 32 };
+        let h = UdpHdr {
+            src_port: 49152,
+            dst_port: ROCE_UDP_PORT,
+            payload_len: 32,
+        };
         let mut buf = Vec::new();
         h.write(&mut buf);
         buf.extend_from_slice(&[7u8; 32]);
@@ -266,7 +281,10 @@ mod tests {
 
     #[test]
     fn mac_display() {
-        assert_eq!(MacAddr([0xDE, 0xAD, 0, 0, 0, 1]).to_string(), "de:ad:00:00:00:01");
+        assert_eq!(
+            MacAddr([0xDE, 0xAD, 0, 0, 0, 1]).to_string(),
+            "de:ad:00:00:00:01"
+        );
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub struct CommodityNic {
 impl CommodityNic {
     /// A NIC with `mem_bytes` of registered memory.
     pub fn new(name: &'static str, mem_bytes: usize) -> CommodityNic {
-        CommodityNic { name, memory: vec![0u8; mem_bytes], qps: HashMap::new(), inbox: Vec::new() }
+        CommodityNic {
+            name,
+            memory: vec![0u8; mem_bytes],
+            qps: HashMap::new(),
+            inbox: Vec::new(),
+        }
     }
 
     /// Device name (e.g. "mlx5_0").
@@ -56,7 +61,10 @@ impl CommodityNic {
     ///
     /// Panics on an unknown QPN (API misuse).
     pub fn post(&mut self, qpn: u32, wr_id: u64, verb: Verb) {
-        self.qps.get_mut(&qpn).expect("unknown QPN").post(wr_id, verb);
+        self.qps
+            .get_mut(&qpn)
+            .expect("unknown QPN")
+            .post(wr_id, verb);
     }
 
     /// Gather outbound packets from every QP.
@@ -85,7 +93,10 @@ impl CommodityNic {
 
     /// Fire every QP's retransmission timer.
     pub fn on_timeout(&mut self) -> Vec<RocePacket> {
-        self.qps.values_mut().flat_map(QueuePair::on_timeout).collect()
+        self.qps
+            .values_mut()
+            .flat_map(QueuePair::on_timeout)
+            .collect()
     }
 
     /// Completions across all QPs.
@@ -120,11 +131,20 @@ mod tests {
         bf.create_qp(cb);
         let data: Vec<u8> = (0..50_000).map(|i| (i % 241) as u8).collect();
         mlx.write_memory(0, &data);
-        mlx.post(100, 1, Verb::Write { remote_vaddr: 4096, local_vaddr: 0, len: 50_000 });
+        mlx.post(
+            100,
+            1,
+            Verb::Write {
+                remote_vaddr: 4096,
+                local_vaddr: 0,
+                len: 50_000,
+            },
+        );
 
         // Pump until quiescent.
         for _ in 0..100 {
-            let mut frames: Vec<Vec<u8>> = mlx.poll_tx().iter().map(RocePacket::serialize).collect();
+            let mut frames: Vec<Vec<u8>> =
+                mlx.poll_tx().iter().map(RocePacket::serialize).collect();
             let mut any = !frames.is_empty();
             for f in frames.drain(..) {
                 for resp in bf.on_wire(&f) {
@@ -165,7 +185,14 @@ mod tests {
         a.create_qp(ca);
         b.create_qp(cb);
         a.write_memory(0, b"hello balboa");
-        a.post(5, 1, Verb::Send { local_vaddr: 0, len: 12 });
+        a.post(
+            5,
+            1,
+            Verb::Send {
+                local_vaddr: 0,
+                len: 12,
+            },
+        );
         for f in a.poll_tx() {
             b.on_wire(&f.serialize());
         }

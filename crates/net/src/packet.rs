@@ -64,7 +64,10 @@ impl BthOpcode {
 
     /// True if this packet type carries an RETH.
     pub fn has_reth(self) -> bool {
-        matches!(self, BthOpcode::WriteFirst | BthOpcode::WriteOnly | BthOpcode::ReadRequest)
+        matches!(
+            self,
+            BthOpcode::WriteFirst | BthOpcode::WriteOnly | BthOpcode::ReadRequest
+        )
     }
 
     /// True if this packet type carries an AETH.
@@ -83,7 +86,10 @@ impl BthOpcode {
     pub fn starts_message(self) -> bool {
         matches!(
             self,
-            BthOpcode::SendFirst | BthOpcode::SendOnly | BthOpcode::WriteFirst | BthOpcode::WriteOnly
+            BthOpcode::SendFirst
+                | BthOpcode::SendOnly
+                | BthOpcode::WriteFirst
+                | BthOpcode::WriteOnly
         )
     }
 
@@ -228,7 +234,8 @@ impl RocePacket {
             ethertype: EthernetHdr::ETHERTYPE_IPV4,
         };
 
-        let mut out = Vec::with_capacity(EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + bth.len() + 4);
+        let mut out =
+            Vec::with_capacity(EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + bth.len() + 4);
         eth.write(&mut out);
         let ip_start = out.len();
         ip.write(&mut out);
@@ -316,7 +323,8 @@ impl RocePacket {
 
     /// Bytes this packet occupies on the wire.
     pub fn wire_len(&self) -> u64 {
-        let mut n = EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + BTH_LEN + 4 + self.payload.len();
+        let mut n =
+            EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + BTH_LEN + 4 + self.payload.len();
         if self.opcode.has_reth() {
             n += RETH_LEN;
         }
@@ -341,7 +349,9 @@ mod tests {
             dest_qp: 0x1234,
             psn: 77,
             ack_req: true,
-            reth: opcode.has_reth().then_some((0xDEAD_BEEF_0000, 0x42, payload.len() as u32)),
+            reth: opcode
+                .has_reth()
+                .then_some((0xDEAD_BEEF_0000, 0x42, payload.len() as u32)),
             aeth: opcode.has_aeth().then_some((AethSyndrome::Ack, 5)),
             payload: Bytes::copy_from_slice(payload),
         }
@@ -351,8 +361,20 @@ mod tests {
     fn serialize_parse_roundtrip_all_opcodes() {
         use BthOpcode::*;
         for op in [
-            SendFirst, SendMiddle, SendLast, SendOnly, WriteFirst, WriteMiddle, WriteLast,
-            WriteOnly, ReadRequest, ReadRespFirst, ReadRespMiddle, ReadRespLast, ReadRespOnly, Ack,
+            SendFirst,
+            SendMiddle,
+            SendLast,
+            SendOnly,
+            WriteFirst,
+            WriteMiddle,
+            WriteLast,
+            WriteOnly,
+            ReadRequest,
+            ReadRespFirst,
+            ReadRespMiddle,
+            ReadRespLast,
+            ReadRespOnly,
+            Ack,
         ] {
             let pkt = sample(op, b"payload bytes here");
             let wire = pkt.serialize();

@@ -14,7 +14,11 @@ pub const PCAP_MAGIC: u32 = 0xA1B2_C3D4;
 pub const LINKTYPE_ETHERNET: u32 = 1;
 
 /// Write a capture to any sink in pcap format.
-pub fn write_pcap<W: Write>(out: &mut W, records: &[CaptureRecord], snap_len: u32) -> io::Result<()> {
+pub fn write_pcap<W: Write>(
+    out: &mut W,
+    records: &[CaptureRecord],
+    snap_len: u32,
+) -> io::Result<()> {
     // Global header.
     out.write_all(&PCAP_MAGIC.to_le_bytes())?;
     out.write_all(&2u16.to_le_bytes())?; // Version major.

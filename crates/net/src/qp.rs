@@ -240,7 +240,11 @@ impl QueuePair {
 
     /// Post a work request.
     pub fn post(&mut self, wr_id: u64, verb: Verb) {
-        self.sq.push_back(PendingWqe { wr_id, verb, offset: 0 });
+        self.sq.push_back(PendingWqe {
+            wr_id,
+            verb,
+            offset: 0,
+        });
     }
 
     /// Unacknowledged packets in flight.
@@ -274,9 +278,15 @@ impl QueuePair {
     pub fn poll_tx<M: RdmaMemory>(&mut self, mem: &M) -> Vec<RocePacket> {
         let mut out: Vec<RocePacket> = self.pending_tx.drain(..).collect();
         while self.outstanding.len() < self.cfg.window {
-            let Some(wqe) = self.sq.front_mut() else { break };
+            let Some(wqe) = self.sq.front_mut() else {
+                break;
+            };
             match &wqe.verb {
-                Verb::Read { remote_vaddr, local_vaddr, len } => {
+                Verb::Read {
+                    remote_vaddr,
+                    local_vaddr,
+                    len,
+                } => {
                     let psn = self.next_psn;
                     let (rv, lv, l) = (*remote_vaddr, *local_vaddr, *len);
                     let wr_id = wqe.wr_id;
@@ -304,7 +314,10 @@ impl QueuePair {
                     out.push(pkt);
                     self.sq.pop_front();
                 }
-                Verb::Send { local_vaddr, len } | Verb::Write { local_vaddr, len, .. } => {
+                Verb::Send { local_vaddr, len }
+                | Verb::Write {
+                    local_vaddr, len, ..
+                } => {
                     let is_send = matches!(wqe.verb, Verb::Send { .. });
                     let total = *len;
                     let lv = *local_vaddr;
@@ -331,7 +344,10 @@ impl QueuePair {
                     let data = match mem.read(lv + off, n as usize) {
                         Ok(d) => d,
                         Err(e) => {
-                            self.completions.push_back(Completion { wr_id, status: Err(e) });
+                            self.completions.push_back(Completion {
+                                wr_id,
+                                status: Err(e),
+                            });
                             self.sq.pop_front();
                             continue;
                         }
@@ -386,14 +402,19 @@ impl QueuePair {
     }
 
     fn on_ack(&mut self, pkt: &RocePacket) {
-        let Some((syndrome, acked_psn)) = pkt.aeth else { return };
+        let Some((syndrome, acked_psn)) = pkt.aeth else {
+            return;
+        };
         match syndrome {
             AethSyndrome::Ack => {
                 while let Some(front) = self.outstanding.front() {
                     if front.psn <= acked_psn && !front.is_read_req {
                         let done = self.outstanding.pop_front().expect("front exists");
                         if let Some(wr_id) = done.completes {
-                            self.completions.push_back(Completion { wr_id, status: Ok(()) });
+                            self.completions.push_back(Completion {
+                                wr_id,
+                                status: Ok(()),
+                            });
                         }
                     } else if front.psn <= acked_psn && front.is_read_req {
                         // Reads complete on response data, not on ACK; but a
@@ -425,7 +446,10 @@ impl QueuePair {
         };
         let frag_idx = pkt.psn;
         state.frags.insert(frag_idx, pkt.payload.clone());
-        if matches!(pkt.opcode, BthOpcode::ReadRespLast | BthOpcode::ReadRespOnly) {
+        if matches!(
+            pkt.opcode,
+            BthOpcode::ReadRespLast | BthOpcode::ReadRespOnly
+        ) {
             state.last_frag = Some(frag_idx);
         }
         let complete = state
@@ -443,9 +467,13 @@ impl QueuePair {
             } else {
                 mem.write(state.local_vaddr, &data)
             };
-            self.completions.push_back(Completion { wr_id: state.wr_id, status });
+            self.completions.push_back(Completion {
+                wr_id: state.wr_id,
+                status,
+            });
             // Clear the request from the retransmit buffer.
-            self.outstanding.retain(|o| !(o.is_read_req && o.psn == req_psn));
+            self.outstanding
+                .retain(|o| !(o.is_read_req && o.psn == req_psn));
         }
     }
 
@@ -465,13 +493,19 @@ impl QueuePair {
         } else {
             self.expect_psn += 1;
         }
-        let Some((vaddr, _rkey, dmalen)) = pkt.reth else { return };
+        let Some((vaddr, _rkey, dmalen)) = pkt.reth else {
+            return;
+        };
         let data = match mem.read(vaddr, dmalen as usize) {
             Ok(d) => d,
             Err(_) => return, // A real stack would NAK-remote-access-error.
         };
         let mtu = self.cfg.mtu;
-        let frags: Vec<&[u8]> = if data.is_empty() { vec![&[][..]] } else { data.chunks(mtu).collect() };
+        let frags: Vec<&[u8]> = if data.is_empty() {
+            vec![&[][..]]
+        } else {
+            data.chunks(mtu).collect()
+        };
         let n = frags.len();
         for (i, frag) in frags.into_iter().enumerate() {
             let opcode = match (i == 0, i == n - 1) {
@@ -625,11 +659,24 @@ mod tests {
         let data = payload(10_000);
         let mut am = data.clone();
         let mut bm = vec![0u8; 20_000];
-        a.post(1, Verb::Write { remote_vaddr: 5000, local_vaddr: 0, len: 10_000 });
+        a.post(
+            1,
+            Verb::Write {
+                remote_vaddr: 5000,
+                local_vaddr: 0,
+                len: 10_000,
+            },
+        );
         run(&mut a, &mut am, &mut b, &mut bm, |_| false);
         assert_eq!(&bm[5000..15_000], &data[..]);
         let comps = a.poll_completions();
-        assert_eq!(comps, vec![Completion { wr_id: 1, status: Ok(()) }]);
+        assert_eq!(
+            comps,
+            vec![Completion {
+                wr_id: 1,
+                status: Ok(())
+            }]
+        );
     }
 
     #[test]
@@ -640,10 +687,23 @@ mod tests {
         let data = payload(9_000); // 3 MTU fragments.
         let mut am = vec![0u8; 9_000];
         let mut bm = data.clone();
-        a.post(7, Verb::Read { remote_vaddr: 0, local_vaddr: 0, len: 9_000 });
+        a.post(
+            7,
+            Verb::Read {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 9_000,
+            },
+        );
         run(&mut a, &mut am, &mut b, &mut bm, |_| false);
         assert_eq!(am, data);
-        assert_eq!(a.poll_completions(), vec![Completion { wr_id: 7, status: Ok(()) }]);
+        assert_eq!(
+            a.poll_completions(),
+            vec![Completion {
+                wr_id: 7,
+                status: Ok(())
+            }]
+        );
         assert_eq!(a.in_flight(), 0, "read request cleared after completion");
     }
 
@@ -655,7 +715,13 @@ mod tests {
         let data = payload(12_345);
         let mut am = data.clone();
         let mut bm = Vec::new();
-        a.post(3, Verb::Send { local_vaddr: 0, len: 12_345 });
+        a.post(
+            3,
+            Verb::Send {
+                local_vaddr: 0,
+                len: 12_345,
+            },
+        );
         run(&mut a, &mut am, &mut b, &mut bm, |_| false);
         B_RECEIVED.with(|r| {
             let msgs = r.borrow();
@@ -672,7 +738,14 @@ mod tests {
         let data = payload(40_960); // 10 packets.
         let mut am = data.clone();
         let mut bm = vec![0u8; 40_960];
-        a.post(1, Verb::Write { remote_vaddr: 0, local_vaddr: 0, len: 40_960 });
+        a.post(
+            1,
+            Verb::Write {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 40_960,
+            },
+        );
         let mut dropped = false;
         run(&mut a, &mut am, &mut b, &mut bm, |pkt| {
             // Drop exactly the 4th data packet once.
@@ -696,7 +769,14 @@ mod tests {
         let data = payload(8192);
         let mut am = data.clone();
         let mut bm = vec![0u8; 8192];
-        a.post(1, Verb::Write { remote_vaddr: 0, local_vaddr: 0, len: 8192 });
+        a.post(
+            1,
+            Verb::Write {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 8192,
+            },
+        );
         // All first transmissions vanish (switch blackout).
         let lost = a.poll_tx(&am);
         assert_eq!(lost.len(), 2);
@@ -718,7 +798,14 @@ mod tests {
         ca.window = 4;
         let mut a = QueuePair::new(ca);
         let am = payload(100_000);
-        a.post(1, Verb::Write { remote_vaddr: 0, local_vaddr: 0, len: 100_000 });
+        a.post(
+            1,
+            Verb::Write {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 100_000,
+            },
+        );
         let first = a.poll_tx(&am);
         assert_eq!(first.len(), 4, "window caps the burst");
         assert_eq!(a.in_flight(), 4);
@@ -733,7 +820,14 @@ mod tests {
         let mut am = payload(30_000);
         let mut bm = vec![0u8; 30_000];
         for i in 0..3u64 {
-            a.post(i, Verb::Write { remote_vaddr: i * 10_000, local_vaddr: i * 10_000, len: 10_000 });
+            a.post(
+                i,
+                Verb::Write {
+                    remote_vaddr: i * 10_000,
+                    local_vaddr: i * 10_000,
+                    len: 10_000,
+                },
+            );
         }
         run(&mut a, &mut am, &mut b, &mut bm, |_| false);
         assert_eq!(bm, am);
@@ -746,7 +840,13 @@ mod tests {
         let (ca, _) = QpConfig::pair(1, 2);
         let mut a = QueuePair::new(ca);
         let am = vec![0u8; 100];
-        a.post(9, Verb::Send { local_vaddr: 0, len: 1000 });
+        a.post(
+            9,
+            Verb::Send {
+                local_vaddr: 0,
+                len: 1000,
+            },
+        );
         let pkts = a.poll_tx(&am);
         assert!(pkts.is_empty());
         let comps = a.poll_completions();

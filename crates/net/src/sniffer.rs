@@ -78,7 +78,13 @@ pub struct TrafficSniffer {
 impl TrafficSniffer {
     /// An armed but not yet recording sniffer.
     pub fn new(config: SnifferConfig) -> TrafficSniffer {
-        TrafficSniffer { config, recording: false, records: Vec::new(), observed: 0, captured: 0 }
+        TrafficSniffer {
+            config,
+            recording: false,
+            records: Vec::new(),
+            observed: 0,
+            captured: 0,
+        }
     }
 
     /// Start recording ("with the same control interface, it is possible to
@@ -117,15 +123,21 @@ impl TrafficSniffer {
             return true;
         }
         // Classify: Ethernet / IPv4 / UDP 4791 / BTH.
-        let Some((eth, rest)) = EthernetHdr::parse(frame) else { return false };
+        let Some((eth, rest)) = EthernetHdr::parse(frame) else {
+            return false;
+        };
         if eth.ethertype != EthernetHdr::ETHERTYPE_IPV4 {
             return false;
         }
-        let Some((ip, rest)) = Ipv4Hdr::parse(rest) else { return false };
+        let Some((ip, rest)) = Ipv4Hdr::parse(rest) else {
+            return false;
+        };
         if ip.protocol != Ipv4Hdr::PROTO_UDP {
             return false;
         }
-        let Some((udp, bth)) = UdpHdr::parse(rest) else { return false };
+        let Some((udp, bth)) = UdpHdr::parse(rest) else {
+            return false;
+        };
         if udp.dst_port != ROCE_UDP_PORT {
             return false;
         }
@@ -149,7 +161,10 @@ impl TrafficSniffer {
             return;
         }
         self.captured += 1;
-        let keep = self.config.snap_len.map_or(frame.len(), |s| s.min(frame.len()));
+        let keep = self
+            .config
+            .snap_len
+            .map_or(frame.len(), |s| s.min(frame.len()));
         self.records.push(CaptureRecord {
             at,
             direction,
@@ -226,7 +241,10 @@ mod tests {
 
     #[test]
     fn direction_filter() {
-        let mut s = TrafficSniffer::new(SnifferConfig { capture_rx: false, ..Default::default() });
+        let mut s = TrafficSniffer::new(SnifferConfig {
+            capture_rx: false,
+            ..Default::default()
+        });
         s.start();
         s.observe(SimTime::ZERO, Direction::Rx, &roce_frame(1));
         s.observe(SimTime::ZERO, Direction::Tx, &roce_frame(1));
@@ -238,7 +256,10 @@ mod tests {
 
     #[test]
     fn header_only_capture_truncates() {
-        let mut s = TrafficSniffer::new(SnifferConfig { snap_len: Some(54), ..Default::default() });
+        let mut s = TrafficSniffer::new(SnifferConfig {
+            snap_len: Some(54),
+            ..Default::default()
+        });
         s.start();
         let frame = roce_frame(1);
         s.observe(SimTime::ZERO, Direction::Rx, &frame);
@@ -249,7 +270,10 @@ mod tests {
 
     #[test]
     fn roce_only_drops_other_traffic() {
-        let mut s = TrafficSniffer::new(SnifferConfig { roce_only: true, ..Default::default() });
+        let mut s = TrafficSniffer::new(SnifferConfig {
+            roce_only: true,
+            ..Default::default()
+        });
         s.start();
         s.observe(SimTime::ZERO, Direction::Rx, &[0u8; 64]); // Junk frame.
         s.observe(SimTime::ZERO, Direction::Rx, &roce_frame(1));

@@ -128,7 +128,11 @@ impl Switch {
             .map(|port| {
                 let out = self.ports[port].1.transmit(at_switch, len);
                 self.stats[port].tx_frames += 1;
-                Delivery { at: out.arrival, port, bytes: bytes.clone() }
+                Delivery {
+                    at: out.arrival,
+                    port,
+                    bytes: bytes.clone(),
+                }
             })
             .collect()
     }
@@ -169,7 +173,8 @@ mod tests {
         sw.inject(SimTime::ZERO, 1, frame(2, 1, 64)); // Learn.
         let d = sw.inject(SimTime::ZERO, 0, frame(1, 2, 1500));
         let ser = Bandwidth::gbits(100).time_for(1500);
-        let expect = ser + params::WIRE_LATENCY + params::SWITCH_LATENCY + ser + params::WIRE_LATENCY;
+        let expect =
+            ser + params::WIRE_LATENCY + params::SWITCH_LATENCY + ser + params::WIRE_LATENCY;
         assert_eq!(d[0].at.since(SimTime::ZERO), expect);
     }
 

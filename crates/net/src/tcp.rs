@@ -227,7 +227,10 @@ impl TcpSocket {
     /// Queue application data for transmission.
     pub fn send(&mut self, data: &[u8]) {
         assert!(
-            matches!(self.state, TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynRcvd),
+            matches!(
+                self.state,
+                TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynRcvd
+            ),
             "send on a closed socket"
         );
         self.send_buf.extend(data.iter().copied());
@@ -383,11 +386,12 @@ impl TcpSocket {
         }
         match self.state {
             TcpState::SynSent
-                if seg.flags.contains(TcpFlags::SYN) && seg.flags.contains(TcpFlags::ACK) => {
-                    self.rcv_nxt = seg.seq.wrapping_add(1);
-                    self.state = TcpState::Established;
-                    self.ack_pending = true;
-                }
+                if seg.flags.contains(TcpFlags::SYN) && seg.flags.contains(TcpFlags::ACK) =>
+            {
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.state = TcpState::Established;
+                self.ack_pending = true;
+            }
             TcpState::SynRcvd => {
                 if seg.flags.contains(TcpFlags::ACK) {
                     self.state = TcpState::Established;
@@ -477,7 +481,14 @@ pub struct TcpStack {
 impl TcpStack {
     /// A stack bound to one interface.
     pub fn new(mac: MacAddr, ip: [u8; 4]) -> TcpStack {
-        TcpStack { mac, ip, sockets: HashMap::new(), listeners: HashMap::new(), peers: HashMap::new(), isn: 0x1000 }
+        TcpStack {
+            mac,
+            ip,
+            sockets: HashMap::new(),
+            listeners: HashMap::new(),
+            peers: HashMap::new(),
+            isn: 0x1000,
+        }
     }
 
     /// Passive open.
@@ -525,7 +536,11 @@ impl TcpStack {
             ttl: 64,
             tos: 0,
         };
-        let eth = EthernetHdr { dst: dst_mac, src: self.mac, ethertype: EthernetHdr::ETHERTYPE_IPV4 };
+        let eth = EthernetHdr {
+            dst: dst_mac,
+            src: self.mac,
+            ethertype: EthernetHdr::ETHERTYPE_IPV4,
+        };
         let mut out = Vec::with_capacity(EthernetHdr::LEN + Ipv4Hdr::LEN + tcp.len());
         eth.write(&mut out);
         ip.write(&mut out);
@@ -568,11 +583,15 @@ impl TcpStack {
     /// Deliver a received frame; returns response frames (e.g. SYN+ACK,
     /// RST for unknown ports).
     pub fn on_wire(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
-        let Some((eth, rest)) = EthernetHdr::parse(frame) else { return Vec::new() };
+        let Some((eth, rest)) = EthernetHdr::parse(frame) else {
+            return Vec::new();
+        };
         if eth.ethertype != EthernetHdr::ETHERTYPE_IPV4 {
             return Vec::new();
         }
-        let Some((ip, tcp_bytes)) = Ipv4Hdr::parse(rest) else { return Vec::new() };
+        let Some((ip, tcp_bytes)) = Ipv4Hdr::parse(rest) else {
+            return Vec::new();
+        };
         if ip.protocol != PROTO_TCP || ip.dst != self.ip {
             return Vec::new();
         }
@@ -634,14 +653,15 @@ mod tests {
     fn pump<F: FnMut(&[u8]) -> bool>(a: &mut TcpStack, b: &mut TcpStack, mut drop: F) {
         for _round in 0..200 {
             let mut any = false;
-            let deliver = |frames: Vec<Vec<u8>>, to: &mut TcpStack, back: &mut Vec<Vec<u8>>, drop: &mut F| {
-                for f in frames {
-                    if drop(&f) {
-                        continue;
+            let deliver =
+                |frames: Vec<Vec<u8>>, to: &mut TcpStack, back: &mut Vec<Vec<u8>>, drop: &mut F| {
+                    for f in frames {
+                        if drop(&f) {
+                            continue;
+                        }
+                        back.extend(to.on_wire(&f));
                     }
-                    back.extend(to.on_wire(&f));
-                }
-            };
+                };
             let mut backlog_b = Vec::new();
             let fa = a.poll_tx();
             any |= !fa.is_empty();
@@ -804,8 +824,16 @@ mod tests {
         assert_eq!(b.socket(kb).unwrap().state(), TcpState::CloseWait);
         b.socket(kb).unwrap().close();
         pump(&mut a, &mut b, |_| false);
-        assert!(a.socket(ka).unwrap().is_closed(), "{:?}", a.socket(ka).unwrap().state());
-        assert!(b.socket(kb).unwrap().is_closed(), "{:?}", b.socket(kb).unwrap().state());
+        assert!(
+            a.socket(ka).unwrap().is_closed(),
+            "{:?}",
+            a.socket(ka).unwrap().state()
+        );
+        assert!(
+            b.socket(kb).unwrap().is_closed(),
+            "{:?}",
+            b.socket(kb).unwrap().state()
+        );
     }
 
     #[test]

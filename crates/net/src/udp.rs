@@ -35,7 +35,12 @@ pub struct UdpEndpoint {
 impl UdpEndpoint {
     /// An endpoint on one interface.
     pub fn new(mac: MacAddr, ip: [u8; 4]) -> UdpEndpoint {
-        UdpEndpoint { mac, ip, ports: HashMap::new(), rejected: 0 }
+        UdpEndpoint {
+            mac,
+            ip,
+            ports: HashMap::new(),
+            rejected: 0,
+        }
     }
 
     /// Bind a port.
@@ -44,7 +49,10 @@ impl UdpEndpoint {
     ///
     /// Panics on the RoCE v2 port: that traffic belongs to the RDMA stack.
     pub fn bind(&mut self, port: u16) {
-        assert_ne!(port, ROCE_UDP_PORT, "port 4791 is owned by the RoCE v2 service");
+        assert_ne!(
+            port, ROCE_UDP_PORT,
+            "port 4791 is owned by the RoCE v2 service"
+        );
         self.ports.entry(port).or_default();
     }
 
@@ -67,7 +75,11 @@ impl UdpEndpoint {
         dst_port: u16,
         payload: &[u8],
     ) -> Vec<u8> {
-        let udp = UdpHdr { src_port, dst_port, payload_len: payload.len() as u16 };
+        let udp = UdpHdr {
+            src_port,
+            dst_port,
+            payload_len: payload.len() as u16,
+        };
         let ip = Ipv4Hdr {
             src: self.ip,
             dst: dst_ip,
@@ -76,7 +88,11 @@ impl UdpEndpoint {
             ttl: 64,
             tos: 0,
         };
-        let eth = EthernetHdr { dst: dst_mac, src: self.mac, ethertype: EthernetHdr::ETHERTYPE_IPV4 };
+        let eth = EthernetHdr {
+            dst: dst_mac,
+            src: self.mac,
+            ethertype: EthernetHdr::ETHERTYPE_IPV4,
+        };
         let mut out =
             Vec::with_capacity(EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN + payload.len());
         eth.write(&mut out);
@@ -90,15 +106,21 @@ impl UdpEndpoint {
     /// datagram consumed by this endpoint (RoCE's port 4791 is never
     /// consumed here).
     pub fn on_wire(&mut self, frame: &[u8]) -> bool {
-        let Some((eth, rest)) = EthernetHdr::parse(frame) else { return false };
+        let Some((eth, rest)) = EthernetHdr::parse(frame) else {
+            return false;
+        };
         if eth.ethertype != EthernetHdr::ETHERTYPE_IPV4 {
             return false;
         }
-        let Some((ip, rest)) = Ipv4Hdr::parse(rest) else { return false };
+        let Some((ip, rest)) = Ipv4Hdr::parse(rest) else {
+            return false;
+        };
         if ip.protocol != Ipv4Hdr::PROTO_UDP || ip.dst != self.ip {
             return false;
         }
-        let Some((udp, payload)) = UdpHdr::parse(rest) else { return false };
+        let Some((udp, payload)) = UdpHdr::parse(rest) else {
+            return false;
+        };
         if udp.dst_port == ROCE_UDP_PORT {
             return false; // The RDMA stack's traffic.
         }
@@ -192,7 +214,9 @@ mod tests {
             let f = a.send_to(1, MacAddr::node(2), [10, 0, 0, 2], 7, &[i]);
             b.on_wire(&f);
         }
-        let got: Vec<u8> = std::iter::from_fn(|| b.recv_from(7)).map(|d| d.payload[0]).collect();
+        let got: Vec<u8> = std::iter::from_fn(|| b.recv_from(7))
+            .map(|d| d.payload[0])
+            .collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
     }
 
@@ -218,6 +242,9 @@ mod tests {
         }
         .serialize();
         assert!(!b.on_wire(&roce), "RoCE frame not consumed by UDP");
-        assert!(RocePacket::parse(&roce).is_ok(), "still a valid RoCE packet");
+        assert!(
+            RocePacket::parse(&roce).is_ok(),
+            "still a valid RoCE packet"
+        );
     }
 }

@@ -22,7 +22,10 @@ pub struct CreditTable<K: Eq + Hash + Clone> {
 impl<K: Eq + Hash + Clone> CreditTable<K> {
     /// A table whose pools hold `default_capacity` credits each.
     pub fn new(default_capacity: u64) -> Self {
-        CreditTable { pools: HashMap::new(), default_capacity }
+        CreditTable {
+            pools: HashMap::new(),
+            default_capacity,
+        }
     }
 
     /// The pool for `key`, created on demand.

@@ -33,7 +33,10 @@ pub struct Interleaver<K: Eq + Hash + Clone, P> {
 impl<K: Eq + Hash + Clone, P: PacketLen> Interleaver<K, P> {
     /// Wrap a shared link.
     pub fn new(link: LinkModel) -> Self {
-        Interleaver { link, queue: RrQueue::new() }
+        Interleaver {
+            link,
+            queue: RrQueue::new(),
+        }
     }
 
     /// The underlying link (stats access).
@@ -62,7 +65,11 @@ impl<K: Eq + Hash + Clone, P: PacketLen> Interleaver<K, P> {
         let mut out = Vec::with_capacity(self.queue.len());
         while let Some((key, packet)) = self.queue.pop() {
             let transfer = self.link.transmit(now, packet.packet_len());
-            out.push(Delivered { key, packet, transfer });
+            out.push(Delivered {
+                key,
+                packet,
+                transfer,
+            });
         }
         out
     }
@@ -74,7 +81,11 @@ impl<K: Eq + Hash + Clone, P: PacketLen> Interleaver<K, P> {
             match self.queue.pop() {
                 Some((key, packet)) => {
                     let transfer = self.link.transmit(now, packet.packet_len());
-                    out.push(Delivered { key, packet, transfer });
+                    out.push(Delivered {
+                        key,
+                        packet,
+                        transfer,
+                    });
                 }
                 None => break,
             }
@@ -129,16 +140,31 @@ mod tests {
         }
         let delivered = il.drain(SimTime::ZERO);
         assert_eq!(delivered.len(), 200);
-        let last_a = delivered.iter().rfind(|d| d.key == "a").unwrap().transfer.done;
-        let last_b = delivered.iter().rfind(|d| d.key == "b").unwrap().transfer.done;
-        let gap = last_a.saturating_since(last_b).max(last_b.saturating_since(last_a));
+        let last_a = delivered
+            .iter()
+            .rfind(|d| d.key == "a")
+            .unwrap()
+            .transfer
+            .done;
+        let last_b = delivered
+            .iter()
+            .rfind(|d| d.key == "b")
+            .unwrap()
+            .transfer
+            .done;
+        let gap = last_a
+            .saturating_since(last_b)
+            .max(last_b.saturating_since(last_a));
         let packet_time = Bandwidth::gbps(12).time_for(4096);
         assert!(gap <= packet_time, "tenants finish together (gap {gap})");
 
         // Per-tenant achieved rate.
         let span = last_a.max(last_b).since(SimTime::ZERO);
         let per_tenant = coyote_sim::time::rate(100 * 4096, span);
-        assert!((per_tenant.as_gbps_f64() - 6.0).abs() < 0.1, "got {per_tenant:?}");
+        assert!(
+            (per_tenant.as_gbps_f64() - 6.0).abs() < 0.1,
+            "got {per_tenant:?}"
+        );
     }
 
     #[test]
@@ -158,7 +184,10 @@ mod tests {
             let last = delivered.iter().map(|d| d.transfer.done).max().unwrap();
             let total = (tenants * per_tenant * 4096) as u64;
             let rate = coyote_sim::time::rate(total, last.since(SimTime::ZERO));
-            assert!((rate.as_gbps_f64() - 12.0).abs() < 0.05, "{tenants} tenants: {rate:?}");
+            assert!(
+                (rate.as_gbps_f64() - 12.0).abs() < 0.05,
+                "{tenants} tenants: {rate:?}"
+            );
         }
     }
 

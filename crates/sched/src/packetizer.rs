@@ -39,7 +39,12 @@ pub fn packetize(addr: u64, len: u64, chunk: u64) -> Vec<Packet> {
     while a < end {
         let boundary = (a / chunk + 1) * chunk;
         let n = boundary.min(end) - a;
-        out.push(Packet { addr: a, len: n, index, last: boundary >= end });
+        out.push(Packet {
+            addr: a,
+            len: n,
+            index,
+            last: boundary >= end,
+        });
         a += n;
         index += 1;
     }
@@ -65,9 +70,33 @@ mod tests {
         let pkts = packetize(1000, 10000, 4096);
         // Head to 4096 (3096), then 4096, then tail 2808.
         assert_eq!(pkts.len(), 3);
-        assert_eq!(pkts[0], Packet { addr: 1000, len: 3096, index: 0, last: false });
-        assert_eq!(pkts[1], Packet { addr: 4096, len: 4096, index: 1, last: false });
-        assert_eq!(pkts[2], Packet { addr: 8192, len: 2808, index: 2, last: true });
+        assert_eq!(
+            pkts[0],
+            Packet {
+                addr: 1000,
+                len: 3096,
+                index: 0,
+                last: false
+            }
+        );
+        assert_eq!(
+            pkts[1],
+            Packet {
+                addr: 4096,
+                len: 4096,
+                index: 1,
+                last: false
+            }
+        );
+        assert_eq!(
+            pkts[2],
+            Packet {
+                addr: 8192,
+                len: 2808,
+                index: 2,
+                last: true
+            }
+        );
         let total: u64 = pkts.iter().map(|p| p.len).sum();
         assert_eq!(total, 10000);
     }

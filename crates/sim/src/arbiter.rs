@@ -29,7 +29,11 @@ impl<K: Eq + Hash + Clone, T> Default for RrQueue<K, T> {
 impl<K: Eq + Hash + Clone, T> RrQueue<K, T> {
     /// An empty arbiter.
     pub fn new() -> Self {
-        RrQueue { queues: HashMap::new(), rotation: VecDeque::new(), len: 0 }
+        RrQueue {
+            queues: HashMap::new(),
+            rotation: VecDeque::new(),
+            len: 0,
+        }
     }
 
     /// Total queued items across all keys.

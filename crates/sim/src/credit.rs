@@ -22,8 +22,15 @@ pub struct CreditPool {
 impl CreditPool {
     /// A pool with `capacity` credits, all initially available.
     pub fn new(capacity: u64) -> Self {
-        assert!(capacity > 0, "a zero-capacity crediter deadlocks by construction");
-        CreditPool { capacity, available: capacity, stalls: 0 }
+        assert!(
+            capacity > 0,
+            "a zero-capacity crediter deadlocks by construction"
+        );
+        CreditPool {
+            capacity,
+            available: capacity,
+            stalls: 0,
+        }
     }
 
     /// Total credits.

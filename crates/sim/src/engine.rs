@@ -58,7 +58,11 @@ pub struct Scheduler<W> {
 
 impl<W> Scheduler<W> {
     fn new() -> Self {
-        Scheduler { now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new() }
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
     }
 
     /// The current simulated time.
@@ -80,10 +84,18 @@ impl<W> Scheduler<W> {
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, f: Box::new(f) });
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -115,7 +127,10 @@ pub struct Simulation<W> {
 impl<W> Simulation<W> {
     /// Create a simulation at time zero around `world`.
     pub fn new(world: W) -> Self {
-        Simulation { world, sched: Scheduler::new() }
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+        }
     }
 
     /// The current simulated time.

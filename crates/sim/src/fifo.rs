@@ -20,7 +20,11 @@ impl<T> BoundedFifo<T> {
     /// A FIFO holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "zero-capacity FIFO");
-        BoundedFifo { items: VecDeque::with_capacity(capacity.min(4096)), capacity, peak: 0 }
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            peak: 0,
+        }
     }
 
     /// Maximum number of items.

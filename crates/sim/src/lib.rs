@@ -20,6 +20,9 @@
 //!   hardware kernels such as the 10-stage AES core of §9.5.
 //! * [`stats`] — counters, histograms and throughput meters used by the
 //!   experiment harness.
+//! * [`par_map`] — deterministic fork-join parallelism for the build flows
+//!   and the experiment harness: results merge in input order, so output is
+//!   bit-identical for any worker-thread count.
 //! * [`params`] — every calibration constant of the reproduction, with the
 //!   derivation from the paper's reported numbers.
 //!
@@ -47,6 +50,7 @@ pub mod credit;
 pub mod engine;
 pub mod fifo;
 pub mod link;
+pub mod par;
 pub mod params;
 pub mod pipeline;
 pub mod rng;
@@ -58,6 +62,7 @@ pub use credit::CreditPool;
 pub use engine::{Scheduler, Simulation};
 pub use fifo::BoundedFifo;
 pub use link::{LinkModel, Transfer};
+pub use par::{par_map, thread_budget};
 pub use pipeline::PipelineModel;
 pub use rng::Xorshift64Star;
 pub use time::{Bandwidth, Freq, SimDuration, SimTime};

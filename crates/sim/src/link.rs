@@ -95,7 +95,11 @@ impl LinkModel {
         self.busy_until = done;
         self.bytes_total += bytes;
         self.transfers_total += 1;
-        Transfer { start, done, arrival: done + self.latency }
+        Transfer {
+            start,
+            done,
+            arrival: done + self.latency,
+        }
     }
 
     /// Total bytes booked over the lifetime of the link.

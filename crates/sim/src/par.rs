@@ -1,0 +1,123 @@
+//! Deterministic fork-join parallelism.
+//!
+//! The simulation itself is single-threaded by design, but the build flows
+//! and the experiment harness fan out over *independent* units of work:
+//! vFPGA app partitions, seeded placement attempts, whole experiments. This
+//! module provides the one primitive they all share: [`par_map`], an
+//! indexed map that runs on scoped worker threads and returns results in
+//! input order.
+//!
+//! The determinism contract: the output of `par_map(items, f)` is
+//! bit-identical to `items.iter().enumerate().map(f).collect()` for any
+//! thread count, provided `f` is a pure function of its arguments. Workers
+//! race only over *which* index they claim next; every result lands in the
+//! slot of its input index, so the merge order never depends on scheduling.
+//! Nothing here (or anywhere in the workspace) uses `unsafe`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread budget.
+pub const THREADS_ENV: &str = "COYOTE_THREADS";
+
+/// Worker threads to use for fork-join sections.
+///
+/// Reads [`THREADS_ENV`] (clamped to at least 1); falls back to the
+/// machine's available parallelism.
+pub fn thread_budget() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Map `f` over `items` on up to [`thread_budget`] scoped threads,
+/// returning results in input order.
+///
+/// `f` receives `(index, &item)`. Results are written to per-index slots,
+/// so the returned `Vec` is ordered like `items` regardless of which worker
+/// ran which item. A panic in any worker propagates out of the scope.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = thread_budget().min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without writing its slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_for_any_budget() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(0x9E37_79B9)).collect();
+        let out = par_map(&items, |_, &x| x.wrapping_mul(0x9E37_79B9));
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn threads_actually_run_concurrently() {
+        // With >1 workers, at least two distinct thread ids should appear
+        // for a large enough batch (not guaranteed in theory, but with 64
+        // slow items this is robust in practice).
+        if thread_budget() < 2 {
+            return; // Single-core CI box: nothing to assert.
+        }
+        let items: Vec<u32> = (0..64).collect();
+        let ids = par_map(&items, |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::current().id()
+        });
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected multiple workers");
+    }
+}

@@ -79,7 +79,10 @@ impl PipelineModel {
         self.last_issue = Some(start);
         self.next_issue = start + self.clock.cycles(self.ii_cycles);
         self.issued += 1;
-        Issue { start, done: start + self.latency() }
+        Issue {
+            start,
+            done: start + self.latency(),
+        }
     }
 
     /// Number of items issued so far.

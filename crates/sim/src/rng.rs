@@ -16,10 +16,17 @@ impl Xorshift64Star {
     /// Seeded constructor; a zero seed is remapped (xorshift has no zero
     /// state).
     pub fn new(seed: u64) -> Self {
-        Xorshift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        Xorshift64Star {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
@@ -30,6 +37,7 @@ impl Xorshift64Star {
     }
 
     /// Next 32-bit value.
+    #[inline]
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
@@ -39,6 +47,7 @@ impl Xorshift64Star {
     /// # Panics
     ///
     /// Panics if `bound` is zero.
+    #[inline]
     pub fn gen_range(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "gen_range(0)");
         // Multiply-shift bounded generation (Lemire). The slight modulo bias
@@ -55,6 +64,7 @@ impl Xorshift64Star {
     }
 
     /// Uniform float in `[0, 1)`.
+    #[inline]
     pub fn gen_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }

@@ -325,7 +325,10 @@ mod tests {
         for _ in 0..50 {
             e.observe(10.0);
         }
-        assert!((e.get().unwrap() - 10.0).abs() < 1e-9, "converges to the plateau");
+        assert!(
+            (e.get().unwrap() - 10.0).abs() < 1e-9,
+            "converges to the plateau"
+        );
     }
 
     #[test]

@@ -343,7 +343,10 @@ mod tests {
         // 450 MHz HBM clock: 2222 ps, rounded.
         assert_eq!(Freq::mhz(450).period().as_ps(), 2222);
         // Cycle batching avoids accumulated rounding error.
-        assert_eq!(Freq::mhz(450).cycles(450_000_000), SimDuration::from_secs(1));
+        assert_eq!(
+            Freq::mhz(450).cycles(450_000_000),
+            SimDuration::from_secs(1)
+        );
     }
 
     #[test]

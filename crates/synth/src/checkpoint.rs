@@ -87,7 +87,10 @@ mod tests {
     fn provides_matches_kinds() {
         let cp = sample();
         assert!(cp.provides(&Ip::HostIf));
-        assert!(cp.provides(&Ip::MemoryCtrl { channels: 32 }), "channel count is a parameter");
+        assert!(
+            cp.provides(&Ip::MemoryCtrl { channels: 32 }),
+            "channel count is a parameter"
+        );
         assert!(cp.provides(&Ip::Mmu { sram_bits: 1 }));
         assert!(!cp.provides(&Ip::RdmaStack));
         assert!(!cp.provides(&Ip::Sniffer));

@@ -24,7 +24,7 @@ use crate::timing::{self, TimingReport};
 use coyote_fabric::bitstream::{Bitstream, BitstreamKind};
 use coyote_fabric::floorplan::PartitionId;
 use coyote_fabric::{Device, DeviceKind, Floorplan, ResourceVec, ShellProfile};
-use coyote_sim::SimDuration;
+use coyote_sim::{par_map, SimDuration};
 
 /// Per-operation time constants of the build model.
 pub mod cost {
@@ -94,11 +94,18 @@ pub enum FlowError {
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FlowError::ResourceOverflow { partition, requested, capacity } => {
+            FlowError::ResourceOverflow {
+                partition,
+                requested,
+                capacity,
+            } => {
                 write!(f, "{partition}: {requested} exceeds {capacity}")
             }
             FlowError::MissingService { service } => {
-                write!(f, "shell checkpoint does not provide required service {service}")
+                write!(
+                    f,
+                    "shell checkpoint does not provide required service {service}"
+                )
             }
             FlowError::DeviceMismatch => write!(f, "checkpoint targets a different device"),
             FlowError::BadRequest(s) => write!(f, "bad request: {s}"),
@@ -159,6 +166,13 @@ pub struct AppArtifacts {
     pub bitstream: Bitstream,
 }
 
+/// Seeds for the multi-seed placement sweep. Each partition is annealed
+/// once per seed (in parallel) and the best result by `(hpwl, seed)` wins,
+/// so the outcome is identical for any thread count. Two full-length
+/// annealers beat four shortened ones on quality per move, and keep the
+/// serial (single-core) build cost bounded at 2x a single anneal.
+pub const PLACE_SEEDS: [u64; 2] = [1, 2];
+
 struct PartitionBuild {
     netlist: Netlist,
     placement: Placement,
@@ -186,10 +200,24 @@ fn build_partition(
             capacity: capacity.to_string(),
         });
     }
-    let placement = Placer::default().place(&netlist, width, height);
+    let placement = Placer::default().place_multi_seed(&netlist, width, height, &PLACE_SEEDS);
     let route = Router::default().route(&netlist, &placement);
     let timing = timing::analyze(&netlist, &placement);
-    Ok(PartitionBuild { netlist, placement, route, timing })
+    Ok(PartitionBuild {
+        netlist,
+        placement,
+        route,
+        timing,
+    })
+}
+
+/// One partition's inputs, so the whole shell build can fan out at once.
+struct PartitionSpec<'a> {
+    blocks: &'a [IpBlock],
+    width: u16,
+    height: u16,
+    name: &'static str,
+    capacity: ResourceVec,
 }
 
 fn stage_times(builds: &[&PartitionBuild]) -> (SimDuration, SimDuration, SimDuration, u64, u64) {
@@ -231,24 +259,56 @@ pub fn shell_flow(req: &BuildRequest) -> Result<ShellArtifacts, FlowError> {
     let device = Device::new(req.device);
     let fp = Floorplan::preset(req.device, req.profile, req.n_vfpgas);
 
-    // Services partition.
-    let shell_rect = fp.partition(PartitionId::Shell).expect("preset has shell").rect;
-    let service_cap = fp.capacity_of(&device, PartitionId::Shell).expect("shell capacity");
-    let app0_rect = fp.partition(PartitionId::Vfpga(0)).expect("preset has vFPGA 0").rect;
+    // Partition work list: services at index 0, then one entry per vFPGA.
+    let shell_rect = fp
+        .partition(PartitionId::Shell)
+        .expect("preset has shell")
+        .rect;
+    let service_cap = fp
+        .capacity_of(&device, PartitionId::Shell)
+        .expect("shell capacity");
+    let app0_rect = fp
+        .partition(PartitionId::Vfpga(0))
+        .expect("preset has vFPGA 0")
+        .rect;
     let service_cols = (app0_rect.col0 - shell_rect.col0) as u16;
     let rows = (shell_rect.row1 - shell_rect.row0) as u16;
-    let services =
-        build_partition(&req.services, service_cols.max(1), rows, "services", &service_cap)?;
-
-    // App partitions.
-    let mut app_builds = Vec::new();
+    let mut specs = vec![PartitionSpec {
+        blocks: &req.services,
+        width: service_cols.max(1),
+        height: rows,
+        name: "services",
+        capacity: service_cap,
+    }];
     for (v, blocks) in req.apps.iter().enumerate() {
-        let rect = fp.partition(PartitionId::Vfpga(v as u8)).expect("preset region").rect;
-        let cap = fp.capacity_of(&device, PartitionId::Vfpga(v as u8)).expect("capacity");
-        let w = (rect.col1 - rect.col0) as u16;
-        let h = (rect.row1 - rect.row0) as u16;
-        app_builds.push(build_partition(blocks, w, h, "vfpga", &cap)?);
+        let rect = fp
+            .partition(PartitionId::Vfpga(v as u8))
+            .expect("preset region")
+            .rect;
+        let cap = fp
+            .capacity_of(&device, PartitionId::Vfpga(v as u8))
+            .expect("capacity");
+        specs.push(PartitionSpec {
+            blocks,
+            width: (rect.col1 - rect.col0) as u16,
+            height: (rect.row1 - rect.row0) as u16,
+            name: "vfpga",
+            capacity: cap,
+        });
     }
+
+    // Every partition builds independently; fan out and join in partition
+    // index order, so reports, digests and bitstream bytes are identical
+    // to a serial build. On failure the lowest-index error wins (the same
+    // one the old serial loop would have surfaced first).
+    let mut builds = Vec::with_capacity(specs.len());
+    for built in par_map(&specs, |_, s| {
+        build_partition(s.blocks, s.width, s.height, s.name, &s.capacity)
+    }) {
+        builds.push(built?);
+    }
+    let app_builds = builds.split_off(1);
+    let services = builds.pop().expect("services build present");
 
     // Stage times over everything newly built.
     let mut all: Vec<&PartitionBuild> = vec![&services];
@@ -279,11 +339,9 @@ pub fn shell_flow(req: &BuildRequest) -> Result<ShellArtifacts, FlowError> {
     }
     let bitgen_time = SimDuration(cost::BITGEN_PER_FRAME.0 * bitgen_frames);
 
-    let total =
-        cost::FLOW_FIXED + synth_time + place_time + route_time + bitgen_time;
+    let total = cost::FLOW_FIXED + synth_time + place_time + route_time + bitgen_time;
     let used = all.iter().map(|b| b.netlist.footprint).sum();
     let capacity = {
-        
         device.resources_in(
             shell_rect.col0,
             shell_rect.col1,
@@ -317,7 +375,12 @@ pub fn shell_flow(req: &BuildRequest) -> Result<ShellArtifacts, FlowError> {
         service_critical_ps: services.timing.critical_path.as_ps(),
         routed: services.route.is_routed(),
     };
-    Ok(ShellArtifacts { report, shell_bitstream, app_bitstreams, checkpoint })
+    Ok(ShellArtifacts {
+        report,
+        shell_bitstream,
+        app_bitstreams,
+        checkpoint,
+    })
 }
 
 /// Services an application depends on (§4: verified at link time).
@@ -351,13 +414,20 @@ pub fn app_flow(
     }
     for needed in required_services(blocks) {
         if !checkpoint.provides(&needed) {
-            return Err(FlowError::MissingService { service: format!("{needed:?}") });
+            return Err(FlowError::MissingService {
+                service: format!("{needed:?}"),
+            });
         }
     }
     let device = Device::new(checkpoint.device);
     let fp = Floorplan::preset(checkpoint.device, checkpoint.profile, checkpoint.n_vfpgas);
-    let rect = fp.partition(PartitionId::Vfpga(vfpga)).expect("preset region").rect;
-    let cap = fp.capacity_of(&device, PartitionId::Vfpga(vfpga)).expect("capacity");
+    let rect = fp
+        .partition(PartitionId::Vfpga(vfpga))
+        .expect("preset region")
+        .rect;
+    let cap = fp
+        .capacity_of(&device, PartitionId::Vfpga(vfpga))
+        .expect("capacity");
     let build = build_partition(
         blocks,
         (rect.col1 - rect.col0) as u16,
@@ -541,7 +611,9 @@ mod tests {
                 IpBlock::new(Ip::MemoryCtrl { channels: 8 }),
                 IpBlock::new(Ip::Mmu { sram_bits: 131_072 }),
             ],
-            apps: (0..4).map(|i| vec![IpBlock::with_seed(Ip::Aes, i)]).collect(),
+            apps: (0..4)
+                .map(|i| vec![IpBlock::with_seed(Ip::Aes, i)])
+                .collect(),
         };
         let art = shell_flow(&req).unwrap();
         assert_eq!(art.app_bitstreams.len(), 4);
@@ -555,6 +627,10 @@ mod tests {
         let (_, req) = fig7b_configs().remove(1);
         let art = shell_flow(&req).unwrap();
         assert!(art.report.timing.critical_path.as_ps() > 0);
-        assert!(art.report.timing.fmax_mhz > 50.0, "fmax {}", art.report.timing.fmax_mhz);
+        assert!(
+            art.report.timing.fmax_mhz > 50.0,
+            "fmax {}",
+            art.report.timing.fmax_mhz
+        );
     }
 }

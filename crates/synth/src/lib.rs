@@ -26,7 +26,9 @@ pub mod route;
 pub mod timing;
 
 pub use checkpoint::ShellCheckpoint;
-pub use flow::{app_flow, fig7b_configs, shell_flow, AppArtifacts, BuildReport, BuildRequest, ShellArtifacts};
+pub use flow::{
+    app_flow, fig7b_configs, shell_flow, AppArtifacts, BuildReport, BuildRequest, ShellArtifacts,
+};
 pub use library::{Ip, IpBlock};
 pub use netlist::{CellKind, Netlist};
 pub use place::{Placement, Placer};

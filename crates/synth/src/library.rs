@@ -129,7 +129,9 @@ impl IpBlock {
                 0,
                 params / 96,
             ),
-            Ip::Custom { lut, ff, bram, dsp, .. } => ResourceVec::new(*lut, *ff, *bram, 0, *dsp),
+            Ip::Custom {
+                lut, ff, bram, dsp, ..
+            } => ResourceVec::new(*lut, *ff, *bram, 0, *dsp),
         }
     }
 
@@ -261,6 +263,9 @@ mod tests {
         let cap = fp
             .capacity_of(&dev, coyote_fabric::floorplan::PartitionId::Shell)
             .unwrap();
-        assert!(services.fits_in(&cap), "services {services} vs capacity {cap}");
+        assert!(
+            services.fits_in(&cap),
+            "services {services} vs capacity {cap}"
+        );
     }
 }

@@ -112,9 +112,18 @@ impl Netlist {
             let sinks: Vec<u32> = (0..n_sinks)
                 .map(|_| pool[rng.gen_range(pool.len() as u64) as usize])
                 .collect();
-            nets.push(Net { driver: i as u32, sinks });
+            nets.push(Net {
+                driver: i as u32,
+                sinks,
+            });
         }
-        Netlist { name: name.to_string(), cells, levels, nets, footprint }
+        Netlist {
+            name: name.to_string(),
+            cells,
+            levels,
+            nets,
+            footprint,
+        }
     }
 
     /// Number of cells.
@@ -194,7 +203,11 @@ mod tests {
         for net in &n.nets {
             let dl = n.levels[net.driver as usize];
             for &s in &net.sinks {
-                assert_eq!(n.levels[s as usize], dl + 1, "net crosses exactly one level");
+                assert_eq!(
+                    n.levels[s as usize],
+                    dl + 1,
+                    "net crosses exactly one level"
+                );
             }
         }
     }

@@ -161,7 +161,13 @@ impl Router {
         }
         let overused_tiles = usage.iter().filter(|&&u| u > TILE_TRACKS).count() as u32;
         let peak_usage = usage.iter().copied().max().unwrap_or(0);
-        RouteResult { wirelength, expansions, rounds, overused_tiles, peak_usage }
+        RouteResult {
+            wirelength,
+            expansions,
+            rounds,
+            overused_tiles,
+            peak_usage,
+        }
     }
 }
 
@@ -218,7 +224,14 @@ mod tests {
     fn congestion_negotiation_reduces_overuse() {
         // Cram a dense netlist into a tiny region: the first round must
         // overuse, later rounds spread.
-        let n = Netlist::synthesize("dense", ResourceVec::new(8_000, 8_000, 0, 0, 0), 4, 8.0, 0, 9);
+        let n = Netlist::synthesize(
+            "dense",
+            ResourceVec::new(8_000, 8_000, 0, 0, 0),
+            4,
+            8.0,
+            0,
+            9,
+        );
         let p = Placer::default().place(&n, 6, 6);
         let r = Router::default().route(&n, &p);
         assert!(r.rounds >= 1);

@@ -54,8 +54,7 @@ pub fn analyze(netlist: &Netlist, placement: &Placement) -> TimingReport {
         let d_delay = cell_delay_ps(netlist.cells[net.driver as usize]);
         for &s in &net.sinks {
             let (sx, sy) = placement.pos[s as usize];
-            let dist =
-                (dx.abs_diff(sx) as u64) + (dy.abs_diff(sy) as u64);
+            let dist = (dx.abs_diff(sx) as u64) + (dy.abs_diff(sy) as u64);
             let sink_setup = cell_delay_ps(netlist.cells[s as usize]) / 4;
             let total = d_delay + dist * WIRE_DELAY_PS_PER_TILE + sink_setup;
             worst = worst.max(total);
@@ -81,7 +80,11 @@ mod tests {
         let p = Placer::default().place(&n, 24, 24);
         let r = analyze(&n, &p);
         // LUT->FF stages with short wires: comfortably under 4 ns.
-        assert!(r.critical_path.as_ps() < 4_000, "critical {}", r.critical_path);
+        assert!(
+            r.critical_path.as_ps() < 4_000,
+            "critical {}",
+            r.critical_path
+        );
         assert!(r.met());
         assert!(r.fmax_mhz > 250.0);
     }
@@ -102,7 +105,8 @@ mod tests {
     #[test]
     fn bram_heavy_designs_are_slower() {
         let logic = Netlist::synthesize("l", ResourceVec::new(8_000, 8_000, 0, 0, 0), 4, 2.0, 0, 5);
-        let brams = Netlist::synthesize("b", ResourceVec::new(8_000, 8_000, 256, 0, 0), 4, 2.0, 0, 5);
+        let brams =
+            Netlist::synthesize("b", ResourceVec::new(8_000, 8_000, 256, 0, 0), 4, 2.0, 0, 5);
         let pl = Placer::default().place(&logic, 20, 20);
         let pb = Placer::default().place(&brams, 20, 20);
         let rl = analyze(&logic, &pl);

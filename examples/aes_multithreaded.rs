@@ -12,13 +12,15 @@ use coyote_apps::AesCbcKernel;
 
 fn run_threads(n: usize, len: u64) -> f64 {
     let mut p = Platform::load(ShellConfig::host_only(1)).expect("platform");
-    p.load_kernel(0, Box::new(AesCbcKernel::new())).expect("kernel");
+    p.load_kernel(0, Box::new(AesCbcKernel::new()))
+        .expect("kernel");
     let mut work = Vec::new();
     for i in 0..n {
         let t = CThread::create(&mut p, 0, 1000 + i as u32).expect("thread");
         let src = t.get_mem(&mut p, len).expect("src");
         let dst = t.get_mem(&mut p, len).expect("dst");
-        t.write(&mut p, src, &vec![i as u8; len as usize]).expect("stage");
+        t.write(&mut p, src, &vec![i as u8; len as usize])
+            .expect("stage");
         t.set_csr(&mut p, 0xC0FFEE, 0).expect("key");
         work.push((t, SgEntry::local(src, dst, len)));
     }
@@ -29,7 +31,11 @@ fn run_threads(n: usize, len: u64) -> f64 {
     }
     let completions = p.drain().expect("drain");
     let start = completions.iter().map(|c| c.issued_at).min().expect("some");
-    let end = completions.iter().map(|c| c.completed_at).max().expect("some");
+    let end = completions
+        .iter()
+        .map(|c| c.completed_at)
+        .max()
+        .expect("some");
     (len * n as u64) as f64 / end.since(start).as_secs_f64() / 1e6
 }
 

@@ -38,7 +38,10 @@ fn main() {
         let timing = rcnfg
             .reconfigure_app_bytes(&mut platform, hll_app.bitstream.bytes(), 0, true)
             .expect("app reconfiguration");
-        println!("  kernel loaded in {} (paper: ~57 ms)", timing.kernel_latency);
+        println!(
+            "  kernel loaded in {} (paper: ~57 ms)",
+            timing.kernel_latency
+        );
 
         // Stream the items (64-bit keys, ~25% duplicates).
         let t = CThread::create(&mut platform, 0, 100 + req).expect("thread");
@@ -50,7 +53,11 @@ fn main() {
         let buf = t.get_mem(&mut platform, data.len() as u64).expect("buffer");
         t.write(&mut platform, buf, &data).expect("stage");
         let c = t
-            .invoke_sync(&mut platform, Oper::LocalRead, &SgEntry::source(buf, data.len() as u64))
+            .invoke_sync(
+                &mut platform,
+                Oper::LocalRead,
+                &SgEntry::source(buf, data.len() as u64),
+            )
             .expect("invoke");
         let estimate = t.get_csr(&mut platform, 0).expect("estimate");
         let err = (estimate as f64 - distinct as f64).abs() / distinct as f64 * 100.0;

@@ -35,9 +35,7 @@ fn main() {
     let build = hls_model.build().expect("hardware build");
     println!(
         "hardware build: digest {:#018x}, {} build time, {}",
-        build.digest,
-        build.build_time,
-        build.resources
+        build.digest, build.build_time, build.resources
     );
 
     // overlay = CoyoteOverlay(...); overlay.program_fpga()
@@ -53,8 +51,7 @@ fn main() {
     );
 
     // The baseline: the same IP behind PYNQ + Vitis.
-    let mut baseline_platform =
-        Platform::load(ShellConfig::host_memory(1, 8)).expect("platform");
+    let mut baseline_platform = Platform::load(ShellConfig::host_memory(1, 8)).expect("platform");
     let mut pynq = PynqOverlay::program_fpga(&mut baseline_platform, &build).expect("program");
     let (pred_pynq, pynq_report) = pynq.predict(&mut baseline_platform, &x).expect("predict");
     assert_eq!(pred_pynq, pred_emu);

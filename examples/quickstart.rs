@@ -26,7 +26,9 @@ fn main() {
 
     // Some host-side processing on src.
     let plaintext: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
-    cthread.write(&mut platform, src, &plaintext).expect("stage plaintext");
+    cthread
+        .write(&mut platform, src, &plaintext)
+        .expect("stage plaintext");
 
     // Set hardware register for encryption key.
     const KEY: u64 = 0x6167_717a_7a76_7668;
@@ -42,7 +44,10 @@ fn main() {
     println!("  issued at    : {}", completion.issued_at);
     println!("  completed at : {}", completion.completed_at);
     println!("  latency      : {}", completion.latency());
-    println!("  bytes        : {} in / {} out", completion.bytes_in, completion.bytes_out);
+    println!(
+        "  bytes        : {} in / {} out",
+        completion.bytes_in, completion.bytes_out
+    );
 
     // Verify against the software cipher.
     let ciphertext = cthread.read(&platform, dst, 4096).expect("read back");

@@ -12,8 +12,7 @@ use coyote_net::{CommodityNic, QpConfig, Switch, Verb};
 use coyote_sim::SimTime;
 
 fn main() {
-    let mut platform =
-        Platform::load(ShellConfig::host_memory_network(1, 8)).expect("platform");
+    let mut platform = Platform::load(ShellConfig::host_memory_network(1, 8)).expect("platform");
     platform
         .load_kernel(0, Box::new(coyote::kernel::Passthrough::default()))
         .expect("kernel");
@@ -34,7 +33,15 @@ fn main() {
     // 1. The NIC writes 256 KB into the FPGA's virtual memory.
     let payload: Vec<u8> = (0..256 * 1024).map(|i| (i % 249) as u8).collect();
     nic.write_memory(0, &payload);
-    nic.post(0x11, 1, Verb::Write { remote_vaddr: fpga_buf, local_vaddr: 0, len: 256 * 1024 });
+    nic.post(
+        0x11,
+        1,
+        Verb::Write {
+            remote_vaddr: fpga_buf,
+            local_vaddr: 0,
+            len: 256 * 1024,
+        },
+    );
     let frames = run_with_nic(&mut platform, 0, &mut nic, 1, &mut switch, SimTime::ZERO);
     let landed = thread.read(&platform, fpga_buf, 256 * 1024).expect("read");
     assert_eq!(landed, payload);
@@ -42,25 +49,48 @@ fn main() {
 
     // 2. The FPGA writes a response back into the NIC's memory.
     let response = b"greetings from the vFPGA".to_vec();
-    thread.write(&mut platform, fpga_buf, &response).expect("stage");
+    thread
+        .write(&mut platform, fpga_buf, &response)
+        .expect("stage");
     platform
         .rdma_post(
             0x22,
             2,
-            Verb::Write { remote_vaddr: 512 * 1024, local_vaddr: fpga_buf, len: response.len() as u64 },
+            Verb::Write {
+                remote_vaddr: 512 * 1024,
+                local_vaddr: fpga_buf,
+                len: response.len() as u64,
+            },
         )
         .expect("post");
     let now = platform.now();
     run_with_nic(&mut platform, 0, &mut nic, 1, &mut switch, now);
-    assert_eq!(&nic.memory()[512 * 1024..512 * 1024 + response.len()], &response[..]);
-    println!("RDMA WRITE FPGA -> mlx5_0: {} B, data verified ✓", response.len());
+    assert_eq!(
+        &nic.memory()[512 * 1024..512 * 1024 + response.len()],
+        &response[..]
+    );
+    println!(
+        "RDMA WRITE FPGA -> mlx5_0: {} B, data verified ✓",
+        response.len()
+    );
 
     // 3. The NIC reads the same region back from the FPGA.
-    nic.post(0x11, 3, Verb::Read { remote_vaddr: fpga_buf, local_vaddr: 1024, len: response.len() as u64 });
+    nic.post(
+        0x11,
+        3,
+        Verb::Read {
+            remote_vaddr: fpga_buf,
+            local_vaddr: 1024,
+            len: response.len() as u64,
+        },
+    );
     let now = platform.now();
     run_with_nic(&mut platform, 0, &mut nic, 1, &mut switch, now);
     assert_eq!(&nic.memory()[1024..1024 + response.len()], &response[..]);
-    println!("RDMA READ  mlx5_0 <- FPGA: {} B, data verified ✓", response.len());
+    println!(
+        "RDMA READ  mlx5_0 <- FPGA: {} B, data verified ✓",
+        response.len()
+    );
 
     // Protocol stats.
     println!(

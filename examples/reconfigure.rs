@@ -47,19 +47,33 @@ fn main() {
     println!("  disk read    done at {}", t.read_done);
     println!("  kernel copy  done at {}", t.copy_done);
     println!("  ICAP program done at {}", t.program_done);
-    println!("  kernel latency {}   total latency {}", t.kernel_latency, t.total_latency);
+    println!(
+        "  kernel latency {}   total latency {}",
+        t.kernel_latency, t.total_latency
+    );
 
     // The new shell has two empty vFPGAs; load AES into #1 directly and
     // vecadd into #0 by partial reconfiguration.
-    platform.load_kernel(1, Box::new(AesEcbKernel::new())).expect("load");
+    platform
+        .load_kernel(1, Box::new(AesEcbKernel::new()))
+        .expect("load");
     let t2 = rcnfg
         .reconfigure_app(&mut platform, &app_path, 0)
         .expect("app reconfiguration");
     println!("reconfigureApp(\"{}\", 0):", app_path.display());
-    println!("  kernel latency {}   total latency {}", t2.kernel_latency, t2.total_latency);
+    println!(
+        "  kernel latency {}   total latency {}",
+        t2.kernel_latency, t2.total_latency
+    );
     println!(
         "  loaded kernel: {}",
-        platform.vfpga(0).expect("slot").kernel.as_ref().expect("kernel").name()
+        platform
+            .vfpga(0)
+            .expect("slot")
+            .kernel
+            .as_ref()
+            .expect("kernel")
+            .name()
     );
 
     // Compare with the Table 3 baseline.

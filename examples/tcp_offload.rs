@@ -13,10 +13,10 @@ use coyote_sim::SimTime;
 
 fn main() {
     // Two FPGA nodes with distinct network identities.
-    let mut a = Platform::load(ShellConfig::host_memory_network(1, 8).with_node_id(1))
-        .expect("node A");
-    let mut b = Platform::load(ShellConfig::host_memory_network(1, 8).with_node_id(2))
-        .expect("node B");
+    let mut a =
+        Platform::load(ShellConfig::host_memory_network(1, 8).with_node_id(1)).expect("node A");
+    let mut b =
+        Platform::load(ShellConfig::host_memory_network(1, 8).with_node_id(2)).expect("node B");
     let mut switch = Switch::new(4);
 
     // A connects to B.
@@ -25,7 +25,10 @@ fn main() {
         .tcp_connect(5000, 80, b.config().mac(), b.config().ip())
         .expect("connect");
     let frames = run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, SimTime::ZERO);
-    println!("handshake complete in {frames} frames; state = {:?}", a.tcp_mut().unwrap().socket(ka).unwrap().state());
+    println!(
+        "handshake complete in {frames} frames; state = {:?}",
+        a.tcp_mut().unwrap().socket(ka).unwrap().state()
+    );
 
     // 256 KB from A to B.
     let payload: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 251) as u8).collect();
@@ -34,7 +37,10 @@ fn main() {
     let frames = run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, now);
     let received = b.tcp_mut().unwrap().socket((80, 5000)).unwrap().recv();
     assert_eq!(received, payload);
-    println!("transferred {} KB in {frames} frames, verified ✓", received.len() / 1024);
+    println!(
+        "transferred {} KB in {frames} frames, verified ✓",
+        received.len() / 1024
+    );
     println!("simulated time: {}", b.now());
 
     // A software host connects to the FPGA's service port.
@@ -43,9 +49,14 @@ fn main() {
     let hk = host.connect(41000, 7000, b.config().mac(), b.config().ip());
     let now = b.now();
     run_tcp_with_host(&mut b, 1, &mut host, 2, &mut switch, now);
-    host.socket(hk).unwrap().send(b"GET /cardinality HTTP/1.0\r\n\r\n");
+    host.socket(hk)
+        .unwrap()
+        .send(b"GET /cardinality HTTP/1.0\r\n\r\n");
     let now = b.now();
     run_tcp_with_host(&mut b, 1, &mut host, 2, &mut switch, now);
     let request = b.tcp_mut().unwrap().socket((7000, 41000)).unwrap().recv();
-    println!("FPGA received from software host: {:?}", String::from_utf8_lossy(&request));
+    println!(
+        "FPGA received from software host: {:?}",
+        String::from_utf8_lossy(&request)
+    );
 }

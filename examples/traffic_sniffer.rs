@@ -11,8 +11,10 @@ use coyote_sim::SimTime;
 
 fn main() {
     // A shell with networking and the sniffer service, filtering RoCE only.
-    let cfg = ShellConfig::host_memory_network(1, 8)
-        .with_sniffer(SnifferConfig { roce_only: true, ..Default::default() });
+    let cfg = ShellConfig::host_memory_network(1, 8).with_sniffer(SnifferConfig {
+        roce_only: true,
+        ..Default::default()
+    });
     let mut platform = Platform::load(cfg).expect("platform");
     platform
         .load_kernel(0, Box::new(coyote_apps::SnifferApp::default()))
@@ -31,7 +33,15 @@ fn main() {
     platform.rdma_create_qp(99, qp_fpga).expect("QP");
     let payload = vec![0x3Cu8; 100_000];
     nic.write_memory(0, &payload);
-    nic.post(0x77, 1, Verb::Write { remote_vaddr: buf, local_vaddr: 0, len: 100_000 });
+    nic.post(
+        0x77,
+        1,
+        Verb::Write {
+            remote_vaddr: buf,
+            local_vaddr: 0,
+            len: 100_000,
+        },
+    );
     run_with_nic(&mut platform, 0, &mut nic, 1, &mut switch, SimTime::ZERO);
 
     // Stop and sync the capture.
@@ -39,7 +49,13 @@ fn main() {
     let records = platform.sniffer_mut().expect("sniffer").take_records();
     println!("captured {} frames", records.len());
     for (i, r) in records.iter().take(5).enumerate() {
-        println!("  [{i}] t={} dir={:?} {} bytes (orig {})", r.at, r.direction, r.bytes.len(), r.orig_len);
+        println!(
+            "  [{i}] t={} dir={:?} {} bytes (orig {})",
+            r.at,
+            r.direction,
+            r.bytes.len(),
+            r.orig_len
+        );
     }
 
     // The vFPGA stored the records to HBM in the on-card format; the

@@ -27,7 +27,10 @@ fn checkpoint_reuse_across_apps() {
     let mut digests = Vec::new();
     for ip in apps {
         let app = build_app(&[IpBlock::new(ip)], 0, &shell.checkpoint).unwrap();
-        assert!(app.report.link_time.as_secs_f64() > 0.0, "app flow links the checkpoint");
+        assert!(
+            app.report.link_time.as_secs_f64() > 0.0,
+            "app flow links the checkpoint"
+        );
         digests.push(app.bitstream.digest());
     }
     digests.sort_unstable();
@@ -61,7 +64,10 @@ fn dependency_failsafe_between_flows() {
     let host_only = ShellConfig::host_only(1);
     let shell = build_shell(&host_only, vec![vec![IpBlock::new(Ip::Passthrough)]]).unwrap();
     let err = build_app(&[IpBlock::new(Ip::Hll)], 0, &shell.checkpoint).unwrap_err();
-    assert!(matches!(err, coyote::PlatformError::Flow(_)), "HLL needs the memory service");
+    assert!(
+        matches!(err, coyote::PlatformError::Flow(_)),
+        "HLL needs the memory service"
+    );
 }
 
 #[test]

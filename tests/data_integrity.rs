@@ -7,7 +7,9 @@ use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
 use coyote_apps::{Aes128, AesCbcKernel, AesEcbKernel, HllKernel, VecAddKernel};
 
 fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -40,7 +42,8 @@ fn cbc_across_many_packets_matches_one_shot_software() {
     let dst = t.get_mem(&mut p, len).unwrap();
     let plain = pattern(len as usize, 3);
     t.write(&mut p, src, &plain).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
     let got = t.read(&p, dst, len as usize).unwrap();
     let mut expect = plain;
     Aes128::from_u64(0xFEED_F00D, 0).encrypt_cbc(&mut expect, [0u8; 16]);
@@ -59,7 +62,8 @@ fn card_path_roundtrip_with_ecb() {
     let dst = t.get_card_mem(&mut p, len).unwrap();
     let plain = pattern(len as usize, 9);
     t.write(&mut p, src, &plain).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
     let got = t.read(&p, dst, len as usize).unwrap();
     let mut expect = plain;
     Aes128::from_u64(0xABCD, 0).encrypt_ecb(&mut expect);
@@ -76,7 +80,8 @@ fn mixed_locations_host_to_card() {
     let dst = t.get_card_mem(&mut p, len).unwrap(); // Card.
     let data = pattern(len as usize, 5);
     t.write(&mut p, src, &data).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
     assert_eq!(t.read(&p, dst, len as usize).unwrap(), data);
 }
 
@@ -93,7 +98,9 @@ fn hll_sink_estimates_over_control_bus() {
         items.extend_from_slice(&i.to_le_bytes());
     }
     t.write(&mut p, src, &items).unwrap();
-    let c = t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(src, len)).unwrap();
+    let c = t
+        .invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(src, len))
+        .unwrap();
     assert_eq!(c.bytes_out, 0, "HLL is a sink");
     let est = t.get_csr(&mut p, 0).unwrap() as f64;
     let rel_err = (est - n as f64).abs() / n as f64;
@@ -118,9 +125,15 @@ fn vecadd_two_stream_protocol() {
 
     // Phase 0: preload A. Phase 1: stream B, collect A+B.
     t.set_csr(&mut p, 0, 0).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(buf_a, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(buf_a, len))
+        .unwrap();
     t.set_csr(&mut p, 1, 0).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(buf_b, buf_out, len)).unwrap();
+    t.invoke_sync(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(buf_b, buf_out, len),
+    )
+    .unwrap();
 
     let out = t.read(&p, buf_out, len as usize).unwrap();
     let got: Vec<i64> = out
@@ -142,8 +155,15 @@ fn completion_latency_ordering_is_sane() {
         .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 4096))
         .unwrap();
     let large = t
-        .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 1 << 20))
+        .invoke_sync(
+            &mut p,
+            Oper::LocalTransfer,
+            &SgEntry::local(src, dst, 1 << 20),
+        )
         .unwrap();
     assert!(large.latency() > small.latency());
-    assert!(large.completed_at > small.completed_at, "the clock advances across drains");
+    assert!(
+        large.completed_at > small.completed_at,
+        "the clock advances across drains"
+    );
 }

@@ -16,20 +16,31 @@ struct World {
 #[test]
 fn periodic_invocations_from_the_event_loop() {
     let mut platform = Platform::load(ShellConfig::host_only(1)).unwrap();
-    platform.load_kernel(0, Box::new(Passthrough::default())).unwrap();
+    platform
+        .load_kernel(0, Box::new(Passthrough::default()))
+        .unwrap();
     let thread = CThread::create(&mut platform, 0, 1).unwrap();
     let src = thread.get_mem(&mut platform, 64 * 1024).unwrap();
     let dst = thread.get_mem(&mut platform, 64 * 1024).unwrap();
-    thread.write(&mut platform, src, &vec![7u8; 64 * 1024]).unwrap();
+    thread
+        .write(&mut platform, src, &vec![7u8; 64 * 1024])
+        .unwrap();
 
-    let world = World { platform, thread, sg: SgEntry::local(src, dst, 64 * 1024), submitted: 0 };
+    let world = World {
+        platform,
+        thread,
+        sg: SgEntry::local(src, dst, 64 * 1024),
+        submitted: 0,
+    };
     let mut sim = Simulation::new(world);
     // A telemetry tick every 100 us: each tick advances the platform clock
     // to the event time and queues one transfer.
     for i in 0..20u64 {
         sim.schedule_after(SimDuration::from_us(100 * i), |w: &mut World, s| {
             w.platform.advance_to(s.now());
-            w.thread.invoke(&mut w.platform, Oper::LocalTransfer, &w.sg).unwrap();
+            w.thread
+                .invoke(&mut w.platform, Oper::LocalTransfer, &w.sg)
+                .unwrap();
             w.submitted += 1;
         });
     }

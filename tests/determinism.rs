@@ -1,0 +1,143 @@
+//! The determinism contract of the parallel execution layer.
+//!
+//! Worker threads only decide *who computes what*, never *what the answer
+//! is*: build flows fan out per partition and per placement seed, and the
+//! bench harness fans out per experiment, but every merge happens in input
+//! order. These tests pin the contract end to end: the same build request
+//! and the same datapath workload must yield bit-identical bitstreams,
+//! completion timestamps and serialized artifacts at any thread count.
+
+use coyote::build::build_shell;
+use coyote::kernel::Passthrough;
+use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
+use coyote_apps::AesCbcKernel;
+use coyote_sim::par::THREADS_ENV;
+use coyote_synth::{Ip, IpBlock};
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Everything observable from one 4-vFPGA shell build, digested.
+#[derive(Debug, PartialEq, Eq)]
+struct BuildFingerprint {
+    shell_bitstream: u64,
+    app_bitstreams: Vec<u64>,
+    checkpoint_json: u64,
+    total_ps: u64,
+    moves: u64,
+}
+
+fn build_fingerprint() -> BuildFingerprint {
+    let cfg = ShellConfig::host_memory(4, 8);
+    let apps: Vec<Vec<IpBlock>> = (0..4)
+        .map(|i| vec![IpBlock::with_seed(Ip::Aes, i)])
+        .collect();
+    let shell = build_shell(&cfg, apps).unwrap();
+    let dir = std::env::temp_dir().join("coyote_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("checkpoint.json");
+    shell.checkpoint.write_to(&path).unwrap();
+    let checkpoint_json = fnv(&std::fs::read(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+    BuildFingerprint {
+        shell_bitstream: fnv(shell.shell_bitstream.bytes()),
+        app_bitstreams: shell
+            .app_bitstreams
+            .iter()
+            .map(|b| fnv(b.bytes()))
+            .collect(),
+        checkpoint_json,
+        total_ps: shell.report.total.as_ps(),
+        moves: shell.report.moves,
+    }
+}
+
+/// One mixed workload through `Platform::drain`: a block-pipeline kernel
+/// (AES CBC) on one vFPGA, a streaming kernel on another, host and card
+/// paths both exercised. Returns completion timestamps and output digests.
+fn drain_fingerprint() -> Vec<(u64, u64, u64)> {
+    let mut p = Platform::load(ShellConfig::host_memory(2, 8)).unwrap();
+    p.load_kernel(0, Box::new(AesCbcKernel::new())).unwrap();
+    p.load_kernel(1, Box::new(Passthrough::default())).unwrap();
+    let ta = CThread::create(&mut p, 0, 1).unwrap();
+    let tb = CThread::create(&mut p, 1, 2).unwrap();
+    ta.set_csr(&mut p, 0xFEED_F00D, 0).unwrap();
+    let len = 64 * 1024u64;
+    let a_src = ta.get_mem(&mut p, len).unwrap();
+    let a_dst = ta.get_mem(&mut p, len).unwrap();
+    let b_src = tb.get_card_mem(&mut p, len).unwrap();
+    let b_dst = tb.get_card_mem(&mut p, len).unwrap();
+    let payload: Vec<u8> = (0..len as usize)
+        .map(|i| (i as u8).wrapping_mul(37))
+        .collect();
+    ta.write(&mut p, a_src, &payload).unwrap();
+    tb.write(&mut p, b_src, &payload).unwrap();
+    ta.invoke(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(a_src, a_dst, len),
+    )
+    .unwrap();
+    tb.invoke(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(b_src, b_dst, len),
+    )
+    .unwrap();
+    let completions = p.drain().unwrap();
+    let a_out = ta.read(&p, a_dst, len as usize).unwrap();
+    let b_out = tb.read(&p, b_dst, len as usize).unwrap();
+    let mut out: Vec<(u64, u64, u64)> = completions
+        .iter()
+        .map(|c| (c.invocation, c.completed_at.as_ps(), c.bytes_out))
+        .collect();
+    out.push((u64::MAX, fnv(&a_out), fnv(&b_out)));
+    out
+}
+
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var(THREADS_ENV, threads);
+    let out = f();
+    std::env::remove_var(THREADS_ENV);
+    out
+}
+
+/// The headline regression test: thread counts 1, 2 and 8 (and a repeat at
+/// 8) must produce bit-identical artifacts. All in one test function so
+/// the `COYOTE_THREADS` mutations never race another test.
+#[test]
+fn artifacts_identical_across_thread_counts() {
+    let build_1 = with_threads("1", build_fingerprint);
+    let build_2 = with_threads("2", build_fingerprint);
+    let build_8 = with_threads("8", build_fingerprint);
+    let build_8_again = with_threads("8", build_fingerprint);
+    assert_eq!(
+        build_1, build_2,
+        "shell build differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        build_1, build_8,
+        "shell build differs between 1 and 8 threads"
+    );
+    assert_eq!(
+        build_8, build_8_again,
+        "shell build not reproducible at 8 threads"
+    );
+
+    let drain_1 = with_threads("1", drain_fingerprint);
+    let drain_2 = with_threads("2", drain_fingerprint);
+    let drain_8 = with_threads("8", drain_fingerprint);
+    let drain_8_again = with_threads("8", drain_fingerprint);
+    assert_eq!(drain_1, drain_2, "drain differs between 1 and 2 threads");
+    assert_eq!(drain_1, drain_8, "drain differs between 1 and 8 threads");
+    assert_eq!(
+        drain_8, drain_8_again,
+        "drain not reproducible at 8 threads"
+    );
+}

@@ -25,8 +25,12 @@ fn malformed_data_interrupts_userspace() {
     let src = t.get_mem(&mut p, stream.len() as u64).unwrap();
     let dst = t.get_mem(&mut p, 4096).unwrap();
     t.write(&mut p, src, &stream).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, stream.len() as u64))
-        .unwrap();
+    t.invoke_sync(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(src, dst, stream.len() as u64),
+    )
+    .unwrap();
 
     // The valid payloads passed through.
     assert_eq!(t.read(&p, dst, 11).unwrap(), b"firstsecond");
@@ -52,8 +56,12 @@ fn clean_data_raises_nothing() {
     let src = t.get_mem(&mut p, stream.len() as u64).unwrap();
     let dst = t.get_mem(&mut p, 4096).unwrap();
     t.write(&mut p, src, &stream).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, stream.len() as u64))
-        .unwrap();
+    t.invoke_sync(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(src, dst, stream.len() as u64),
+    )
+    .unwrap();
     assert_eq!(p.driver_mut().eventfd_mut(77).unwrap().pending(), 0);
 }
 
@@ -64,16 +72,24 @@ fn interrupt_callback_mode() {
     let (mut p, t) = setup();
     let hits: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
     let sink = Rc::clone(&hits);
-    p.driver_mut().eventfd_mut(77).unwrap().set_callback(move |ev| {
-        if let IrqEvent::User { value, .. } = ev {
-            sink.borrow_mut().push(value);
-        }
-    });
+    p.driver_mut()
+        .eventfd_mut(77)
+        .unwrap()
+        .set_callback(move |ev| {
+            if let IrqEvent::User { value, .. } = ev {
+                sink.borrow_mut().push(value);
+            }
+        });
     let mut stream = vec![0xFFu8; 4]; // Garbage only.
     stream.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
     stream.extend_from_slice(&0u32.to_le_bytes()); // Valid empty record.
     let src = t.get_mem(&mut p, stream.len() as u64).unwrap();
     t.write(&mut p, src, &stream).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(src, stream.len() as u64)).unwrap();
+    t.invoke_sync(
+        &mut p,
+        Oper::LocalRead,
+        &SgEntry::source(src, stream.len() as u64),
+    )
+    .unwrap();
     assert!(!hits.borrow().is_empty(), "callback never fired");
 }

@@ -60,7 +60,11 @@ fn address_spaces_are_isolated() {
     let buf0b = t0.get_mem(&mut p, 4096).unwrap();
     assert!(t1.read(&p, buf0b, 4).is_err());
     let err = t1
-        .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(buf0b, buf1a, 4096))
+        .invoke_sync(
+            &mut p,
+            Oper::LocalTransfer,
+            &SgEntry::local(buf0b, buf1a, 4096),
+        )
         .unwrap_err();
     assert!(matches!(err, coyote::PlatformError::Driver(_)));
 }
@@ -81,12 +85,21 @@ fn unfinished_tenant_does_not_block_others() {
     let dst1 = t1.get_mem(&mut p, 8192).unwrap();
     t0.write(&mut p, src0, b"healthy tenant").unwrap();
 
-    t1.invoke(&mut p, Oper::LocalTransfer, &SgEntry::local(src1, dst1, 8192)).unwrap();
+    t1.invoke(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(src1, dst1, 8192),
+    )
+    .unwrap();
     let err = p.drain().unwrap_err();
     assert!(matches!(err, coyote::PlatformError::NoKernel(1)));
     // Tenant 0 still works afterwards.
     let c = t0
-        .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src0, dst0, 8192))
+        .invoke_sync(
+            &mut p,
+            Oper::LocalTransfer,
+            &SgEntry::local(src0, dst0, 8192),
+        )
         .unwrap();
     assert_eq!(c.bytes_out, 8192);
     assert_eq!(t0.read(&p, dst0, 14).unwrap(), b"healthy tenant");
@@ -109,7 +122,8 @@ fn many_threads_one_vfpga_all_complete() {
         let dst = t.get_mem(&mut p, len).unwrap();
         let data = vec![i as u8 + 1; len as usize];
         t.write(&mut p, src, &data).unwrap();
-        t.invoke(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+        t.invoke(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+            .unwrap();
         expect.push(data);
         dsts.push(dst);
         threads.push(t);

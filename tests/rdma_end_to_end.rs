@@ -9,7 +9,8 @@ use coyote_sim::SimTime;
 
 fn setup() -> (Platform, CThread, CommodityNic, Switch) {
     let mut p = Platform::load(ShellConfig::host_memory_network(1, 8)).unwrap();
-    p.load_kernel(0, Box::new(coyote::kernel::Passthrough::default())).unwrap();
+    p.load_kernel(0, Box::new(coyote::kernel::Passthrough::default()))
+        .unwrap();
     let t = CThread::create(&mut p, 0, 42).unwrap();
     let nic = CommodityNic::new("mlx5_0", 1 << 20);
     let switch = Switch::new(4);
@@ -27,10 +28,21 @@ fn nic_writes_into_fpga_virtual_memory() {
 
     let payload: Vec<u8> = (0..50_000).map(|i| (i % 247) as u8).collect();
     nic.write_memory(0, &payload);
-    nic.post(0x100, 1, Verb::Write { remote_vaddr: buf, local_vaddr: 0, len: 50_000 });
+    nic.post(
+        0x100,
+        1,
+        Verb::Write {
+            remote_vaddr: buf,
+            local_vaddr: 0,
+            len: 50_000,
+        },
+    );
 
     let frames = run_with_nic(&mut p, 0, &mut nic, 1, &mut switch, SimTime::ZERO);
-    assert!(frames > 12, "a 50 KB write is >12 MTU packets, saw {frames}");
+    assert!(
+        frames > 12,
+        "a 50 KB write is >12 MTU packets, saw {frames}"
+    );
     // The payload landed in the *virtual* buffer, translated by the MMU.
     assert_eq!(t.read(&p, buf, 50_000).unwrap(), payload);
     let comps = nic.poll_completions();
@@ -48,7 +60,15 @@ fn nic_reads_from_fpga_virtual_memory() {
     let (qp_nic, qp_fpga) = QpConfig::pair(0x101, 0x201);
     nic.create_qp(qp_nic);
     p.rdma_create_qp(42, qp_fpga).unwrap();
-    nic.post(0x101, 2, Verb::Read { remote_vaddr: buf, local_vaddr: 4096, len: 20_000 });
+    nic.post(
+        0x101,
+        2,
+        Verb::Read {
+            remote_vaddr: buf,
+            local_vaddr: 4096,
+            len: 20_000,
+        },
+    );
     run_with_nic(&mut p, 0, &mut nic, 1, &mut switch, SimTime::ZERO);
     assert_eq!(&nic.memory()[4096..4096 + 20_000], &data[..]);
 }
@@ -63,8 +83,16 @@ fn fpga_initiates_writes_to_nic() {
     let (qp_fpga, qp_nic) = QpConfig::pair(0x300, 0x400);
     p.rdma_create_qp(42, qp_fpga).unwrap();
     nic.create_qp(qp_nic);
-    p.rdma_post(0x300, 7, Verb::Write { remote_vaddr: 2048, local_vaddr: buf, len: 10_000 })
-        .unwrap();
+    p.rdma_post(
+        0x300,
+        7,
+        Verb::Write {
+            remote_vaddr: 2048,
+            local_vaddr: buf,
+            len: 10_000,
+        },
+    )
+    .unwrap();
     run_with_nic(&mut p, 0, &mut nic, 1, &mut switch, SimTime::ZERO);
     assert_eq!(&nic.memory()[2048..12_048], &data[..]);
     let comps = p.rdma_completions();
@@ -89,7 +117,15 @@ fn lossy_network_recovers_via_retransmission() {
     p.rdma_create_qp(42, qp_fpga).unwrap();
     let payload: Vec<u8> = (0..100_000).map(|i| (i % 253) as u8).collect();
     nic.write_memory(0, &payload);
-    nic.post(0x110, 9, Verb::Write { remote_vaddr: buf, local_vaddr: 0, len: 100_000 });
+    nic.post(
+        0x110,
+        9,
+        Verb::Write {
+            remote_vaddr: buf,
+            local_vaddr: 0,
+            len: 100_000,
+        },
+    );
 
     // Pump; on quiescence fire the NIC's retransmission timer and pump
     // again, until the write completes.
@@ -113,7 +149,10 @@ fn lossy_network_recovers_via_retransmission() {
     }
     assert!(done, "write never completed under loss");
     assert_eq!(t.read(&p, buf, 100_000).unwrap(), payload);
-    assert!(switch.stats(1).dropped + switch.stats(0).dropped > 0, "loss was injected");
+    assert!(
+        switch.stats(1).dropped + switch.stats(0).dropped > 0,
+        "loss was injected"
+    );
 }
 
 #[test]
@@ -127,8 +166,16 @@ fn fpga_side_retransmission_timer() {
     let (qp_fpga, qp_nic) = QpConfig::pair(0x500, 0x600);
     p.rdma_create_qp(42, qp_fpga).unwrap();
     nic.create_qp(qp_nic);
-    p.rdma_post(0x500, 1, Verb::Write { remote_vaddr: 0, local_vaddr: buf, len: 12_000 })
-        .unwrap();
+    p.rdma_post(
+        0x500,
+        1,
+        Verb::Write {
+            remote_vaddr: 0,
+            local_vaddr: buf,
+            len: 12_000,
+        },
+    )
+    .unwrap();
     // First transmissions lost entirely (never injected into the switch).
     let lost = p.net_poll_tx(SimTime::ZERO);
     assert!(!lost.is_empty());

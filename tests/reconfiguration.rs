@@ -29,7 +29,10 @@ fn table2_port_ordering() {
     }
     assert!(times[3].1 < times[2].1 && times[2].1 < times[1].1 && times[1].1 < times[0].1);
     let speedup_vs_mcap = times[2].1.as_secs_f64() / times[3].1.as_secs_f64();
-    assert!((5.0..6.0).contains(&speedup_vs_mcap), "ICAP vs MCAP {speedup_vs_mcap:.1}x");
+    assert!(
+        (5.0..6.0).contains(&speedup_vs_mcap),
+        "ICAP vs MCAP {speedup_vs_mcap:.1}x"
+    );
 }
 
 #[test]
@@ -44,7 +47,10 @@ fn table3_all_three_scenarios() {
         ),
         (
             ShellConfig::host_memory(2, 16),
-            vec![vec![IpBlock::new(Ip::VecAdd)], vec![IpBlock::new(Ip::VecProduct)]],
+            vec![
+                vec![IpBlock::new(Ip::VecAdd)],
+                vec![IpBlock::new(Ip::VecProduct)],
+            ],
             72.3,
             709.0,
         ),
@@ -76,7 +82,10 @@ fn table3_all_three_scenarios() {
         );
         // Order of magnitude vs the Vivado full flow.
         let vivado = VivadoBaseline::full_flow(Device::new(DeviceKind::U55C).full_config_bytes());
-        assert!(vivado.as_millis_f64() / total_ms > 10.0, "scenario {i} not 10x faster");
+        assert!(
+            vivado.as_millis_f64() / total_ms > 10.0,
+            "scenario {i} not 10x faster"
+        );
     }
 }
 
@@ -96,12 +105,18 @@ fn app_reconfig_swaps_kernels_without_shell_change() {
         .reconfigure_app_bytes(&mut p, hll_app.bitstream.bytes(), 0, true)
         .unwrap();
     assert_eq!(p.shell_digest(), shell_digest_before, "shell untouched");
-    assert_eq!(p.vfpga(0).unwrap().kernel.as_ref().unwrap().name(), "hyperloglog");
+    assert_eq!(
+        p.vfpga(0).unwrap().kernel.as_ref().unwrap().name(),
+        "hyperloglog"
+    );
 
     // §9.6: "the partial reconfiguration to load the HLL kernel takes only
     // 57ms" — our app region gives the same band.
     let kernel_ms = timing.kernel_latency.as_millis_f64();
-    assert!((54.0..60.0).contains(&kernel_ms), "HLL app load {kernel_ms:.1} ms");
+    assert!(
+        (54.0..60.0).contains(&kernel_ms),
+        "HLL app load {kernel_ms:.1} ms"
+    );
 
     // The loaded HLL kernel actually works.
     let t = CThread::create(&mut p, 0, 3).unwrap();
@@ -111,7 +126,8 @@ fn app_reconfig_swaps_kernels_without_shell_change() {
         items.extend_from_slice(&i.to_le_bytes());
     }
     t.write(&mut p, src, &items).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(src, 80_000)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalRead, &SgEntry::source(src, 80_000))
+        .unwrap();
     let est = t.get_csr(&mut p, 0).unwrap();
     assert!((9_000..11_000).contains(&est), "estimate {est}");
 }

@@ -25,7 +25,8 @@ fn scenario1_mmu_page_size_swap() {
     let src = t.get_mem(&mut p, 4096).unwrap();
     let dst = t.get_mem(&mut p, 4096).unwrap();
     t.write(&mut p, src, b"before reconfig").unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 4096)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 4096))
+        .unwrap();
     assert_eq!(t.read(&p, dst, 15).unwrap(), b"before reconfig");
 
     // Swap the shell to the 1 GB-page MMU configuration.
@@ -35,7 +36,10 @@ fn scenario1_mmu_page_size_swap() {
         .unwrap();
     // Table 3 scenario #1 band: kernel ~51.6 ms.
     let kernel_ms = timing.kernel_latency.as_millis_f64();
-    assert!((50.0..54.0).contains(&kernel_ms), "kernel latency {kernel_ms} ms");
+    assert!(
+        (50.0..54.0).contains(&kernel_ms),
+        "kernel latency {kernel_ms} ms"
+    );
 
     // The fail-safe wiped the vFPGA: the kernel must be reloaded.
     assert!(p.vfpga(0).unwrap().kernel.is_none());
@@ -47,7 +51,12 @@ fn scenario1_mmu_page_size_swap() {
     let src2 = t2.get_mem(&mut p, 4096).unwrap();
     let dst2 = t2.get_mem(&mut p, 4096).unwrap();
     t2.write(&mut p, src2, b"after reconfig").unwrap();
-    t2.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src2, dst2, 4096)).unwrap();
+    t2.invoke_sync(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(src2, dst2, 4096),
+    )
+    .unwrap();
     assert_eq!(t2.read(&p, dst2, 14).unwrap(), b"after reconfig");
 }
 
@@ -59,27 +68,37 @@ fn scenario2_rdma_to_numeric_kernels() {
     let art_net = build_shell(&cfg_net, vec![vec![IpBlock::new(Ip::Passthrough)]]).unwrap();
     let art_num = build_shell(
         &cfg_num,
-        vec![vec![IpBlock::new(Ip::VecAdd)], vec![IpBlock::new(Ip::VecProduct)]],
+        vec![
+            vec![IpBlock::new(Ip::VecAdd)],
+            vec![IpBlock::new(Ip::VecProduct)],
+        ],
     )
     .unwrap();
 
     let mut p = Platform::load(cfg_net.clone()).unwrap();
     p.register_built_shell(cfg_net, &art_net);
     p.register_built_shell(cfg_num.clone(), &art_num);
-    assert!(p.rdma_create_qp(1, coyote_net::QpConfig::pair(1, 2).0).is_ok());
+    assert!(p
+        .rdma_create_qp(1, coyote_net::QpConfig::pair(1, 2).0)
+        .is_ok());
 
     let rcnfg = CRcnfg::new(&mut p, 1);
     let timing = rcnfg
         .reconfigure_shell_bytes(&mut p, art_num.shell_bitstream.bytes(), true)
         .unwrap();
     // Networking is gone, two vFPGA regions exist.
-    assert!(p.rdma_create_qp(1, coyote_net::QpConfig::pair(3, 4).0).is_err());
+    assert!(p
+        .rdma_create_qp(1, coyote_net::QpConfig::pair(3, 4).0)
+        .is_err());
     assert_eq!(p.config().n_vfpgas, 2);
     assert!(p.vfpga(1).is_ok());
     // Loading the 53 MB memory shell: Table 3 scenario #2's ~72 ms kernel
     // latency band.
     let kernel_ms = timing.kernel_latency.as_millis_f64();
-    assert!((70.0..75.0).contains(&kernel_ms), "kernel latency {kernel_ms} ms");
+    assert!(
+        (70.0..75.0).contains(&kernel_ms),
+        "kernel latency {kernel_ms} ms"
+    );
 }
 
 #[test]
@@ -103,7 +122,9 @@ fn reconfig_completion_interrupt_delivered() {
     let mut p = Platform::load(cfg_a).unwrap();
     p.register_built_shell(cfg_b, &art);
     let rcnfg = CRcnfg::new(&mut p, 77);
-    rcnfg.reconfigure_shell_bytes(&mut p, art.shell_bitstream.bytes(), false).unwrap();
+    rcnfg
+        .reconfigure_shell_bytes(&mut p, art.shell_bitstream.bytes(), false)
+        .unwrap();
     let ev = p.driver_mut().eventfd_mut(77).unwrap().poll().unwrap();
     assert!(matches!(ev, coyote_driver::IrqEvent::ReconfigDone { .. }));
 }

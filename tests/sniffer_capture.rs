@@ -12,7 +12,8 @@ use coyote_sim::SimTime;
 fn sniffing_platform(config: SnifferConfig) -> (Platform, CThread) {
     let cfg = ShellConfig::host_memory_network(1, 8).with_sniffer(config);
     let mut p = Platform::load(cfg).unwrap();
-    p.load_kernel(0, Box::new(coyote_apps::SnifferApp::default())).unwrap();
+    p.load_kernel(0, Box::new(coyote_apps::SnifferApp::default()))
+        .unwrap();
     let t = CThread::create(&mut p, 0, 7).unwrap();
     (p, t)
 }
@@ -26,19 +27,34 @@ fn run_write(p: &mut Platform, t: &CThread, qpn_base: u32, len: u64) {
     p.rdma_create_qp(7, qp_fpga).unwrap();
     let payload = vec![0xEEu8; len as usize];
     nic.write_memory(0, &payload);
-    nic.post(qpn_base, 1, Verb::Write { remote_vaddr: buf, local_vaddr: 0, len });
+    nic.post(
+        qpn_base,
+        1,
+        Verb::Write {
+            remote_vaddr: buf,
+            local_vaddr: 0,
+            len,
+        },
+    );
     run_with_nic(p, 0, &mut nic, 1, &mut switch, SimTime::ZERO);
 }
 
 #[test]
 fn capture_rdma_write_to_pcap() {
-    let (mut p, t) = sniffing_platform(SnifferConfig { roce_only: true, ..Default::default() });
+    let (mut p, t) = sniffing_platform(SnifferConfig {
+        roce_only: true,
+        ..Default::default()
+    });
     p.sniffer_mut().unwrap().start();
     run_write(&mut p, &t, 0x10, 40_000);
     p.sniffer_mut().unwrap().stop();
 
     let records = p.sniffer_mut().unwrap().take_records();
-    assert!(records.len() >= 10, "10 data packets + ACK, saw {}", records.len());
+    assert!(
+        records.len() >= 10,
+        "10 data packets + ACK, saw {}",
+        records.len()
+    );
     // Both directions present: data in (Rx at the shell), ACKs out.
     assert!(records.iter().any(|r| r.direction == Direction::Rx));
     assert!(records.iter().any(|r| r.direction == Direction::Tx));

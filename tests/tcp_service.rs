@@ -21,7 +21,10 @@ fn two_platforms_handshake_and_transfer() {
         .tcp_connect(5000, 80, b.config().mac(), b.config().ip())
         .unwrap();
     run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, SimTime::ZERO);
-    assert_eq!(a.tcp_mut().unwrap().socket(key_a).unwrap().state(), TcpState::Established);
+    assert_eq!(
+        a.tcp_mut().unwrap().socket(key_a).unwrap().state(),
+        TcpState::Established
+    );
 
     // 100 KB each way.
     let req: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
@@ -54,7 +57,10 @@ fn platform_talks_to_software_host() {
     host.socket(hk).unwrap().send(b"GET /stats");
     let now = p.now();
     run_tcp_with_host(&mut p, 0, &mut host, 1, &mut switch, now);
-    assert_eq!(p.tcp_mut().unwrap().socket((7000, 41000)).unwrap().recv(), b"GET /stats");
+    assert_eq!(
+        p.tcp_mut().unwrap().socket((7000, 41000)).unwrap().recv(),
+        b"GET /stats"
+    );
 }
 
 #[test]
@@ -67,9 +73,14 @@ fn rdma_and_tcp_coexist_on_one_shell() {
 
     // TCP connection up.
     b.tcp_listen(80).unwrap();
-    let ka = a.tcp_connect(5000, 80, b.config().mac(), b.config().ip()).unwrap();
+    let ka = a
+        .tcp_connect(5000, 80, b.config().mac(), b.config().ip())
+        .unwrap();
     run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, SimTime::ZERO);
-    assert_eq!(a.tcp_mut().unwrap().socket(ka).unwrap().state(), TcpState::Established);
+    assert_eq!(
+        a.tcp_mut().unwrap().socket(ka).unwrap().state(),
+        TcpState::Established
+    );
 
     // RDMA QPs on the same platforms still work.
     let (qa, qb) = coyote_net::QpConfig::pair(0x10, 0x20);
@@ -90,7 +101,9 @@ fn tcp_teardown_closes_cleanly() {
     let mut b = node(2);
     let mut switch = Switch::new(2);
     b.tcp_listen(80).unwrap();
-    let ka = a.tcp_connect(5000, 80, b.config().mac(), b.config().ip()).unwrap();
+    let ka = a
+        .tcp_connect(5000, 80, b.config().mac(), b.config().ip())
+        .unwrap();
     run_tcp_pair(&mut a, 0, &mut b, 1, &mut switch, SimTime::ZERO);
     a.tcp_mut().unwrap().socket(ka).unwrap().close();
     let now = a.now();

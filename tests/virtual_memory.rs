@@ -15,7 +15,8 @@ fn page_sizes_allocate_and_work() {
         let src = t.get_mem_paged(&mut p, 8192, page).unwrap();
         let dst = t.get_mem_paged(&mut p, 8192, page).unwrap();
         t.write(&mut p, src, b"paged data").unwrap();
-        t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 8192)).unwrap();
+        t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, 8192))
+            .unwrap();
         assert_eq!(t.read(&p, dst, 10).unwrap(), b"paged data");
     }
 }
@@ -56,7 +57,9 @@ fn migration_to_card_carries_data_and_times_the_channel() {
     t.write(&mut p, buf, &data).unwrap();
     assert_eq!(p.buffer_location(1, buf), Some(MemLocation::Host));
 
-    let c = t.invoke_sync(&mut p, Oper::MigrateToCard, &SgEntry::source(buf, len)).unwrap();
+    let c = t
+        .invoke_sync(&mut p, Oper::MigrateToCard, &SgEntry::source(buf, len))
+        .unwrap();
     assert_eq!(p.buffer_location(1, buf), Some(MemLocation::Card));
     // Same virtual address, same data.
     assert_eq!(t.read(&p, buf, len as usize).unwrap(), data);
@@ -66,7 +69,8 @@ fn migration_to_card_carries_data_and_times_the_channel() {
     assert!((0.5..2.0).contains(&ms), "migration took {ms} ms");
 
     // And back.
-    t.invoke_sync(&mut p, Oper::MigrateToHost, &SgEntry::source(buf, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::MigrateToHost, &SgEntry::source(buf, len))
+        .unwrap();
     assert_eq!(p.buffer_location(1, buf), Some(MemLocation::Host));
     assert_eq!(t.read(&p, buf, 100).unwrap(), data[..100]);
 }
@@ -83,9 +87,11 @@ fn kernel_reads_migrated_buffer_from_card() {
     let dst = t.get_mem(&mut p, len).unwrap();
     let data = vec![0x42u8; len as usize];
     t.write(&mut p, src, &data).unwrap();
-    t.invoke_sync(&mut p, Oper::MigrateToCard, &SgEntry::source(src, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::MigrateToCard, &SgEntry::source(src, len))
+        .unwrap();
     // Invocation now sources from the card automatically.
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
     assert_eq!(t.read(&p, dst, len as usize).unwrap(), data);
 }
 
@@ -97,11 +103,17 @@ fn gpu_peer_to_peer_extension() {
     let t = CThread::create(&mut p, 0, 1).unwrap();
     // Allocate GPU memory mapped into the shared virtual space.
     let m = p.driver_mut().alloc_gpu(1, 64 * 1024).unwrap();
-    p.driver_mut().user_write(1, m.vaddr, &vec![9u8; 64 * 1024]).unwrap();
+    p.driver_mut()
+        .user_write(1, m.vaddr, &vec![9u8; 64 * 1024])
+        .unwrap();
     let dst = t.get_mem(&mut p, 64 * 1024).unwrap();
     // The kernel streams directly out of GPU memory.
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(m.vaddr, dst, 64 * 1024))
-        .unwrap();
+    t.invoke_sync(
+        &mut p,
+        Oper::LocalTransfer,
+        &SgEntry::local(m.vaddr, dst, 64 * 1024),
+    )
+    .unwrap();
     assert_eq!(t.read(&p, dst, 64 * 1024).unwrap(), vec![9u8; 64 * 1024]);
 }
 
@@ -124,7 +136,11 @@ fn unmapped_address_faults_the_invocation() {
     let t = CThread::create(&mut p, 0, 1).unwrap();
     let dst = t.get_mem(&mut p, 4096).unwrap();
     let err = t
-        .invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(0xDEAD_0000, dst, 4096))
+        .invoke_sync(
+            &mut p,
+            Oper::LocalTransfer,
+            &SgEntry::local(0xDEAD_0000, dst, 4096),
+        )
         .unwrap_err();
     assert!(matches!(err, coyote::PlatformError::Driver(_)));
 }
@@ -135,7 +151,8 @@ fn fault_interrupts_surface_via_msix_and_eventfd() {
     p.load_kernel(0, Box::new(Passthrough::default())).unwrap();
     let t = CThread::create(&mut p, 0, 5).unwrap();
     let buf = t.get_mem(&mut p, 2 << 20).unwrap();
-    t.invoke_sync(&mut p, Oper::MigrateToCard, &SgEntry::source(buf, 2 << 20)).unwrap();
+    t.invoke_sync(&mut p, Oper::MigrateToCard, &SgEntry::source(buf, 2 << 20))
+        .unwrap();
     // The serviced fault and shoot-down were raised as MSI-X vectors.
     assert!(p.msix().raised() >= 2);
     // And the process observed a FaultServiced event.
@@ -156,7 +173,8 @@ fn beat_accounting_matches_traffic() {
     let len = 8192u64; // 128 beats each way.
     let src = t.get_mem(&mut p, len).unwrap();
     let dst = t.get_mem(&mut p, len).unwrap();
-    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len)).unwrap();
+    t.invoke_sync(&mut p, Oper::LocalTransfer, &SgEntry::local(src, dst, len))
+        .unwrap();
     let slot = p.vfpga(0).unwrap();
     assert_eq!(slot.beats_in, 128, "8 KB = 128 x 64 B beats in");
     assert_eq!(slot.beats_out, 128);

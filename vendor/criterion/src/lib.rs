@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock bench harness exposing the API surface the
+//! `coyote-bench` bench targets use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`throughput`/`bench_function`, and
+//! `Bencher::iter`. Reports mean wall-clock time per iteration (and
+//! throughput when configured). When invoked by `cargo test` (which passes
+//! `--test` to `harness = false` targets), each benchmark runs exactly one
+//! iteration as a smoke test.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The harness entry point handed to each bench function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_TEST_MODE").is_some();
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            samples: 10,
+            throughput: None,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (measured iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let samples = if self.test_mode { 1 } else { self.samples };
+        let mut bencher = Bencher {
+            iters: samples as u64,
+            elapsed_ns: 0,
+        };
+        f(&mut bencher);
+        let per_iter_ns = bencher.elapsed_ns as f64 / bencher.iters.max(1) as f64;
+        let label = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut line = format!("bench {label:<48} {:>12}/iter", format_ns(per_iter_ns));
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / (per_iter_ns / 1e9);
+            match t {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:.1} MB/s", per_sec(n) / 1e6));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.0} elem/s", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Run and time `f` for the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Re-export matching the real crate (benches may import it from here).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundle bench functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        std::env::set_var("CRITERION_TEST_MODE", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(1024));
+        let mut ran = 0;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1, "test mode runs exactly one iteration");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(1.5e6), "1.500 ms");
+        assert_eq!(format_ns(2.5e9), "2.500 s");
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde abstracts over data formats with generic
+//! `Serializer`/`Deserializer` traits; this workspace only ever serializes
+//! to JSON, so the stand-in collapses the data model to a single [`Value`]
+//! tree. `#[derive(Serialize, Deserialize)]` is provided by the sibling
+//! `serde_derive` proc-macro crate and generates impls of the two traits
+//! below. The JSON text encoding itself lives in the `serde_json` stand-in.
+//!
+//! Externally-tagged enum representation matches real serde: unit variants
+//! serialize as a string, data-carrying variants as a one-key object.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The in-memory data model: a JSON value tree.
+///
+/// Integers are kept exact (`i128` covers the full `u64`/`i64` range used
+/// by digests and picosecond counters) rather than routed through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact integer.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X" error.
+    pub fn expected(what: &str) -> DeError {
+        DeError(format!("expected {what}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the serialized object.
+    /// Overridden by `Option<T>` to yield `None`; everything else errors.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}`")))
+    }
+}
+
+/// Look up `name` in a serialized object and deserialize it (absent keys
+/// route through [`Deserialize::from_missing`]). Used by derived impls.
+pub fn from_field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_missing(name),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::expected("integer")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(DeError::expected("number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Option<T>, DeError> {
+        Ok(None)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::expected("array"))?;
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if a.len() != LEN {
+                    return Err(DeError(format!("expected {LEN}-tuple, got {} elements", a.len())));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let v = 42u64.to_value();
+        assert_eq!(u64::from_value(&v), Ok(42));
+        assert_eq!(u8::from_value(&Value::Int(300)).is_err(), true);
+        let t = ("a".to_string(), 1.5f64).to_value();
+        assert_eq!(<(String, f64)>::from_value(&t), Ok(("a".to_string(), 1.5)));
+    }
+
+    #[test]
+    fn option_field_semantics() {
+        let obj = vec![("present".to_string(), Value::Int(1))];
+        assert_eq!(from_field::<Option<u32>>(&obj, "present"), Ok(Some(1)));
+        assert_eq!(from_field::<Option<u32>>(&obj, "absent"), Ok(None));
+        assert!(from_field::<u32>(&obj, "absent").is_err());
+    }
+
+    #[test]
+    fn u64_digests_stay_exact() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_value(&big.to_value()), Ok(big));
+    }
+}

@@ -1,0 +1,343 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment has no registry access). Supports the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields,
+//! * enums with unit variants, tuple variants, and struct variants,
+//!
+//! all without generic parameters. Field/variant *types* never need to be
+//! parsed: generated code names fields and lets inference resolve the
+//! trait calls, so arbitrarily complex field types work for free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this arity.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+/// Skip attributes (`#[...]` / `#![...]`) and visibility (`pub`,
+/// `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Walk tokens from `i` until a top-level comma (angle-bracket depth aware,
+/// so `Foo<A, B>` does not split). Returns the index *after* the comma, or
+/// `tokens.len()` at the end.
+fn skip_to_next_field(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named-field lists (struct bodies and struct
+/// variant bodies).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_to_next_field(&tokens, i);
+    }
+    fields
+}
+
+/// Count the arity of a tuple-variant body `(TypeA, TypeB, ...)`.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        arity += 1;
+        i = skip_to_next_field(&tokens, i);
+    }
+    arity
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive on `{name}`: generic parameters are not supported by the offline serde stand-in");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("derive on `{name}`: expected a braced body, found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => {
+            let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut i = 0;
+            while i < tokens.len() {
+                i = skip_attrs_and_vis(&tokens, i);
+                let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+                    break;
+                };
+                let vname = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(tuple_arity(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(parse_named_fields(g))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: vname, kind });
+                // Consume the trailing comma, if any.
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::from_field(obj, \"{f}\")?"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<{name}, serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| serde::DeError::expected(\"object for {name}\"))?;\n\
+                         let _ = &obj;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0})", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&arr[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let arr = inner.as_array().ok_or_else(|| serde::DeError::expected(\"array for {name}::{vn}\"))?;\n\
+                                     if arr.len() != {n} {{ return Err(serde::DeError::expected(\"{n} elements for {name}::{vn}\")); }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: serde::from_field(vobj, \"{f}\")?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let vobj = inner.as_object().ok_or_else(|| serde::DeError::expected(\"object for {name}::{vn}\"))?;\n\
+                                     let _ = &vobj;\n\
+                                     Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<{name}, serde::DeError> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             match s {{ {unit} _ => return Err(serde::DeError(format!(\"unknown {name} variant `{{s}}`\"))) }}\n\
+                         }}\n\
+                         let obj = v.as_object().ok_or_else(|| serde::DeError::expected(\"string or object for {name}\"))?;\n\
+                         let (tag, inner) = obj.first().ok_or_else(|| serde::DeError::expected(\"tagged {name} variant\"))?;\n\
+                         let _ = &inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => Err(serde::DeError(format!(\"unknown {name} variant `{{other}}`\")))\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                tagged = tagged_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            )
+        }
+    };
+    out.parse().expect("derived Deserialize impl parses")
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the serde stand-in's [`Value`] tree to JSON text and parses it
+//! back. The pretty printer mirrors real serde_json: two-space indent,
+//! `": "` separators, integral floats printed with a trailing `.0`, and
+//! shortest-roundtrip float formatting — so regenerated `results/*.json`
+//! files keep the familiar shape.
+
+pub use serde::Value;
+
+use std::fmt;
+
+/// Parse / convert error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_f64(f: f64) -> String {
+    if f.is_nan() || f.is_infinite() {
+        // Real serde_json refuses non-finite numbers; emit null like its
+        // lossy modes do rather than panicking deep inside a report writer.
+        return "null".to_string();
+    }
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_value(v: &Value, indent: usize, pretty: bool, out: &mut String) {
+    let pad = |n: usize, out: &mut String| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => out.push_str(&format_f64(*f)),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                write_value(item, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize to pretty-printed JSON bytes (two-space indent).
+pub fn to_vec_pretty<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, true, &mut out);
+    Ok(out.into_bytes())
+}
+
+/// Serialize to a pretty-printed JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, true, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, false, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'n' => self.parse_keyword("null", Value::Null),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            c => Err(self.err(&format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .input
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u codepoint"))?,
+                            );
+                        }
+                        c => return Err(self.err(&format!("bad escape `\\{}`", c as char))),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the raw slice.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.input.len() && self.input[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.input[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid float"))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parse a [`Value`] from JSON bytes.
+pub fn value_from_slice(data: &[u8]) -> Result<Value, Error> {
+    let mut p = Parser {
+        input: data,
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != data.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(data: &[u8]) -> Result<T, Error> {
+    let v = value_from_slice(data)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(data: &str) -> Result<T, Error> {
+    from_slice(data.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_shape() {
+        let v = Value::Object(vec![
+            ("id".to_string(), Value::Str("x".to_string())),
+            (
+                "vals".to_string(),
+                Value::Array(vec![Value::Float(2047.0), Value::Int(3)]),
+            ),
+            ("none".to_string(), Value::Null),
+            ("empty".to_string(), Value::Array(vec![])),
+        ]);
+        let mut out = String::new();
+        write_value(&v, 0, true, &mut out);
+        assert_eq!(
+            out,
+            "{\n  \"id\": \"x\",\n  \"vals\": [\n    2047.0,\n    3\n  ],\n  \"none\": null,\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_shortest_roundtrip() {
+        assert_eq!(format_f64(13.594222276502189), "13.594222276502189");
+        assert_eq!(format_f64(2047.0), "2047.0");
+        assert_eq!(format_f64(0.5), "0.5");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = b"{\"a\": [1, -2.5, \"s\\n\"], \"b\": null, \"c\": true}";
+        let v = value_from_slice(text).unwrap();
+        assert_eq!(v.get("b"), Some(&Value::Null));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1],
+            Value::Float(-2.5)
+        );
+        let back = value_from_slice(to_string(&ValueWrap(&v)).unwrap().as_bytes()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(value_from_slice(b"not json").is_err());
+        assert!(value_from_slice(b"{\"a\": }").is_err());
+        assert!(value_from_slice(b"[1, 2] trailing").is_err());
+    }
+
+    /// Serialize a borrowed Value for the roundtrip test.
+    struct ValueWrap<'a>(&'a Value);
+    impl serde::Serialize for ValueWrap<'_> {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
