@@ -67,7 +67,7 @@ pub fn decode_records(data: &[u8]) -> Result<Vec<CaptureRecord>, String> {
             at: SimTime(ts),
             direction: dir,
             orig_len,
-            bytes: data[off..off + cap_len].to_vec(),
+            bytes: bytes::Bytes::copy_from_slice(&data[off..off + cap_len]),
         });
         off += cap_len;
     }
@@ -141,13 +141,13 @@ mod tests {
                 at: SimTime::ZERO + SimDuration::from_us(10),
                 direction: Direction::Rx,
                 orig_len: 1500,
-                bytes: vec![0xAA; 54],
+                bytes: vec![0xAA; 54].into(),
             },
             CaptureRecord {
                 at: SimTime::ZERO + SimDuration::from_us(25),
                 direction: Direction::Tx,
                 orig_len: 64,
-                bytes: vec![0xBB; 64],
+                bytes: vec![0xBB; 64].into(),
             },
         ]
     }

@@ -1,0 +1,84 @@
+//! Network data-plane hot paths: frame serialization (reference copy path
+//! vs scatter-gather zero-copy) and retransmission (re-serialize vs cached
+//! frame clones). The same comparison `coyote-bench net_micro` reports,
+//! under criterion's measurement loop.
+
+use coyote_net::{BthOpcode, MacAddr, QpConfig, QueuePair, RocePacket, Verb};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const MTU: usize = coyote_sim::params::ROCE_MTU;
+
+fn mtu_packet() -> RocePacket {
+    RocePacket {
+        src_mac: MacAddr::node(1),
+        dst_mac: MacAddr::node(2),
+        src_ip: [10, 0, 0, 1],
+        dst_ip: [10, 0, 0, 2],
+        opcode: BthOpcode::WriteMiddle,
+        dest_qp: 0x800,
+        psn: 3,
+        ack_req: false,
+        reth: None,
+        aeth: None,
+        payload: (0..MTU)
+            .map(|i| (i % 251) as u8)
+            .collect::<Vec<u8>>()
+            .into(),
+    }
+}
+
+/// One window of outstanding MTU-sized WRITE segments on a fresh QP.
+fn staged_qp(segments: usize) -> (QueuePair, Vec<u8>) {
+    let (cfg, _) = QpConfig::pair(0x700, 0x800);
+    let mut qp = QueuePair::new(cfg);
+    let mem: Vec<u8> = (0..segments * MTU).map(|i| (i % 251) as u8).collect();
+    qp.post(
+        1,
+        Verb::Write {
+            remote_vaddr: 0,
+            local_vaddr: 0,
+            len: mem.len() as u64,
+        },
+    );
+    (qp, mem)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_dataplane");
+    group.throughput(Throughput::Bytes(MTU as u64));
+
+    let pkt = mtu_packet();
+    group.bench_function("serialize_reference_4KB", |b| {
+        b.iter(|| black_box(black_box(&pkt).reference_serialize()))
+    });
+    group.bench_function("serialize_frame_4KB", |b| {
+        b.iter(|| black_box(black_box(&pkt).to_frame()))
+    });
+
+    let wire = pkt.to_frame().to_vec();
+    group.bench_function("parse_4KB", |b| {
+        b.iter(|| RocePacket::parse(black_box(&wire)).unwrap())
+    });
+
+    let segments = 64usize;
+    group.throughput(Throughput::Bytes((segments * MTU) as u64));
+    let (mut qp_ref, mem_ref) = staged_qp(segments);
+    qp_ref.poll_tx(&mem_ref);
+    group.bench_function("retransmit_reference_64seg", |b| {
+        b.iter(|| {
+            for p in qp_ref.on_timeout() {
+                black_box(p.reference_serialize());
+            }
+        })
+    });
+    let (mut qp_zc, mem_zc) = staged_qp(segments);
+    qp_zc.poll_tx_frames(&mem_zc);
+    group.bench_function("retransmit_cached_64seg", |b| {
+        b.iter(|| black_box(qp_zc.on_timeout_frames()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

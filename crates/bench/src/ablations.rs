@@ -85,7 +85,9 @@ pub fn ablation_tlb_geometry() -> ExperimentResult {
                 "hit rate %",
                 stats.hit_rate() * 100.0,
             )
-            .with("entries", (sets * ways) as f64),
+            .with("entries", (sets * ways) as f64)
+            .with("misses", stats.misses as f64)
+            .with("evictions", stats.evictions as f64),
         );
     }
     ExperimentResult {

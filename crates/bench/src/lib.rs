@@ -10,6 +10,7 @@ pub mod ablations;
 pub mod cache;
 pub mod claims;
 pub mod experiments;
+pub mod netexp;
 pub mod report;
 
 pub use report::{ExperimentResult, Row};

@@ -3,6 +3,8 @@
 //! ```text
 //! coyote-bench all            # every table and figure
 //! coyote-bench fig7a fig10b   # a selection
+//! coyote-bench net            # the network data-plane group
+//! coyote-bench net --quick    # CI smoke: same paths, smaller workloads
 //! coyote-bench all --timings  # also record wall-clock to BENCH_wallclock.json
 //! coyote-bench --list
 //! ```
@@ -38,7 +40,17 @@ const IDS: &[&str] = &[
     "ablation_virt",
     "ablation_mt",
     "claims",
+    "net_goodput",
+    "net_fanin",
+    "net_retransmit",
+    "net_micro",
 ];
+
+/// Group aliases: one name selecting several experiments.
+const GROUPS: &[(&str, &[&str])] = &[(
+    "net",
+    &["net_goodput", "net_fanin", "net_retransmit", "net_micro"],
+)];
 
 /// Where `--timings` records the wall-clock trajectory.
 const WALLCLOCK_FILE: &str = "BENCH_wallclock.json";
@@ -80,6 +92,10 @@ fn run_one(id: &str) -> Option<ExperimentResult> {
             coyote_bench::ablations::ablation_threads_vs_vfpgas,
         ),
         "claims" => cached("claims", coyote_bench::claims::claims),
+        "net_goodput" => cached("net_goodput", coyote_bench::netexp::net_goodput),
+        "net_fanin" => cached("net_fanin", coyote_bench::netexp::net_fanin),
+        "net_retransmit" => cached("net_retransmit", coyote_bench::netexp::net_retransmit),
+        "net_micro" => cached("net_micro", coyote_bench::netexp::net_micro),
         _ => return None,
     })
 }
@@ -141,6 +157,10 @@ fn main() {
         return;
     }
     let timings = args.iter().any(|a| a == "--timings");
+    if args.iter().any(|a| a == "--quick") {
+        // Experiments read this to shrink sizes/iterations (CI smoke runs).
+        std::env::set_var("COYOTE_BENCH_QUICK", "1");
+    }
     let label = args
         .iter()
         .position(|a| a == "--label")
@@ -162,7 +182,15 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
-    let selection: Vec<&str> = if named.is_empty() || named.iter().any(|a| *a == "all") {
+    // Expand group aliases ("net" -> every net_* experiment).
+    let named: Vec<&str> = named
+        .into_iter()
+        .flat_map(|a| match GROUPS.iter().find(|(g, _)| *g == a) {
+            Some((_, ids)) => ids.to_vec(),
+            None => vec![a],
+        })
+        .collect();
+    let selection: Vec<&str> = if named.is_empty() || named.contains(&"all") {
         IDS.to_vec()
     } else {
         named

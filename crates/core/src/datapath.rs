@@ -25,7 +25,7 @@ use bytes::Bytes;
 use coyote_axi::stream::{beats_for, DEFAULT_BUS_BYTES};
 use coyote_dma::{DmaJob, XdmaDir};
 use coyote_mmu::{MemLocation, TranslateOutcome};
-use coyote_sched::packetize;
+use coyote_sched::packetize_iter;
 use coyote_sim::{params, RrQueue, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -212,7 +212,8 @@ impl Platform {
                     host_job_map.insert(id, (idx, r.src_paddr));
                 }
                 MemLocation::Card | MemLocation::Gpu => {
-                    for p in packetize(r.src_paddr, r.inv.sg.len, params::DEFAULT_PACKET_BYTES) {
+                    for p in packetize_iter(r.src_paddr, r.inv.sg.len, params::DEFAULT_PACKET_BYTES)
+                    {
                         card_rr.push(idx, p);
                     }
                 }

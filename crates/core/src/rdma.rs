@@ -14,9 +14,11 @@ use crate::platform::{Platform, PlatformError};
 use coyote_driver::CoyoteDriver;
 use coyote_mmu::MemLocation;
 use coyote_net::sniffer::Direction;
-use coyote_net::{Completion as NetCompletion, QpConfig, QueuePair, RdmaMemory, RocePacket, Verb};
+use coyote_net::{
+    Completion as NetCompletion, Frame, QpConfig, QueuePair, RdmaMemory, RocePacket, Verb,
+};
 use coyote_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// RDMA memory adapter: virtual addresses of one process, resolved through
 /// the driver page tables into whichever physical memory holds the page.
@@ -42,14 +44,14 @@ impl RdmaMemory for VirtualMemory<'_> {
 /// The shell's RDMA service.
 pub struct BalboaService {
     /// QPs by local QPN, each owned by a process.
-    qps: HashMap<u32, (u32, QueuePair)>,
+    qps: BTreeMap<u32, (u32, QueuePair)>,
 }
 
 impl BalboaService {
     /// An empty service (QPs created per connection).
     pub fn new() -> BalboaService {
         BalboaService {
-            qps: HashMap::new(),
+            qps: BTreeMap::new(),
         }
     }
 
@@ -92,9 +94,10 @@ impl Platform {
         Ok(())
     }
 
-    /// Gather outbound frames from every QP (serialized wire bytes). Frames
-    /// pass the TX side of the sniffer.
-    pub fn net_poll_tx(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+    /// Gather outbound frames from every QP as scatter-gather wire frames
+    /// (the payload segment shares the staged message buffer). Frames pass
+    /// the TX side of the sniffer.
+    pub fn net_poll_tx(&mut self, now: SimTime) -> Vec<Frame> {
         let Some(balboa) = self.balboa.as_mut() else {
             return Vec::new();
         };
@@ -104,13 +107,11 @@ impl Platform {
                 driver: &mut self.driver,
                 hpid: *hpid,
             };
-            for pkt in qp.poll_tx(&mem) {
-                frames.push(pkt.serialize());
-            }
+            frames.extend(qp.poll_tx_frames(&mem));
         }
         if let Some(sniffer) = self.sniffer.as_mut() {
             for f in &frames {
-                sniffer.observe(now, Direction::Tx, f);
+                sniffer.observe_frame(now, Direction::Tx, f);
             }
         }
         frames
@@ -118,14 +119,14 @@ impl Platform {
 
     /// Deliver a frame from the network at `now`; returns response frames
     /// (ACKs, read responses) for the caller to put back on the wire.
-    pub fn net_rx(&mut self, now: SimTime, frame: &[u8]) -> Vec<Vec<u8>> {
+    pub fn net_rx(&mut self, now: SimTime, frame: &Frame) -> Vec<Frame> {
         if let Some(sniffer) = self.sniffer.as_mut() {
-            sniffer.observe(now, Direction::Rx, frame);
+            sniffer.observe_frame(now, Direction::Rx, frame);
         }
         let Some(balboa) = self.balboa.as_mut() else {
             return Vec::new();
         };
-        let Ok(pkt) = RocePacket::parse(frame) else {
+        let Ok(pkt) = RocePacket::parse_frame(frame) else {
             return Vec::new(); // Corrupt on the wire; the CMAC drops it.
         };
         let Some((hpid, qp)) = balboa.qps.get_mut(&pkt.dest_qp) else {
@@ -136,29 +137,29 @@ impl Platform {
             hpid: *hpid,
         };
         let action = qp.on_rx(&pkt, &mut mem);
-        let responses: Vec<Vec<u8>> = action.tx.iter().map(RocePacket::serialize).collect();
+        let responses: Vec<Frame> = action.tx.iter().map(RocePacket::to_frame).collect();
         if let Some(sniffer) = self.sniffer.as_mut() {
             for f in &responses {
-                sniffer.observe(now, Direction::Tx, f);
+                sniffer.observe_frame(now, Direction::Tx, f);
             }
         }
         responses
     }
 
     /// Fire every QP's retransmission timer (frames pass the TX sniffer).
-    pub fn rdma_timeout(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+    /// Retransmitted frames reference the same staged payload buffers as
+    /// the originals — re-framing is O(headers), not O(payload).
+    pub fn rdma_timeout(&mut self, now: SimTime) -> Vec<Frame> {
         let Some(balboa) = self.balboa.as_mut() else {
             return Vec::new();
         };
         let mut frames = Vec::new();
         for (_, qp) in balboa.qps.values_mut() {
-            for pkt in qp.on_timeout() {
-                frames.push(pkt.serialize());
-            }
+            frames.extend(qp.on_timeout_frames());
         }
         if let Some(sniffer) = self.sniffer.as_mut() {
             for f in &frames {
-                sniffer.observe(now, Direction::Tx, f);
+                sniffer.observe_frame(now, Direction::Tx, f);
             }
         }
         frames
@@ -204,14 +205,14 @@ pub fn run_with_nic(
             activity = true;
             for d in switch.inject(now, platform_port, frame) {
                 now = now.max(d.at);
-                for resp in nic.on_wire(&d.bytes) {
-                    for d2 in switch.inject(d.at, nic_port, resp.serialize()) {
+                for resp in nic.on_frame(&d.bytes) {
+                    for d2 in switch.inject(d.at, nic_port, resp.to_frame()) {
                         now = now.max(d2.at);
                         let more = platform.net_rx(d2.at, &d2.bytes);
                         for m in more {
                             for d3 in switch.inject(d2.at, platform_port, m) {
                                 now = now.max(d3.at);
-                                nic.on_wire(&d3.bytes);
+                                nic.on_frame(&d3.bytes);
                             }
                         }
                     }
@@ -220,14 +221,14 @@ pub fn run_with_nic(
             }
         }
         // NIC -> switch.
-        for pkt in nic.poll_tx() {
+        for frame in nic.poll_tx_frames() {
             activity = true;
-            for d in switch.inject(now, nic_port, pkt.serialize()) {
+            for d in switch.inject(now, nic_port, frame) {
                 now = now.max(d.at);
                 for resp in platform.net_rx(d.at, &d.bytes) {
                     for d2 in switch.inject(d.at, platform_port, resp) {
                         now = now.max(d2.at);
-                        nic.on_wire(&d2.bytes);
+                        nic.on_frame(&d2.bytes);
                     }
                 }
                 exchanged += 1;

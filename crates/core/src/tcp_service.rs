@@ -83,11 +83,11 @@ pub fn run_tcp_pair(
             for d in switch.inject(now, a_port, frame) {
                 now = now.max(d.at);
                 exchanged += 1;
-                for resp in b.tcp_rx(d.at, &d.bytes) {
+                for resp in b.tcp_rx(d.at, &d.bytes.contiguous()) {
                     for d2 in switch.inject(d.at, b_port, resp) {
                         now = now.max(d2.at);
                         exchanged += 1;
-                        a.tcp_rx(d2.at, &d2.bytes);
+                        a.tcp_rx(d2.at, &d2.bytes.contiguous());
                     }
                 }
             }
@@ -97,11 +97,11 @@ pub fn run_tcp_pair(
             for d in switch.inject(now, b_port, frame) {
                 now = now.max(d.at);
                 exchanged += 1;
-                for resp in a.tcp_rx(d.at, &d.bytes) {
+                for resp in a.tcp_rx(d.at, &d.bytes.contiguous()) {
                     for d2 in switch.inject(d.at, a_port, resp) {
                         now = now.max(d2.at);
                         exchanged += 1;
-                        b.tcp_rx(d2.at, &d2.bytes);
+                        b.tcp_rx(d2.at, &d2.bytes.contiguous());
                     }
                 }
             }
@@ -133,11 +133,11 @@ pub fn run_tcp_with_host(
             for d in switch.inject(now, platform_port, frame) {
                 now = now.max(d.at);
                 exchanged += 1;
-                for resp in host.on_wire(&d.bytes) {
+                for resp in host.on_wire(&d.bytes.contiguous()) {
                     for d2 in switch.inject(d.at, host_port, resp) {
                         now = now.max(d2.at);
                         exchanged += 1;
-                        platform.tcp_rx(d2.at, &d2.bytes);
+                        platform.tcp_rx(d2.at, &d2.bytes.contiguous());
                     }
                 }
             }
@@ -147,11 +147,11 @@ pub fn run_tcp_with_host(
             for d in switch.inject(now, host_port, frame) {
                 now = now.max(d.at);
                 exchanged += 1;
-                for resp in platform.tcp_rx(d.at, &d.bytes) {
+                for resp in platform.tcp_rx(d.at, &d.bytes.contiguous()) {
                     for d2 in switch.inject(d.at, platform_port, resp) {
                         now = now.max(d2.at);
                         exchanged += 1;
-                        host.on_wire(&d2.bytes);
+                        host.on_wire(&d2.bytes.contiguous());
                     }
                 }
             }

@@ -7,7 +7,7 @@
 //! a fixed descriptor-processing overhead, which is what bends the small-
 //! message end of Fig. 10(a).
 
-use coyote_sched::{packetize, Interleaver, Packet};
+use coyote_sched::{packetize_iter, Interleaver, Packet};
 use coyote_sim::{params, LinkModel, SimDuration, SimTime, Transfer};
 use std::collections::HashMap;
 
@@ -111,12 +111,14 @@ impl XdmaEngine {
     /// packets. Nothing is booked on the link until a drain call.
     pub fn submit(&mut self, job: DmaJob) {
         assert!(job.len > 0, "empty DMA job");
-        let packets = packetize(job.host_addr, job.len, self.chunk);
-        self.remaining.insert(job.id, packets.len() as u32);
+        let mut count = 0u32;
+        let chunk = self.chunk;
         let q = self.dir_mut(job.dir);
-        for packet in packets {
+        for packet in packetize_iter(job.host_addr, job.len, chunk) {
             q.submit(job.tenant, QueuedPacket { job, packet });
+            count += 1;
         }
+        self.remaining.insert(job.id, count);
     }
 
     fn dir_mut(&mut self, dir: XdmaDir) -> &mut Interleaver<u8, QueuedPacket> {

@@ -61,8 +61,11 @@ impl WritebackTable {
     }
 
     fn read_counter_at(addr: u64, host: &HostMemory) -> u32 {
-        let bytes = host.read(addr, 4).expect("counter address valid");
-        u32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+        // Stack buffer: polling a counter must not allocate.
+        let mut bytes = [0u8; 4];
+        host.read_into(addr, &mut bytes)
+            .expect("counter address valid");
+        u32::from_le_bytes(bytes)
     }
 }
 

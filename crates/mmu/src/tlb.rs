@@ -92,15 +92,17 @@ struct Entry {
     hpid: u32,
     vpn: u64,
     translation: Translation,
-    lru: u64,
 }
 
 /// A set-associative, LRU-replaced TLB in "on-chip SRAM".
+///
+/// Each set keeps its entries in recency order (MRU at index 0), so a hit
+/// is a short scan + rotate and replacement always evicts the back slot —
+/// no per-entry timestamps and no full-set victim scan on the hot path.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
     sets: Vec<Vec<Entry>>,
-    clock: u64,
     stats: TlbStats,
 }
 
@@ -121,7 +123,6 @@ impl Tlb {
             sets: (0..config.sets)
                 .map(|_| Vec::with_capacity(config.ways))
                 .collect(),
-            clock: 0,
             stats: TlbStats::default(),
         }
     }
@@ -147,20 +148,19 @@ impl Tlb {
         (h as usize) & (self.config.sets - 1)
     }
 
-    /// Look up `vaddr` for process `hpid`.
+    /// Look up `vaddr` for process `hpid`. A hit promotes the entry to the
+    /// front of its set (MRU), keeping the hot translation first for the
+    /// next lookup's scan.
     pub fn lookup(&mut self, hpid: u32, vaddr: u64) -> Option<Translation> {
-        self.clock += 1;
         let vpn = self.vpn_of(vaddr);
         let set = self.set_of(vpn, hpid);
-        let clock = self.clock;
-        match self.sets[set]
-            .iter_mut()
-            .find(|e| e.hpid == hpid && e.vpn == vpn)
-        {
-            Some(e) => {
-                e.lru = clock;
+        let entries = &mut self.sets[set];
+        match entries.iter().position(|e| e.hpid == hpid && e.vpn == vpn) {
+            Some(idx) => {
+                // MRU promotion: rotate the hit to the front.
+                entries[..=idx].rotate_right(1);
                 self.stats.hits += 1;
-                Some(e.translation)
+                Some(entries[0].translation)
             }
             None => {
                 self.stats.misses += 1;
@@ -169,35 +169,31 @@ impl Tlb {
         }
     }
 
-    /// Install a translation (driver write-back after a miss).
+    /// Install a translation (driver write-back after a miss). With MRU
+    /// ordering the victim is always the back slot — no LRU scan.
     pub fn insert(&mut self, hpid: u32, vaddr: u64, translation: Translation) {
-        self.clock += 1;
         let vpn = self.vpn_of(vaddr);
         let set = self.set_of(vpn, hpid);
         let ways = self.config.ways;
-        let clock = self.clock;
         let entries = &mut self.sets[set];
-        if let Some(e) = entries.iter_mut().find(|e| e.hpid == hpid && e.vpn == vpn) {
-            e.translation = translation;
-            e.lru = clock;
+        if let Some(idx) = entries.iter().position(|e| e.hpid == hpid && e.vpn == vpn) {
+            entries[idx].translation = translation;
+            entries[..=idx].rotate_right(1);
             return;
         }
         if entries.len() == ways {
-            // Evict LRU.
-            let (idx, _) = entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .expect("non-empty set");
-            entries.swap_remove(idx);
+            // The back of the recency order is the LRU victim.
+            entries.pop().expect("non-empty set");
             self.stats.evictions += 1;
         }
-        entries.push(Entry {
-            hpid,
-            vpn,
-            translation,
-            lru: clock,
-        });
+        entries.insert(
+            0,
+            Entry {
+                hpid,
+                vpn,
+                translation,
+            },
+        );
     }
 
     /// Drop every entry of one process (process teardown, or the
@@ -279,6 +275,29 @@ mod tests {
         assert!(tlb.lookup(1, 0x1000).is_some());
         assert!(tlb.lookup(1, 0x2000).is_none(), "LRU victim evicted");
         assert!(tlb.lookup(1, 0x3000).is_some());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn mru_order_tracks_recency_across_ways() {
+        // 1 set x 3 ways: recency order decides the victim exactly.
+        let cfg = TlbConfig {
+            sets: 1,
+            ways: 3,
+            page: PageSize::Small,
+        };
+        let mut tlb = Tlb::new(cfg);
+        tlb.insert(1, 0x1000, tr(1));
+        tlb.insert(1, 0x2000, tr(2));
+        tlb.insert(1, 0x3000, tr(3));
+        // Touch 1 then 2: recency is now [2, 1, 3]; 3 is coldest.
+        tlb.lookup(1, 0x1000);
+        tlb.lookup(1, 0x2000);
+        tlb.insert(1, 0x4000, tr(4));
+        assert!(tlb.lookup(1, 0x3000).is_none(), "coldest way evicted");
+        assert!(tlb.lookup(1, 0x1000).is_some());
+        assert!(tlb.lookup(1, 0x2000).is_some());
+        assert!(tlb.lookup(1, 0x4000).is_some());
         assert_eq!(tlb.stats().evictions, 1);
     }
 

@@ -22,6 +22,7 @@
 //! * No congestion control (the paper's stack relies on PFC; drops are
 //!   injected only for retransmission testing).
 
+pub mod frame;
 pub mod headers;
 pub mod icrc;
 pub mod nic;
@@ -33,6 +34,7 @@ pub mod switch;
 pub mod tcp;
 pub mod udp;
 
+pub use frame::{payload_copies, reset_payload_copies, Frame};
 pub use headers::{EthernetHdr, Ipv4Hdr, MacAddr, UdpHdr, ROCE_UDP_PORT};
 pub use nic::CommodityNic;
 pub use packet::{BthOpcode, RocePacket};

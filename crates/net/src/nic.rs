@@ -8,18 +8,21 @@
 //! host-buffer memory. Interop is demonstrated by exchanging real bytes
 //! with the FPGA-side stack through the simulated switch.
 
+use crate::frame::Frame;
 use crate::packet::RocePacket;
 use crate::qp::{Completion, QpConfig, QueuePair, Verb};
-use std::collections::HashMap;
+use bytes::Bytes;
+use std::collections::BTreeMap;
 
 /// A software RNIC endpoint with registered memory and a set of QPs.
 #[derive(Debug)]
 pub struct CommodityNic {
     name: &'static str,
     memory: Vec<u8>,
-    qps: HashMap<u32, QueuePair>,
-    /// SENDs delivered to this endpoint, per QP.
-    inbox: Vec<(u32, Vec<u8>)>,
+    qps: BTreeMap<u32, QueuePair>,
+    /// SENDs delivered to this endpoint, per QP. Each message is the shared
+    /// payload buffer handed up by the QP — no re-serialized copy.
+    inbox: Vec<(u32, Bytes)>,
 }
 
 impl CommodityNic {
@@ -28,7 +31,7 @@ impl CommodityNic {
         CommodityNic {
             name,
             memory: vec![0u8; mem_bytes],
-            qps: HashMap::new(),
+            qps: BTreeMap::new(),
             inbox: Vec::new(),
         }
     }
@@ -76,11 +79,25 @@ impl CommodityNic {
         out
     }
 
-    /// Deliver a received wire frame.
+    /// Deliver a received wire frame from contiguous bytes (copies the
+    /// payload out of the borrowed buffer; prefer [`CommodityNic::on_frame`]).
     pub fn on_wire(&mut self, frame: &[u8]) -> Vec<RocePacket> {
         let Ok(pkt) = RocePacket::parse(frame) else {
             return Vec::new(); // Not RoCE or corrupt; NIC drops it.
         };
+        self.deliver(pkt)
+    }
+
+    /// Deliver a received wire frame zero-copy: the parsed payload shares
+    /// the frame's payload segment.
+    pub fn on_frame(&mut self, frame: &Frame) -> Vec<RocePacket> {
+        let Ok(pkt) = RocePacket::parse_frame(frame) else {
+            return Vec::new(); // Not RoCE or corrupt; NIC drops it.
+        };
+        self.deliver(pkt)
+    }
+
+    fn deliver(&mut self, pkt: RocePacket) -> Vec<RocePacket> {
         let Some(qp) = self.qps.get_mut(&pkt.dest_qp) else {
             return Vec::new();
         };
@@ -91,11 +108,30 @@ impl CommodityNic {
         action.tx
     }
 
+    /// Gather outbound wire frames from every QP, caching each frame on its
+    /// outstanding entry for O(1) retransmission.
+    pub fn poll_tx_frames(&mut self) -> Vec<Frame> {
+        let mut out = Vec::new();
+        for qp in self.qps.values_mut() {
+            out.extend(qp.poll_tx_frames(&self.memory));
+        }
+        out
+    }
+
     /// Fire every QP's retransmission timer.
     pub fn on_timeout(&mut self) -> Vec<RocePacket> {
         self.qps
             .values_mut()
             .flat_map(QueuePair::on_timeout)
+            .collect()
+    }
+
+    /// Fire every QP's retransmission timer, returning cached wire frames
+    /// (bit-identical to the original transmissions, O(headers) to produce).
+    pub fn on_timeout_frames(&mut self) -> Vec<Frame> {
+        self.qps
+            .values_mut()
+            .flat_map(QueuePair::on_timeout_frames)
             .collect()
     }
 
@@ -110,8 +146,9 @@ impl CommodityNic {
         out
     }
 
-    /// Received SEND messages.
-    pub fn take_inbox(&mut self) -> Vec<(u32, Vec<u8>)> {
+    /// Received SEND messages, handed out by move — the buffers are the
+    /// ones the QPs assembled, not copies.
+    pub fn take_inbox(&mut self) -> Vec<(u32, Bytes)> {
         std::mem::take(&mut self.inbox)
     }
 }
@@ -197,6 +234,8 @@ mod tests {
             b.on_wire(&f.serialize());
         }
         let inbox = b.take_inbox();
-        assert_eq!(inbox, vec![(6, b"hello balboa".to_vec())]);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].0, 6);
+        assert_eq!(inbox[0].1, &b"hello balboa"[..]);
     }
 }

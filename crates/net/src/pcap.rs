@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn truncated_capture_keeps_orig_len() {
         let mut r = rec(0, 1500);
-        r.bytes.truncate(54); // Header-only snap.
+        r.bytes = r.bytes.slice(..54); // Header-only snap.
         let mut buf = Vec::new();
         write_pcap(&mut buf, &[r], 54).unwrap();
         let parsed = read_pcap(&buf).unwrap();

@@ -15,6 +15,7 @@
 //! Simplification: PSNs are assumed not to wrap within a simulation run
 //! (24-bit space, < 16M packets per QP), which every experiment satisfies.
 
+use crate::frame::{count_payload_copy, Frame};
 use crate::headers::MacAddr;
 use crate::packet::{AethSyndrome, BthOpcode, RocePacket};
 use bytes::Bytes;
@@ -26,6 +27,23 @@ pub trait RdmaMemory {
     fn read(&self, vaddr: u64, len: usize) -> Result<Vec<u8>, String>;
     /// Write `data` at `vaddr`.
     fn write(&mut self, vaddr: u64, data: &[u8]) -> Result<(), String>;
+
+    /// Read `len` bytes at `vaddr` as shared bytes. The QP stages a whole
+    /// message through this once and carves MTU segments as zero-copy
+    /// slices, so implementations backed by owned buffers should avoid
+    /// intermediate copies where they can. The default wraps [`Self::read`]
+    /// (one DMA-equivalent copy out of the memory, never more).
+    fn read_bytes(&self, vaddr: u64, len: usize) -> Result<Bytes, String> {
+        self.read(vaddr, len).map(Bytes::from)
+    }
+
+    /// Read exactly `buf.len()` bytes at `vaddr` into a caller-provided
+    /// buffer, skipping the intermediate `Vec` of [`Self::read`].
+    fn read_into(&self, vaddr: u64, buf: &mut [u8]) -> Result<(), String> {
+        let data = self.read(vaddr, buf.len())?;
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
 }
 
 /// Plain-buffer memory for tests and the software NIC.
@@ -44,6 +62,15 @@ impl RdmaMemory for Vec<u8> {
             return Err(format!("oob write at {vaddr:#x}"));
         }
         self[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_into(&self, vaddr: u64, buf: &mut [u8]) -> Result<(), String> {
+        let start = vaddr as usize;
+        let src = self
+            .get(start..start + buf.len())
+            .ok_or_else(|| format!("oob read at {vaddr:#x}"))?;
+        buf.copy_from_slice(src);
         Ok(())
     }
 }
@@ -143,8 +170,10 @@ pub struct RxAction {
     /// Packets the QP wants transmitted in response (ACKs, NAKs, read
     /// responses, retransmissions).
     pub tx: Vec<RocePacket>,
-    /// Fully reassembled incoming SEND messages.
-    pub received: Vec<Vec<u8>>,
+    /// Fully reassembled incoming SEND messages. A single-fragment message
+    /// is the packet's shared payload slice; only multi-fragment messages
+    /// are stitched into a fresh buffer.
+    pub received: Vec<Bytes>,
 }
 
 /// Protocol counters.
@@ -169,6 +198,16 @@ struct OutPkt {
     /// `Some(wr_id)`: acking this packet completes that WR.
     completes: Option<u64>,
     is_read_req: bool,
+    /// The wire frame, built once (headers + ICRC) at first framing; a
+    /// retransmission clones it instead of re-serializing.
+    frame: Option<Frame>,
+}
+
+impl OutPkt {
+    /// The cached wire frame, framing the packet on first use.
+    fn frame_cached(&mut self) -> &Frame {
+        self.frame.get_or_insert_with(|| self.pkt.to_frame())
+    }
 }
 
 #[derive(Debug)]
@@ -176,6 +215,9 @@ struct PendingWqe {
     wr_id: u64,
     verb: Verb,
     offset: u64,
+    /// The whole message, read from local memory once at the first segment;
+    /// every MTU segment is a zero-copy slice of this buffer.
+    staged: Option<Bytes>,
 }
 
 #[derive(Debug)]
@@ -191,7 +233,11 @@ struct ReadState {
 struct InMsg {
     is_send: bool,
     write_vaddr: u64,
-    buf: Vec<u8>,
+    /// Bytes of this message written/collected so far.
+    offset: u64,
+    /// SEND fragments, stitched only at message end (and only when there is
+    /// more than one). RDMA WRITE fragments go straight to memory instead.
+    parts: Vec<Bytes>,
 }
 
 /// One RC queue pair.
@@ -244,6 +290,7 @@ impl QueuePair {
             wr_id,
             verb,
             offset: 0,
+            staged: None,
         });
     }
 
@@ -309,6 +356,7 @@ impl QueuePair {
                         pkt: pkt.clone(),
                         completes: None,
                         is_read_req: true,
+                        frame: None,
                     });
                     self.stats.tx_packets += 1;
                     out.push(pkt);
@@ -341,31 +389,42 @@ impl QueuePair {
                         (false, false, false) => BthOpcode::WriteMiddle,
                         (false, false, true) => BthOpcode::WriteLast,
                     };
-                    let data = match mem.read(lv + off, n as usize) {
-                        Ok(d) => d,
-                        Err(e) => {
-                            self.completions.push_back(Completion {
-                                wr_id,
-                                status: Err(e),
-                            });
-                            self.sq.pop_front();
-                            continue;
+                    // Stage the whole message out of local memory once; each
+                    // MTU segment below is a zero-copy slice of it.
+                    if wqe.staged.is_none() {
+                        match mem.read_bytes(lv, total as usize) {
+                            Ok(d) => wqe.staged = Some(d),
+                            Err(e) => {
+                                self.completions.push_back(Completion {
+                                    wr_id,
+                                    status: Err(e),
+                                });
+                                self.sq.pop_front();
+                                continue;
+                            }
                         }
-                    };
+                    }
+                    let staged = wqe.staged.as_ref().expect("staged above");
+                    let data = staged.slice(off as usize..(off + n) as usize);
                     let psn = self.next_psn;
                     self.next_psn += 1;
                     let mut pkt = self.base_packet(opcode, psn);
                     if opcode.has_reth() {
                         pkt.reth = Some((remote, 0, total as u32));
                     }
-                    pkt.ack_req = last;
-                    pkt.payload = Bytes::from(data);
+                    // Request an ACK at message end, and also on the packet
+                    // that fills the window: a message longer than
+                    // window x MTU would otherwise never elicit an ACK and
+                    // the flow would stall with the window full.
+                    pkt.ack_req = last || self.outstanding.len() + 1 >= self.cfg.window;
+                    pkt.payload = data;
                     let completes = last.then_some(wr_id);
                     self.outstanding.push_back(OutPkt {
                         psn,
                         pkt: pkt.clone(),
                         completes,
                         is_read_req: false,
+                        frame: None,
                     });
                     self.stats.tx_packets += 1;
                     out.push(pkt);
@@ -458,14 +517,22 @@ impl QueuePair {
             .unwrap_or(false);
         if complete {
             let state = self.reads.remove(&req_psn).expect("state present");
-            let mut data = Vec::with_capacity(state.total_len as usize);
-            for (_, frag) in state.frags {
-                data.extend_from_slice(&frag);
-            }
-            let status = if data.len() as u64 != state.total_len {
-                Err(format!("short read: {} of {}", data.len(), state.total_len))
+            let got: u64 = state.frags.values().map(|f| f.len() as u64).sum();
+            let status = if got != state.total_len {
+                Err(format!("short read: {got} of {}", state.total_len))
             } else {
-                mem.write(state.local_vaddr, &data)
+                // Land each fragment directly at its offset — no
+                // intermediate message-sized buffer.
+                let mut off = state.local_vaddr;
+                let mut status = Ok(());
+                for frag in state.frags.values() {
+                    if let Err(e) = mem.write(off, frag) {
+                        status = Err(e);
+                        break;
+                    }
+                    off += frag.len() as u64;
+                }
+                status
             };
             self.completions.push_back(Completion {
                 wr_id: state.wr_id,
@@ -496,18 +563,15 @@ impl QueuePair {
         let Some((vaddr, _rkey, dmalen)) = pkt.reth else {
             return;
         };
-        let data = match mem.read(vaddr, dmalen as usize) {
+        // One staged read of the requested region; response fragments are
+        // zero-copy slices of it.
+        let data = match mem.read_bytes(vaddr, dmalen as usize) {
             Ok(d) => d,
             Err(_) => return, // A real stack would NAK-remote-access-error.
         };
         let mtu = self.cfg.mtu;
-        let frags: Vec<&[u8]> = if data.is_empty() {
-            vec![&[][..]]
-        } else {
-            data.chunks(mtu).collect()
-        };
-        let n = frags.len();
-        for (i, frag) in frags.into_iter().enumerate() {
+        let n = data.len().div_ceil(mtu).max(1);
+        for i in 0..n {
             let opcode = match (i == 0, i == n - 1) {
                 (true, true) => BthOpcode::ReadRespOnly,
                 (true, false) => BthOpcode::ReadRespFirst,
@@ -516,7 +580,7 @@ impl QueuePair {
             };
             let mut resp = self.base_packet(opcode, i as u32);
             resp.aeth = Some((AethSyndrome::Ack, pkt.psn));
-            resp.payload = Bytes::copy_from_slice(frag);
+            resp.payload = data.slice(i * mtu..data.len().min((i + 1) * mtu));
             self.pending_tx.push_back(resp);
             self.stats.tx_packets += 1;
         }
@@ -539,20 +603,46 @@ impl QueuePair {
             self.cur_msg = Some(InMsg {
                 is_send: matches!(pkt.opcode, BthOpcode::SendFirst | BthOpcode::SendOnly),
                 write_vaddr: pkt.reth.map(|(v, _, _)| v).unwrap_or(0),
-                buf: Vec::new(),
+                offset: 0,
+                parts: Vec::new(),
             });
         }
         let Some(msg) = self.cur_msg.as_mut() else {
             return; // Middle/last without first: dropped state, ignore.
         };
-        msg.buf.extend_from_slice(&pkt.payload);
-        if pkt.opcode.ends_message() {
-            let msg = self.cur_msg.take().expect("current message");
-            if msg.is_send {
-                action.received.push(msg.buf);
-            } else if mem.write(msg.write_vaddr, &msg.buf).is_err() {
+        if msg.is_send {
+            // SEND fragments are delivered as a message; keep the shared
+            // slices and stitch only if there is more than one.
+            msg.parts.push(pkt.payload.clone());
+        } else {
+            // RDMA WRITE fragments stream straight into memory at their
+            // offset — no per-message reassembly buffer.
+            if mem
+                .write(msg.write_vaddr + msg.offset, &pkt.payload)
+                .is_err()
+            {
                 // Remote access error; a full stack would NAK. Count it.
                 self.stats.duplicates += 0;
+            }
+        }
+        msg.offset += pkt.payload.len() as u64;
+        if pkt.opcode.ends_message() {
+            let mut msg = self.cur_msg.take().expect("current message");
+            if msg.is_send {
+                let delivered = if msg.parts.len() == 1 {
+                    msg.parts.pop().expect("one part")
+                } else {
+                    // Multi-fragment delivery copy: counted, per the
+                    // zero-copy contract in `frame`.
+                    let total: usize = msg.parts.iter().map(Bytes::len).sum();
+                    count_payload_copy(total);
+                    let mut buf = Vec::with_capacity(total);
+                    for part in &msg.parts {
+                        buf.extend_from_slice(part);
+                    }
+                    Bytes::from(buf)
+                };
+                action.received.push(delivered);
             }
         }
         if pkt.ack_req || pkt.opcode.ends_message() {
@@ -581,6 +671,39 @@ impl QueuePair {
         let out: Vec<RocePacket> = self.outstanding.iter().map(|o| o.pkt.clone()).collect();
         self.stats.retransmits += out.len() as u64;
         out
+    }
+
+    /// Like [`Self::poll_tx`], but returns ready wire frames and caches each
+    /// requester frame on its outstanding entry: a later retransmission of
+    /// the same packet reuses the cached headers and ICRC.
+    pub fn poll_tx_frames<M: RdmaMemory>(&mut self, mem: &M) -> Vec<Frame> {
+        let pkts = self.poll_tx(mem);
+        pkts.iter()
+            .map(|p| {
+                let frame = p.to_frame();
+                // Responder packets (ACK/NAK/read responses, all AETH-
+                // bearing) are not outstanding; everything else is, keyed
+                // by its unique in-window PSN.
+                if p.aeth.is_none() {
+                    if let Some(out) = self.outstanding.iter_mut().find(|o| o.psn == p.psn) {
+                        out.frame = Some(frame.clone());
+                    }
+                }
+                frame
+            })
+            .collect()
+    }
+
+    /// Like [`Self::on_timeout`], but returns wire frames. Each outstanding
+    /// packet is framed at most once across its lifetime (here or in
+    /// [`Self::poll_tx_frames`]); repeat retransmissions are O(1) clones of
+    /// the cached frame and bit-identical to the original transmission.
+    pub fn on_timeout_frames(&mut self) -> Vec<Frame> {
+        self.stats.retransmits += self.outstanding.len() as u64;
+        self.outstanding
+            .iter_mut()
+            .map(|o| o.frame_cached().clone())
+            .collect()
     }
 }
 
@@ -612,8 +735,8 @@ mod tests {
                 if drop(&pkt) {
                     continue;
                 }
-                // Wire round trip: serialize and reparse, like the switch.
-                let parsed = RocePacket::parse(&pkt.serialize()).unwrap();
+                // Wire round trip: frame and reparse, like the switch.
+                let parsed = RocePacket::parse_frame(&pkt.to_frame()).unwrap();
                 let act = b.on_rx(&parsed, bm);
                 received_by_b.extend(act.received);
                 for resp in act.tx {
@@ -625,7 +748,7 @@ mod tests {
                 if drop(&pkt) {
                     continue;
                 }
-                let parsed = RocePacket::parse(&pkt.serialize()).unwrap();
+                let parsed = RocePacket::parse_frame(&pkt.to_frame()).unwrap();
                 let act = a.on_rx(&parsed, am);
                 for resp in act.tx {
                     a.enqueue_for_test(resp);
@@ -638,7 +761,7 @@ mod tests {
     }
 
     thread_local! {
-        static B_RECEIVED: std::cell::RefCell<Vec<Vec<u8>>> = const { std::cell::RefCell::new(Vec::new()) };
+        static B_RECEIVED: std::cell::RefCell<Vec<Bytes>> = const { std::cell::RefCell::new(Vec::new()) };
     }
 
     impl QueuePair {
@@ -810,6 +933,33 @@ mod tests {
         assert_eq!(first.len(), 4, "window caps the burst");
         assert_eq!(a.in_flight(), 4);
         assert!(a.poll_tx(&am).is_empty(), "no window space, no packets");
+    }
+
+    #[test]
+    fn message_longer_than_window_completes() {
+        // A single message spanning many windows must keep eliciting ACKs:
+        // the packet that fills the window carries ack_req, so the window
+        // reopens before the (distant) last packet is ever generated.
+        let (mut ca, cb) = QpConfig::pair(1, 2);
+        ca.window = 4;
+        let mut a = QueuePair::new(ca);
+        let mut b = QueuePair::new(cb);
+        let len = 40 * 4096; // 40 packets = 10 full windows.
+        let data = payload(len);
+        let mut am = data.clone();
+        let mut bm = vec![0u8; len];
+        a.post(
+            1,
+            Verb::Write {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: len as u64,
+            },
+        );
+        run(&mut a, &mut am, &mut b, &mut bm, |_| false);
+        assert_eq!(bm, data, "full message delivered");
+        assert_eq!(a.poll_completions().len(), 1);
+        assert_eq!(a.in_flight(), 0, "everything acknowledged");
     }
 
     #[test]

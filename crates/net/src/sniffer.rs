@@ -12,7 +12,9 @@
 //! application logic in `coyote-apps` stores the records to an HBM buffer,
 //! and [`crate::pcap`] converts a synced capture to a PCAP file.
 
+use crate::frame::Frame;
 use crate::headers::{EthernetHdr, Ipv4Hdr, UdpHdr, ROCE_UDP_PORT};
+use bytes::Bytes;
 use coyote_sim::SimTime;
 
 /// Traffic direction relative to the FPGA.
@@ -61,8 +63,9 @@ pub struct CaptureRecord {
     pub direction: Direction,
     /// Original frame length before truncation.
     pub orig_len: u32,
-    /// Captured bytes (possibly truncated to `snap_len`).
-    pub bytes: Vec<u8>,
+    /// Captured bytes (possibly truncated to `snap_len`). Shared with the
+    /// wire frame when the capture cut falls within the header segment.
+    pub bytes: Bytes,
 }
 
 /// The on-path filter. It never modifies traffic; it only copies.
@@ -169,8 +172,68 @@ impl TrafficSniffer {
             at,
             direction,
             orig_len: frame.len() as u32,
-            bytes: frame[..keep].to_vec(),
+            bytes: Bytes::copy_from_slice(&frame[..keep]),
         });
+    }
+
+    /// Observe a scatter-gather frame. Classification reads only the header
+    /// segment; a header-only capture (`snap_len` within the headers) shares
+    /// the frame's head instead of copying it.
+    pub fn observe_frame(&mut self, at: SimTime, direction: Direction, frame: &Frame) {
+        if frame.is_contiguous() {
+            // Byte-identical to the classic path (same classifier).
+            self.observe(at, direction, frame.head());
+            return;
+        }
+        self.observed += 1;
+        if !self.recording || !self.matches_head(direction, frame.head()) {
+            return;
+        }
+        self.captured += 1;
+        let keep = self
+            .config
+            .snap_len
+            .map_or(frame.len(), |s| s.min(frame.len()));
+        self.records.push(CaptureRecord {
+            at,
+            direction,
+            orig_len: frame.len() as u32,
+            bytes: frame.snapshot(keep),
+        });
+    }
+
+    /// Classifier for segmented frames: the transport headers live entirely
+    /// in `head`, but IP/UDP length fields cover the whole frame, so the
+    /// strict [`Ipv4Hdr::parse`] cannot be used. Fixed-offset checks are
+    /// equivalent for the IHL=5 frames this stack emits.
+    fn matches_head(&self, direction: Direction, head: &[u8]) -> bool {
+        match direction {
+            Direction::Rx if !self.config.capture_rx => return false,
+            Direction::Tx if !self.config.capture_tx => return false,
+            _ => {}
+        }
+        if !self.config.roce_only && self.config.qpn_filter.is_none() {
+            return true;
+        }
+        let ok = head.len() >= EthernetHdr::LEN + Ipv4Hdr::LEN + UdpHdr::LEN
+            && u16::from_be_bytes([head[12], head[13]]) == EthernetHdr::ETHERTYPE_IPV4
+            && head[14] == 0x45
+            && head[23] == Ipv4Hdr::PROTO_UDP
+            && u16::from_be_bytes([head[36], head[37]]) == ROCE_UDP_PORT;
+        if !ok {
+            return false;
+        }
+        if let Some(qpn) = self.config.qpn_filter {
+            if head.len() < 50 {
+                return false;
+            }
+            let dest_qp =
+                u32::from_be_bytes([head[46], head[47], head[48], head[49]]) & 0x00FF_FFFF;
+            if dest_qp != qpn {
+                return false;
+            }
+        }
+        true
     }
 
     /// Sync the capture buffer back (HBM -> host in the real system).

@@ -5,6 +5,7 @@
 //! constant), with per-port 100G links and optional seeded packet-drop
 //! injection for exercising the retransmission path.
 
+use crate::frame::Frame;
 use crate::headers::MacAddr;
 use coyote_sim::{params, LinkModel, SimTime, Xorshift64Star};
 use std::collections::HashMap;
@@ -12,7 +13,8 @@ use std::collections::HashMap;
 /// A switch port index.
 pub type PortId = usize;
 
-/// A frame in flight: delivery time, egress port, wire bytes.
+/// A frame in flight: delivery time, egress port, wire bytes. The frame is
+/// shared: on the flood path every delivery references the same segments.
 #[derive(Debug, Clone)]
 pub struct Delivery {
     /// When the frame is visible at the destination endpoint.
@@ -20,7 +22,7 @@ pub struct Delivery {
     /// Egress port.
     pub port: PortId,
     /// The frame.
-    pub bytes: Vec<u8>,
+    pub bytes: Frame,
 }
 
 /// Per-port statistics.
@@ -32,6 +34,8 @@ pub struct PortStats {
     pub tx_frames: u64,
     /// Bytes received from the endpoint.
     pub rx_bytes: u64,
+    /// Bytes sent to the endpoint (counted per egress, flood included).
+    pub tx_bytes: u64,
     /// Frames dropped by injection.
     pub dropped: u64,
 }
@@ -88,31 +92,40 @@ impl Switch {
     /// Returns the deliveries this frame generates (one for known unicast,
     /// one per other port for unknown/broadcast destinations), or empty if
     /// the frame was dropped.
-    pub fn inject(&mut self, now: SimTime, ingress: PortId, bytes: Vec<u8>) -> Vec<Delivery> {
+    pub fn inject(
+        &mut self,
+        now: SimTime,
+        ingress: PortId,
+        bytes: impl Into<Frame>,
+    ) -> Vec<Delivery> {
+        let frame: Frame = bytes.into();
         self.stats[ingress].rx_frames += 1;
-        self.stats[ingress].rx_bytes += bytes.len() as u64;
-
-        // Learn the source MAC.
-        if bytes.len() >= 14 {
-            let mut src = [0u8; 6];
-            src.copy_from_slice(&bytes[6..12]);
-            self.mac_table.insert(MacAddr(src), ingress);
-        }
+        self.stats[ingress].rx_bytes += frame.len() as u64;
 
         if self.drop_rate > 0.0 && self.rng.chance(self.drop_rate) {
+            // Dropped before the forwarding pipeline: a frame the switch
+            // never processed must not update the MAC table either.
             self.stats[ingress].dropped += 1;
             return Vec::new();
         }
 
+        // Learn the source MAC (only for frames actually forwarded).
+        let head = frame.head();
+        if head.len() >= 14 {
+            let mut src = [0u8; 6];
+            src.copy_from_slice(&head[6..12]);
+            self.mac_table.insert(MacAddr(src), ingress);
+        }
+
         // Ingress serialization on the sender's CMAC.
-        let len = bytes.len() as u64;
+        let len = frame.len() as u64;
         let in_xfer = self.ports[ingress].0.transmit(now, len);
         let at_switch = in_xfer.arrival + params::SWITCH_LATENCY;
 
         // Destination lookup.
-        let dst = if bytes.len() >= 6 {
+        let dst = if head.len() >= 6 {
             let mut d = [0u8; 6];
-            d.copy_from_slice(&bytes[0..6]);
+            d.copy_from_slice(&head[0..6]);
             MacAddr(d)
         } else {
             MacAddr::BROADCAST
@@ -128,10 +141,12 @@ impl Switch {
             .map(|port| {
                 let out = self.ports[port].1.transmit(at_switch, len);
                 self.stats[port].tx_frames += 1;
+                self.stats[port].tx_bytes += len;
                 Delivery {
                     at: out.arrival,
                     port,
-                    bytes: bytes.clone(),
+                    // Reference-count bump; flood shares one frame.
+                    bytes: frame.clone(),
                 }
             })
             .collect()
@@ -207,6 +222,65 @@ mod tests {
         }
         assert!((8800..9200).contains(&delivered), "delivered {delivered}");
         assert!(sw.stats(0).dropped > 800);
+    }
+
+    #[test]
+    fn stats_pinned_across_unicast_flood_and_drop() {
+        let mut sw = Switch::new(3);
+        // Flood: unknown destination, 100-byte frame from port 0 reaches
+        // ports 1 and 2; tx_bytes must count once per egress.
+        let d = sw.inject(SimTime::ZERO, 0, frame(1, 2, 100));
+        assert_eq!(d.len(), 2);
+        assert_eq!(sw.stats(0).rx_frames, 1);
+        assert_eq!(sw.stats(0).rx_bytes, 100);
+        assert_eq!(sw.stats(0).tx_bytes, 0);
+        for p in [1, 2] {
+            assert_eq!(sw.stats(p).tx_frames, 1);
+            assert_eq!(sw.stats(p).tx_bytes, 100);
+        }
+
+        // Unicast: node 2 speaks from port 1 (unicast back to the already
+        // learned node 1 on port 0), then node 1 sends to it.
+        sw.inject(SimTime::ZERO, 1, frame(2, 1, 64));
+        assert_eq!(sw.stats(0).tx_frames, 1);
+        assert_eq!(sw.stats(0).tx_bytes, 64);
+        let d = sw.inject(SimTime::ZERO, 0, frame(1, 2, 200));
+        assert_eq!(d.len(), 1);
+        assert_eq!(sw.stats(1).tx_frames, 2);
+        assert_eq!(sw.stats(1).tx_bytes, 100 + 200);
+        assert_eq!(sw.stats(2).tx_bytes, 100, "unicast skips port 2");
+
+        // Drop: a dropped frame counts only as dropped — no tx anywhere,
+        // and crucially no MAC learning from a frame that never forwarded.
+        sw.set_drop_rate(0.999_999, 7);
+        let before = sw.mac_table.clone();
+        let d = sw.inject(SimTime::ZERO, 2, frame(9, 1, 300));
+        assert!(d.is_empty(), "seeded rng drops the frame");
+        assert_eq!(sw.stats(2).dropped, 1);
+        assert_eq!(sw.stats(2).rx_frames, 1, "rx is still counted");
+        assert_eq!(sw.stats(1).tx_frames, 2, "no egress for a dropped frame");
+        assert_eq!(
+            sw.mac_table, before,
+            "dropped frame must not learn its source MAC"
+        );
+    }
+
+    #[test]
+    fn flood_deliveries_share_one_frame() {
+        let mut sw = Switch::new(8);
+        crate::frame::reset_payload_copies();
+        let f = Frame::from_parts(
+            frame(1, 2, 42),
+            bytes::Bytes::from(vec![0xAB; 4096]),
+            [1, 2, 3, 4],
+        );
+        let d = sw.inject(SimTime::ZERO, 0, f);
+        assert_eq!(d.len(), 7);
+        assert_eq!(
+            crate::frame::payload_copies(),
+            0,
+            "flooding is refcounting, not copying"
+        );
     }
 
     #[test]

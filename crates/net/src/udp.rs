@@ -7,7 +7,9 @@
 //! per-port queues. RoCE v2 itself rides UDP port 4791; this endpoint
 //! steers that port away so both services can share the wire.
 
+use crate::frame::Frame;
 use crate::headers::{EthernetHdr, Ipv4Hdr, MacAddr, UdpHdr, ROCE_UDP_PORT};
+use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 
 /// A received datagram.
@@ -17,8 +19,8 @@ pub struct Datagram {
     pub src_ip: [u8; 4],
     /// Sender's port.
     pub src_port: u16,
-    /// Payload.
-    pub payload: Vec<u8>,
+    /// Payload (shared with the wire frame on the zero-copy path).
+    pub payload: Bytes,
 }
 
 /// One host's UDP endpoint.
@@ -106,6 +108,26 @@ impl UdpEndpoint {
     /// datagram consumed by this endpoint (RoCE's port 4791 is never
     /// consumed here).
     pub fn on_wire(&mut self, frame: &[u8]) -> bool {
+        self.accept(frame, None)
+    }
+
+    /// Deliver a wire frame zero-copy: a consumed datagram's payload shares
+    /// the frame's buffer instead of copying it.
+    pub fn on_frame(&mut self, frame: &Frame) -> bool {
+        if frame.is_contiguous() {
+            let head = frame.head_bytes().clone();
+            return self.accept(&head, Some(&head));
+        }
+        // The only segmented frames this fabric carries are RoCE (UDP port
+        // 4791), which pass through to the RDMA demux untouched.
+        let head = frame.head();
+        if head.len() >= 42 && u16::from_be_bytes([head[36], head[37]]) == ROCE_UDP_PORT {
+            return false;
+        }
+        self.accept(&frame.contiguous(), None)
+    }
+
+    fn accept(&mut self, frame: &[u8], shared: Option<&Bytes>) -> bool {
         let Some((eth, rest)) = EthernetHdr::parse(frame) else {
             return false;
         };
@@ -126,10 +148,14 @@ impl UdpEndpoint {
         }
         match self.ports.get_mut(&udp.dst_port) {
             Some(q) => {
+                let payload = match shared {
+                    Some(b) => b.slice(frame.len() - payload.len()..),
+                    None => Bytes::copy_from_slice(payload),
+                };
                 q.push_back(Datagram {
                     src_ip: ip.src,
                     src_port: udp.src_port,
-                    payload: payload.to_vec(),
+                    payload,
                 });
                 true
             }
@@ -169,7 +195,7 @@ mod tests {
         let frame = a.send_to(5555, MacAddr::node(2), [10, 0, 0, 2], 9000, b"telemetry");
         assert!(b.on_wire(&frame));
         let dg = b.recv_from(9000).unwrap();
-        assert_eq!(dg.payload, b"telemetry");
+        assert_eq!(dg.payload, &b"telemetry"[..]);
         assert_eq!(dg.src_port, 5555);
         assert_eq!(dg.src_ip, [10, 0, 0, 1]);
         assert!(b.recv_from(9000).is_none());

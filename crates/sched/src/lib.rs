@@ -18,4 +18,4 @@ pub mod packetizer;
 
 pub use credits::CreditTable;
 pub use interleave::{Delivered, Interleaver};
-pub use packetizer::{packetize, Packet};
+pub use packetizer::{packetize, packetize_iter, Packet, PacketIter};

@@ -30,25 +30,66 @@ pub struct Packet {
 ///
 /// Panics if `chunk` is not a power of two, or `len` is zero.
 pub fn packetize(addr: u64, len: u64, chunk: u64) -> Vec<Packet> {
+    packetize_iter(addr, len, chunk).collect()
+}
+
+/// Iterator form of [`packetize`]: yields the same packets without
+/// materializing the whole cut list. Hot loops that consume packets one at
+/// a time (the datapath's card-read fan-out, the DMA engine) use this to
+/// avoid an O(len/chunk) allocation per request.
+///
+/// # Panics
+///
+/// Panics if `chunk` is not a power of two, or `len` is zero.
+pub fn packetize_iter(addr: u64, len: u64, chunk: u64) -> PacketIter {
     assert!(chunk.is_power_of_two(), "chunk must be a power of two");
     assert!(len > 0, "empty transfer");
-    let mut out = Vec::with_capacity((len / chunk + 2) as usize);
-    let mut a = addr;
-    let end = addr + len;
-    let mut index = 0u32;
-    while a < end {
-        let boundary = (a / chunk + 1) * chunk;
-        let n = boundary.min(end) - a;
-        out.push(Packet {
-            addr: a,
-            len: n,
-            index,
-            last: boundary >= end,
-        });
-        a += n;
-        index += 1;
+    PacketIter {
+        next: addr,
+        end: addr + len,
+        chunk,
+        index: 0,
     }
-    out
+}
+
+/// Iterator over the chunk-aligned cuts of one transfer.
+#[derive(Debug, Clone)]
+pub struct PacketIter {
+    next: u64,
+    end: u64,
+    chunk: u64,
+    index: u32,
+}
+
+impl Iterator for PacketIter {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.next >= self.end {
+            return None;
+        }
+        let boundary = (self.next / self.chunk + 1) * self.chunk;
+        let n = boundary.min(self.end) - self.next;
+        let pkt = Packet {
+            addr: self.next,
+            len: n,
+            index: self.index,
+            last: boundary >= self.end,
+        };
+        self.next += n;
+        self.index += 1;
+        Some(pkt)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.end.saturating_sub(self.next);
+        if remaining == 0 {
+            return (0, Some(0));
+        }
+        // At least one packet per full chunk; at most two partial ends.
+        let lo = (remaining / self.chunk).max(1) as usize;
+        (lo, Some((remaining / self.chunk + 2) as usize))
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +172,22 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_chunk_rejected() {
         packetize(0, 100, 1000);
+    }
+
+    #[test]
+    fn iter_matches_vec_form() {
+        for &(addr, len, chunk) in &[
+            (0u64, 16384u64, 4096u64),
+            (1000, 10000, 4096),
+            (4096, 100, 4096),
+            (777, 123_456, 512),
+            (4095, 2, 4096),
+        ] {
+            let eager = packetize(addr, len, chunk);
+            let lazy: Vec<Packet> = packetize_iter(addr, len, chunk).collect();
+            assert_eq!(eager, lazy, "({addr}, {len}, {chunk})");
+            let (lo, hi) = packetize_iter(addr, len, chunk).size_hint();
+            assert!(lo <= eager.len() && eager.len() <= hi.unwrap());
+        }
     }
 }

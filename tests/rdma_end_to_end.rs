@@ -138,10 +138,10 @@ fn lossy_network_recovers_via_retransmission() {
             break;
         }
         for pkt in nic.on_timeout() {
-            for d in switch.inject(p.now(), 1, pkt.serialize()) {
+            for d in switch.inject(p.now(), 1, pkt.to_frame()) {
                 for resp in p.net_rx(d.at, &d.bytes) {
                     for d2 in switch.inject(d.at, 0, resp) {
-                        nic.on_wire(&d2.bytes);
+                        nic.on_frame(&d2.bytes);
                     }
                 }
             }
@@ -184,8 +184,8 @@ fn fpga_side_retransmission_timer() {
     assert_eq!(retx.len(), lost.len());
     for f in retx {
         for d in switch.inject(SimTime::ZERO, 0, f) {
-            for resp in nic.on_wire(&d.bytes) {
-                for d2 in switch.inject(d.at, 1, resp.serialize()) {
+            for resp in nic.on_frame(&d.bytes) {
+                for d2 in switch.inject(d.at, 1, resp.to_frame()) {
                     p.net_rx(d2.at, &d2.bytes);
                 }
             }
