@@ -14,6 +14,8 @@
 //! * [`sniffer_app`] — the vFPGA side of the §8 traffic sniffer: capture
 //!   buffer serialization and PCAP export.
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod hll;
 pub mod nn;

@@ -14,6 +14,8 @@
 //!   modes, used for the user-defined control/status registers (`setCSR` /
 //!   `getCSR` in the software API).
 
+#![forbid(unsafe_code)]
+
 pub mod lite;
 pub mod stream;
 

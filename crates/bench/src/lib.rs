@@ -6,6 +6,8 @@
 //! (or a single experiment id: `table2`, `fig7a`, ...). Criterion wrappers
 //! in `benches/` measure the wall-clock cost of regenerating each result.
 
+#![forbid(unsafe_code)]
+
 pub mod ablations;
 pub mod cache;
 pub mod claims;

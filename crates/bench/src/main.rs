@@ -15,6 +15,8 @@
 //! order, making the output and every `results/*.json` byte bit-identical
 //! to a serial run. `COYOTE_THREADS=1` forces serial execution.
 
+#![forbid(unsafe_code)]
+
 use coyote_bench::cache::cached;
 use coyote_bench::experiments;
 use coyote_bench::ExperimentResult;

@@ -45,6 +45,8 @@
 //! assert!(done.completed_at.as_ps() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod config;
 pub mod cthread;

@@ -16,6 +16,8 @@
 //! * [`MsiX`] — the interrupt path of the utility channel: page faults,
 //!   reconfiguration completions, TLB invalidations and user interrupts.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod msix;
 pub mod writeback;

@@ -23,6 +23,8 @@
 //! * [`irq`] — eventfd-style notification channels (§7.1: "interrupts are
 //!   polled using the standard Linux eventfd mechanism").
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod ioctl;
 pub mod irq;

@@ -93,6 +93,15 @@ pub enum BitstreamError {
         /// CRC computed over the body.
         computed: u32,
     },
+    /// A frame record carries the wrong frame address. Frame records are
+    /// written sequentially from zero; anything else means the blob was
+    /// assembled wrong or rewritten (with a re-stamped CRC).
+    BadFrameAddress {
+        /// Record index within the blob.
+        index: u64,
+        /// Address found in the record header.
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for BitstreamError {
@@ -113,6 +122,12 @@ impl std::fmt::Display for BitstreamError {
                 write!(
                     f,
                     "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            BitstreamError::BadFrameAddress { index, found } => {
+                write!(
+                    f,
+                    "frame record {index} carries address {found} (expected {index})"
                 )
             }
         }
@@ -238,6 +253,22 @@ impl Bitstream {
         if stored != computed {
             return Err(BitstreamError::CrcMismatch { stored, computed });
         }
+        // Frame addresses must be the sequence 0..frames. The CRC does not
+        // protect against a blob that was *assembled* wrong (and therefore
+        // carries a CRC over the wrong addresses), so this is a separate
+        // typed check, not a corruption check.
+        for (index, record) in bytes[HEADER_BYTES..bytes.len() - 4]
+            .chunks_exact(FRAME_RECORD_BYTES)
+            .enumerate()
+        {
+            let found = u32::from_le_bytes(record[..4].try_into().expect("slice len 4"));
+            if found as u64 != index as u64 {
+                return Err(BitstreamError::BadFrameAddress {
+                    index: index as u64,
+                    found,
+                });
+            }
+        }
         Ok(Bitstream {
             bytes,
             device,
@@ -281,6 +312,18 @@ impl Bitstream {
     /// Design digest (identifies the routed design the blob encodes).
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+
+    /// Iterate over the frame records as `(frame address, payload)` pairs —
+    /// the view an offline verifier (e.g. `coyote-lint`) needs without going
+    /// through the ICAP load path.
+    pub fn frame_records(&self) -> impl Iterator<Item = (u32, &[u8])> {
+        self.bytes[HEADER_BYTES..self.bytes.len() - 4]
+            .chunks_exact(FRAME_RECORD_BYTES)
+            .map(|rec| {
+                let addr = u32::from_le_bytes(rec[..4].try_into().expect("slice len 4"));
+                (addr, &rec[4..])
+            })
     }
 }
 
@@ -376,6 +419,70 @@ mod tests {
         assert!(matches!(
             Bitstream::from_bytes(vec![0u8; 10]),
             Err(BitstreamError::TooShort(10))
+        ));
+    }
+
+    #[test]
+    fn rewritten_frame_address_rejected_despite_valid_crc() {
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 8, 3);
+        let mut bytes = bs.bytes().to_vec();
+        // Rewrite the address of frame record 5, then re-stamp the CRC so
+        // only the address check can catch it.
+        let off = HEADER_BYTES + 5 * FRAME_RECORD_BYTES;
+        bytes[off..off + 4].copy_from_slice(&999u32.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crate::crc::crc32(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&crc);
+        assert_eq!(
+            Bitstream::from_bytes(bytes).unwrap_err(),
+            BitstreamError::BadFrameAddress {
+                index: 5,
+                found: 999
+            }
+        );
+    }
+
+    #[test]
+    fn frame_records_expose_sequential_addresses() {
+        let bs = Bitstream::assemble(DeviceKind::U280, BitstreamKind::App { vfpga: 1 }, 6, 9);
+        let records: Vec<(u32, usize)> = bs.frame_records().map(|(a, p)| (a, p.len())).collect();
+        assert_eq!(records.len(), 6);
+        for (i, (addr, len)) in records.iter().enumerate() {
+            assert_eq!(*addr as usize, i);
+            assert_eq!(*len, FRAME_RECORD_BYTES - 4);
+        }
+    }
+
+    #[test]
+    fn unknown_device_and_kind_rejected() {
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 1, 0);
+        let mut bad_dev = bs.bytes().to_vec();
+        bad_dev[6..8].copy_from_slice(&0xDEADu16.to_le_bytes());
+        assert_eq!(
+            Bitstream::from_bytes(bad_dev).unwrap_err(),
+            BitstreamError::UnknownDevice(0xDEAD)
+        );
+        let mut bad_kind = bs.bytes().to_vec();
+        bad_kind[8] = 7;
+        assert_eq!(
+            Bitstream::from_bytes(bad_kind).unwrap_err(),
+            BitstreamError::BadKind(7)
+        );
+    }
+
+    #[test]
+    fn overflowing_frame_count_rejected() {
+        // A frame count whose byte size overflows u64 must yield Truncated,
+        // not a panic.
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Full, 1, 0);
+        let mut bytes = bs.bytes().to_vec();
+        bytes[10..18].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crate::crc::crc32(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&crc);
+        assert!(matches!(
+            Bitstream::from_bytes(bytes),
+            Err(BitstreamError::Truncated { .. })
         ));
     }
 }

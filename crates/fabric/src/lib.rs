@@ -17,6 +17,8 @@
 //!   the AXI HWICAP / PCAP / MCAP baselines of Table 2, and the
 //!   [`config::ConfigState`] tracking which partition holds which bitstream.
 
+#![forbid(unsafe_code)]
+
 pub mod bitstream;
 pub mod config;
 pub mod crc;
@@ -24,8 +26,9 @@ pub mod device;
 pub mod floorplan;
 pub mod resources;
 
-pub use bitstream::{Bitstream, BitstreamError, BitstreamKind};
+pub use bitstream::{Bitstream, BitstreamError, BitstreamKind, HEADER_BYTES};
 pub use config::{ConfigPort, ConfigPortKind, ConfigState};
-pub use device::{Device, DeviceKind};
-pub use floorplan::{Floorplan, Partition, PartitionId, Rect, ShellProfile};
+pub use crc::crc32;
+pub use device::{Device, DeviceKind, FRAMES_PER_TILE, FRAME_PAYLOAD_BYTES, FRAME_RECORD_BYTES};
+pub use floorplan::{Floorplan, FloorplanError, Partition, PartitionId, Rect, ShellProfile};
 pub use resources::ResourceVec;

@@ -29,6 +29,8 @@
 //! assert_eq!(pred_emu, pred_fpga);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod model;
 

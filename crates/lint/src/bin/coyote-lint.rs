@@ -1,0 +1,107 @@
+//! The `coyote-lint` CLI: lint shell specs and bitstream blobs from disk.
+//!
+//! ```text
+//! coyote-lint [OPTIONS] <PATH>...
+//!
+//! PATHs ending in .json are shell specifications; .bin are bitstreams.
+//!
+//! Options:
+//!   --json          machine-readable JSON report on stdout
+//!   --allow <RULE>  suppress a rule (repeatable)
+//!   --deny <RULE>   promote a rule to error severity (repeatable)
+//!   --catalog       print the rule catalog and exit
+//!   -h, --help      this text
+//!
+//! Exit status: 0 clean or warnings only, 1 error-severity findings,
+//! 2 usage or I/O failure.
+//! ```
+
+use coyote_lint::{lint_bitstream, lint_shell_spec, LintConfig, Report, ShellSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: coyote-lint [--json] [--allow RULE]... [--deny RULE]... \
+                     [--catalog] <path.json|path.bin>...";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut config = LintConfig::new();
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--catalog" => {
+                print!("{}", coyote_lint::render_catalog());
+                return ExitCode::SUCCESS;
+            }
+            "--allow" | "--deny" => {
+                let Some(id) = it.next() else {
+                    eprintln!("{arg} needs a rule id\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if coyote_lint::rule(id).is_none() {
+                    eprintln!("unknown rule '{id}' (see --catalog)");
+                    return ExitCode::from(2);
+                }
+                config = if arg == "--allow" {
+                    config.allow(id)
+                } else {
+                    config.deny(id)
+                };
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown option '{flag}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut report = Report::new();
+    for path in &paths {
+        match lint_path(path) {
+            Ok(r) => report.extend(r),
+            Err(e) => {
+                eprintln!("coyote-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = config.apply(report);
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn lint_path(path: &str) -> Result<Report, String> {
+    if path.ends_with(".json") {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let spec = ShellSpec::from_json(&text).map_err(|e| format!("bad shell spec: {e}"))?;
+        Ok(lint_shell_spec(&spec))
+    } else if path.ends_with(".bin") {
+        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+        let name = path.rsplit('/').next().unwrap_or(path);
+        Ok(lint_bitstream(name, &bytes, None))
+    } else {
+        Err("unsupported file type (expected .json shell spec or .bin bitstream)".to_string())
+    }
+}

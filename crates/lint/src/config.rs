@@ -1,0 +1,316 @@
+//! Configuration lints (CF001–CF007): shell, QP and MMU parameter checks.
+//!
+//! These rules catch configurations that *parse* fine and even *boot* fine
+//! but then deadlock, starve or fail to schedule at run time. The flagship
+//! is CF001, the ACK-starvation class: with end-of-message-only ACKs, any
+//! message longer than `window * mtu` fills the retransmission window
+//! before the only ACK-carrying packet can be sent — the sender stalls
+//! forever. The RC queue pair now forces an ACK when the window fills, but
+//! a deployment that disables that safeguard while allowing long messages
+//! reintroduces the deadlock, and this rule refuses the config up front.
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use coyote::config::ShellConfig;
+use coyote_fabric::{Device, Floorplan};
+use coyote_mmu::{MmuConfig, TlbConfig};
+use coyote_sim::params::ROCE_MTU;
+
+/// Queue-pair transport parameters as a deployment declares them. This is a
+/// superset of the runtime `QpConfig`: the lint also sees the message-size
+/// contract and whether the window-fill ACK safeguard is enabled.
+#[derive(Debug, Clone)]
+pub struct QpSpec {
+    /// Path MTU (payload bytes per packet).
+    pub mtu: usize,
+    /// Maximum outstanding (unacknowledged) packets.
+    pub window: usize,
+    /// Largest message the deployment will post on this QP.
+    pub max_msg_bytes: usize,
+    /// Whether the sender requests an ACK when the window fills (the
+    /// safeguard; disabling it reverts to end-of-message-only ACKs).
+    pub ack_on_window_fill: bool,
+}
+
+impl Default for QpSpec {
+    fn default() -> QpSpec {
+        QpSpec {
+            mtu: ROCE_MTU,
+            window: 64,
+            max_msg_bytes: ROCE_MTU * 64,
+            ack_on_window_fill: true,
+        }
+    }
+}
+
+/// Lint one QP's transport parameters (CF001–CF003).
+pub fn lint_qp(unit: &str, qp: &QpSpec) -> Report {
+    let mut report = Report::new();
+    let loc = |path: &str| Location::new(format!("config:{unit}"), path);
+
+    // CF002: MTU sanity.
+    if qp.mtu == 0 || qp.mtu > ROCE_MTU || !qp.mtu.is_power_of_two() {
+        report.push(
+            Diagnostic::new(
+                "CF002",
+                Severity::Error,
+                loc("qp.mtu"),
+                format!(
+                    "MTU {} invalid: must be a power of two in 1..={ROCE_MTU}",
+                    qp.mtu
+                ),
+            )
+            .with_suggestion(format!("use the RoCE default of {ROCE_MTU}")),
+        );
+    }
+
+    // CF003: window sanity.
+    if qp.window == 0 {
+        report.push(Diagnostic::new(
+            "CF003",
+            Severity::Error,
+            loc("qp.window"),
+            "retransmission window of 0 packets: no packet can ever be in flight",
+        ));
+    }
+
+    // CF001: the ACK-starvation deadlock class. Only meaningful when the
+    // basic parameters are sane, so it is gated on them.
+    if qp.mtu > 0 && qp.window > 0 && !qp.ack_on_window_fill {
+        let capacity = qp.window.saturating_mul(qp.mtu);
+        if qp.max_msg_bytes > capacity {
+            report.push(
+                Diagnostic::new(
+                    "CF001",
+                    Severity::Error,
+                    loc("qp.max_msg_bytes"),
+                    format!(
+                        "ACK starvation: messages up to {} bytes need more than window*mtu = \
+                         {}*{} = {capacity} bytes in flight, but only the last packet of a \
+                         message requests an ACK — the window fills and the sender deadlocks",
+                        qp.max_msg_bytes, qp.window, qp.mtu
+                    ),
+                )
+                .with_suggestion("enable ack_on_window_fill, or cap max_msg_bytes at window*mtu"),
+            );
+        }
+    }
+
+    report
+}
+
+/// Lint MMU/TLB geometry (CF004, CF007).
+pub fn lint_mmu(unit: &str, mmu: &MmuConfig) -> Report {
+    let mut report = Report::new();
+    let loc = |path: &str| Location::new(format!("config:{unit}"), path);
+
+    let check_tlb = |name: &str, tlb: &TlbConfig, report: &mut Report| {
+        if !tlb.sets.is_power_of_two() || tlb.sets == 0 || tlb.ways == 0 {
+            report.push(
+                Diagnostic::new(
+                    "CF004",
+                    Severity::Error,
+                    loc(&format!("mmu.{name}")),
+                    format!(
+                        "{name} geometry {}x{} invalid: sets must be a non-zero power of two \
+                         (the set index is a bit-slice of the VPN) and ways non-zero",
+                        tlb.sets, tlb.ways
+                    ),
+                )
+                .with_suggestion("the TLB constructor panics on this geometry"),
+            );
+        }
+    };
+    check_tlb("stlb", &mmu.stlb, &mut report);
+    check_tlb("ltlb", &mmu.ltlb, &mut report);
+
+    // CF004 (continued): the small-page TLB must translate smaller pages
+    // than the huge-page TLB, or every lookup classifies wrong.
+    if mmu.stlb.page.bytes() >= mmu.ltlb.page.bytes() {
+        report.push(Diagnostic::new(
+            "CF004",
+            Severity::Error,
+            loc("mmu"),
+            format!(
+                "sTLB page ({} B) must be smaller than lTLB page ({} B)",
+                mmu.stlb.page.bytes(),
+                mmu.ltlb.page.bytes()
+            ),
+        ));
+    }
+
+    // CF007: SRAM budget. The synthesis resource model charges BRAM for the
+    // TLB SRAM; past ~16 Mbit the MMU alone starves the service band.
+    const SRAM_BUDGET_BITS: u64 = 16 << 20;
+    let bits = mmu.sram_bits();
+    if bits > SRAM_BUDGET_BITS {
+        report.push(
+            Diagnostic::new(
+                "CF007",
+                Severity::Warning,
+                loc("mmu"),
+                format!(
+                    "TLB SRAM of {bits} bits exceeds the {SRAM_BUDGET_BITS}-bit on-chip budget \
+                     the MMU model assumes"
+                ),
+            )
+            .with_suggestion("shrink sets/ways; hit rate saturates well below this size"),
+        );
+    }
+
+    report
+}
+
+/// Lint a full shell configuration (CF005, CF006, plus the MMU rules).
+pub fn lint_shell(unit: &str, cfg: &ShellConfig) -> Report {
+    let mut report = Report::new();
+    let loc = |path: &str| Location::new(format!("config:{unit}"), path);
+
+    // CF005: everything ShellConfig::validate refuses — vFPGA count,
+    // stream counts, channel counts, sniffer-without-network. The shell
+    // could never be scheduled onto a device in this state.
+    if let Err(e) = cfg.validate() {
+        report.push(
+            Diagnostic::new(
+                "CF005",
+                Severity::Error,
+                loc("shell"),
+                format!("shell can never be scheduled: {e}"),
+            )
+            .with_suggestion("fix the field named in the message"),
+        );
+    }
+    if cfg.n_card_streams > 16 {
+        report.push(Diagnostic::new(
+            "CF005",
+            Severity::Error,
+            loc("shell.n_card_streams"),
+            format!("{} card streams (0-16 supported)", cfg.n_card_streams),
+        ));
+    }
+
+    report.extend(lint_mmu(unit, &cfg.mmu));
+
+    // CF006: do the service blocks fit the service band of the implied
+    // floorplan? `capacity_of(Shell)` already subtracts the vFPGA regions.
+    if (1..=10).contains(&cfg.n_vfpgas) {
+        let device = Device::new(cfg.device);
+        let fp = Floorplan::preset(cfg.device, cfg.profile(), cfg.n_vfpgas);
+        let band = fp
+            .capacity_of(&device, coyote_fabric::PartitionId::Shell)
+            .expect("preset floorplan has a shell");
+        let demand: coyote_fabric::ResourceVec =
+            cfg.service_blocks().iter().map(|b| b.footprint()).sum();
+        if !demand.fits_in(&band) {
+            report.push(
+                Diagnostic::new(
+                    "CF006",
+                    Severity::Error,
+                    loc("shell.services"),
+                    format!(
+                        "service blocks need {demand} but the {:?} service band offers {band}",
+                        cfg.profile()
+                    ),
+                )
+                .with_suggestion("reduce memory channels or MMU SRAM, or drop a service"),
+            );
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_mem::PageSize;
+
+    #[test]
+    fn default_qp_spec_is_clean() {
+        assert!(lint_qp("t", &QpSpec::default()).is_clean());
+    }
+
+    #[test]
+    fn pre_fix_deadlock_config_is_flagged() {
+        // The exact class the RC queue pair deadlocked on before the
+        // window-fill ACK: 1 MB messages over a 64 x 4096-byte window with
+        // end-of-message-only ACKs.
+        let qp = QpSpec {
+            mtu: 4096,
+            window: 64,
+            max_msg_bytes: 1 << 20,
+            ack_on_window_fill: false,
+        };
+        let r = lint_qp("t", &qp);
+        assert_eq!(r.of_rule("CF001").count(), 1, "{}", r.render_human());
+        assert!(r.has_errors());
+
+        // Same message size with the safeguard on: fine.
+        let safe = QpSpec {
+            ack_on_window_fill: true,
+            ..qp
+        };
+        assert!(lint_qp("t", &safe).is_clean());
+
+        // Safeguard off but messages fit the window: also fine.
+        let short = QpSpec {
+            max_msg_bytes: 64 * 4096,
+            ..qp
+        };
+        assert!(lint_qp("t", &short).is_clean());
+    }
+
+    #[test]
+    fn bad_mtu_and_window_flagged() {
+        let qp = QpSpec {
+            mtu: 3000,
+            window: 0,
+            ..QpSpec::default()
+        };
+        let r = lint_qp("t", &qp);
+        assert_eq!(r.of_rule("CF002").count(), 1);
+        assert_eq!(r.of_rule("CF003").count(), 1);
+    }
+
+    #[test]
+    fn tlb_geometry_rules() {
+        assert!(lint_mmu("t", &MmuConfig::default_2m()).is_clean());
+        assert!(lint_mmu("t", &MmuConfig::huge_1g()).is_clean());
+
+        let mut bad = MmuConfig::default_2m();
+        bad.stlb.sets = 100; // not a power of two
+        assert_eq!(lint_mmu("t", &bad).of_rule("CF004").count(), 1);
+
+        let mut inverted = MmuConfig::default_2m();
+        inverted.stlb.page = PageSize::Huge1G;
+        assert_eq!(lint_mmu("t", &inverted).of_rule("CF004").count(), 1);
+
+        let mut huge = MmuConfig::default_2m();
+        huge.stlb.sets = 1 << 16;
+        huge.stlb.ways = 8;
+        let r = lint_mmu("t", &huge);
+        assert_eq!(r.of_rule("CF007").count(), 1);
+        assert_ne!(r.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn shell_presets_are_clean() {
+        for cfg in [
+            ShellConfig::host_only(1),
+            ShellConfig::host_memory(4, 16),
+            ShellConfig::host_memory_network(8, 32),
+        ] {
+            let r = lint_shell("t", &cfg);
+            assert!(r.is_clean(), "{}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn unschedulable_shell_flagged() {
+        let r = lint_shell("t", &ShellConfig::host_only(0));
+        assert!(r.of_rule("CF005").count() >= 1);
+
+        let mut cfg = ShellConfig::host_only(2);
+        cfg.n_card_streams = 30;
+        assert!(lint_shell("t", &cfg).of_rule("CF005").count() >= 1);
+    }
+}

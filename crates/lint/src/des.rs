@@ -1,0 +1,182 @@
+//! DES determinism analysis (DS001–DS002).
+//!
+//! The scheduler breaks ties between same-timestamp events by insertion
+//! sequence number. That is deterministic for one binary, but the insertion
+//! order is an accident of model construction: two semantically equivalent
+//! programs (or one program after a refactor) can enqueue the same events
+//! in a different order and silently compute different results. This module
+//! replays a recorded [`TraceEntry`] stream and flags the schedules whose
+//! outcome *depends* on that accident:
+//!
+//! * **DS001** — two same-timestamp events declare the *same* target (they
+//!   touch the same model object) without distinct tie-break priorities.
+//!   Whichever runs first wins; the result is insertion-order-dependent.
+//! * **DS002** — same-timestamp events where some event declares no target
+//!   at all, so disjointness cannot be established. Informational: the
+//!   events may well be independent, but nothing proves it.
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use coyote_sim::TraceEntry;
+use std::collections::BTreeMap;
+
+fn loc(unit: &str, at_ps: u64) -> Location {
+    Location::new(format!("trace:{unit}"), format!("t={at_ps}ps"))
+}
+
+/// Analyze one recorded event trace for ordering hazards.
+pub fn lint_trace(unit: &str, trace: &[TraceEntry]) -> Report {
+    let mut report = Report::new();
+
+    // Bucket by timestamp. BTreeMap keeps diagnostics in time order.
+    let mut by_time: BTreeMap<u64, Vec<&TraceEntry>> = BTreeMap::new();
+    for e in trace {
+        by_time.entry(e.at.as_ps()).or_default().push(e);
+    }
+
+    for (at_ps, events) in by_time {
+        if events.len() < 2 {
+            continue;
+        }
+
+        // DS001: same declared target, indistinct priorities.
+        let mut by_target: BTreeMap<u64, Vec<&TraceEntry>> = BTreeMap::new();
+        let mut untargeted = 0usize;
+        for e in &events {
+            match e.target {
+                Some(t) => by_target.entry(t).or_default().push(e),
+                None => untargeted += 1,
+            }
+        }
+        for (target, group) in by_target {
+            if group.len() < 2 {
+                continue;
+            }
+            let mut priorities: Vec<Option<u8>> = group.iter().map(|e| e.priority).collect();
+            priorities.sort_unstable();
+            let all_declared = priorities.iter().all(Option::is_some);
+            let mut distinct = priorities.clone();
+            distinct.dedup();
+            if !all_declared || distinct.len() != priorities.len() {
+                let seqs: Vec<u64> = group.iter().map(|e| e.seq).collect();
+                report.push(
+                    Diagnostic::new(
+                        "DS001",
+                        Severity::Error,
+                        loc(unit, at_ps),
+                        format!(
+                            "{} events at t={at_ps}ps target object {target} with no \
+                             deterministic tie-break (seqs {seqs:?}); execution order is an \
+                             accident of insertion order",
+                            group.len()
+                        ),
+                    )
+                    .with_suggestion(
+                        "schedule these with schedule_at_tagged and distinct priorities",
+                    ),
+                );
+            }
+        }
+
+        // DS002: disjointness unprovable because targets are undeclared.
+        if untargeted > 0 && events.len() > 1 {
+            report.push(Diagnostic::new(
+                "DS002",
+                Severity::Info,
+                loc(unit, at_ps),
+                format!(
+                    "{untargeted} of {} events at t={at_ps}ps declare no target; \
+                     cannot prove the schedule is order-independent",
+                    events.len()
+                ),
+            ));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_sim::{SimTime, Simulation};
+
+    fn traced<F: FnOnce(&mut Simulation<u64>)>(build: F) -> Vec<TraceEntry> {
+        let mut sim = Simulation::new(0u64);
+        sim.record_trace();
+        build(&mut sim);
+        let trace = sim.take_trace();
+        sim.run_until_idle();
+        trace
+    }
+
+    #[test]
+    fn conflicting_untiebroken_events_flagged() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, None, |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, None, |w, _| *w *= 2);
+        });
+        let r = lint_trace("t", &trace);
+        assert_eq!(r.of_rule("DS001").count(), 1, "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn distinct_priorities_are_deterministic() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(0), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(1), |w, _| *w *= 2);
+        });
+        assert!(lint_trace("t", &trace).is_clean());
+    }
+
+    #[test]
+    fn equal_priorities_still_hazardous() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(3), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(3), |w, _| *w *= 2);
+        });
+        assert_eq!(lint_trace("t", &trace).of_rule("DS001").count(), 1);
+    }
+
+    #[test]
+    fn disjoint_targets_are_clean() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_tagged(at, 1, None, |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_tagged(at, 2, None, |w, _| *w += 1);
+        });
+        assert!(lint_trace("t", &trace).is_clean());
+    }
+
+    #[test]
+    fn untargeted_coincidence_is_info_only() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.schedule_at(at, |w, _| *w += 1);
+            sim.schedule_at(at, |w, _| *w += 1);
+        });
+        let r = lint_trace("t", &trace);
+        assert_eq!(r.of_rule("DS002").count(), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Info));
+    }
+
+    #[test]
+    fn distinct_times_never_flagged() {
+        let trace = traced(|sim| {
+            sim.schedule_at(SimTime(1), |w, _| *w += 1);
+            sim.schedule_at(SimTime(2), |w, _| *w += 1);
+        });
+        assert!(lint_trace("t", &trace).is_clean());
+    }
+}

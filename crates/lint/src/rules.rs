@@ -1,0 +1,283 @@
+//! The rule catalog: every design rule `coyote-lint` knows, with its id,
+//! layer, default severity and rationale.
+//!
+//! Rule ids are stable; tooling (CI gates, allow/deny lists, golden tests)
+//! keys on them. The catalog is data, not behavior — the checks themselves
+//! live in the per-layer modules.
+
+use crate::diag::Severity;
+
+/// Which layer of the stack a rule inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Post-synthesis netlists (`coyote-synth`).
+    Netlist,
+    /// Partition geometry and resource budgets (`coyote-fabric`).
+    Floorplan,
+    /// Assembled bitstream blobs, verified offline.
+    Bitstream,
+    /// Shell / QP / MMU configuration (`coyote`, `coyote-net`, `coyote-mmu`).
+    Config,
+    /// Discrete-event scheduler traces (`coyote-sim`).
+    Des,
+}
+
+impl Layer {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Netlist => "netlist",
+            Layer::Floorplan => "floorplan",
+            Layer::Bitstream => "bitstream",
+            Layer::Config => "config",
+            Layer::Des => "des",
+        }
+    }
+}
+
+/// Catalog entry for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier.
+    pub id: &'static str,
+    /// Layer the rule inspects.
+    pub layer: Layer,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line rationale.
+    pub description: &'static str,
+}
+
+/// Every rule, ordered by layer then id.
+pub const CATALOG: &[RuleInfo] = &[
+    // --- Netlist -----------------------------------------------------
+    RuleInfo {
+        id: "NL001",
+        layer: Layer::Netlist,
+        severity: Severity::Error,
+        description: "undriven net: driver cell index out of range, the net has no real driver",
+    },
+    RuleInfo {
+        id: "NL002",
+        layer: Layer::Netlist,
+        severity: Severity::Error,
+        description: "multiply-driven output: one cell drives more than one net (shorted outputs)",
+    },
+    RuleInfo {
+        id: "NL003",
+        layer: Layer::Netlist,
+        severity: Severity::Warning,
+        description: "dangling cell: a non-I/O cell connected to no net (dead logic after synthesis)",
+    },
+    RuleInfo {
+        id: "NL004",
+        layer: Layer::Netlist,
+        severity: Severity::Error,
+        description: "combinational loop: a strongly connected component in the cell graph",
+    },
+    RuleInfo {
+        id: "NL005",
+        layer: Layer::Netlist,
+        severity: Severity::Error,
+        description: "port-width mismatch: nets of different bus widths feed one sink cell",
+    },
+    RuleInfo {
+        id: "NL006",
+        layer: Layer::Netlist,
+        severity: Severity::Warning,
+        description: "unreachable cell: connected logic with no path from any level-0/I/O cell",
+    },
+    RuleInfo {
+        id: "NL007",
+        layer: Layer::Netlist,
+        severity: Severity::Error,
+        description: "invalid sink reference: a net lists a sink cell index out of range",
+    },
+    // --- Floorplan ---------------------------------------------------
+    RuleInfo {
+        id: "FP001",
+        layer: Layer::Floorplan,
+        severity: Severity::Error,
+        description: "partition extends beyond the device tile grid",
+    },
+    RuleInfo {
+        id: "FP002",
+        layer: Layer::Floorplan,
+        severity: Severity::Error,
+        description: "partitions overlap (static/shell, or two vFPGA regions)",
+    },
+    RuleInfo {
+        id: "FP003",
+        layer: Layer::Floorplan,
+        severity: Severity::Error,
+        description: "vFPGA region not contained in the shell partition",
+    },
+    RuleInfo {
+        id: "FP004",
+        layer: Layer::Floorplan,
+        severity: Severity::Error,
+        description: "floorplan has no shell partition (nothing to reconfigure)",
+    },
+    RuleInfo {
+        id: "FP005",
+        layer: Layer::Floorplan,
+        severity: Severity::Error,
+        description: "duplicate partition id",
+    },
+    RuleInfo {
+        id: "FP006",
+        layer: Layer::Floorplan,
+        severity: Severity::Error,
+        description: "resource demand exceeds partition capacity (LUT/FF/BRAM/URAM/DSP)",
+    },
+    RuleInfo {
+        id: "FP007",
+        layer: Layer::Floorplan,
+        severity: Severity::Warning,
+        description: "vFPGA region straddles a clock-region boundary without spanning whole regions",
+    },
+    // --- Bitstream ---------------------------------------------------
+    RuleInfo {
+        id: "BS001",
+        layer: Layer::Bitstream,
+        severity: Severity::Error,
+        description: "malformed header: bad magic, version, device id or kind code",
+    },
+    RuleInfo {
+        id: "BS002",
+        layer: Layer::Bitstream,
+        severity: Severity::Error,
+        description: "truncated blob: declared frame count disagrees with byte length",
+    },
+    RuleInfo {
+        id: "BS003",
+        layer: Layer::Bitstream,
+        severity: Severity::Error,
+        description: "CRC mismatch over the configuration body",
+    },
+    RuleInfo {
+        id: "BS004",
+        layer: Layer::Bitstream,
+        severity: Severity::Error,
+        description: "frame-address sequence broken: records do not address frames 0..n in order",
+    },
+    RuleInfo {
+        id: "BS005",
+        layer: Layer::Bitstream,
+        severity: Severity::Error,
+        description: "frames address outside the target partition of the floorplan",
+    },
+    RuleInfo {
+        id: "BS006",
+        layer: Layer::Bitstream,
+        severity: Severity::Error,
+        description: "bitstream targets a different device than the deployment card",
+    },
+    // --- Config ------------------------------------------------------
+    RuleInfo {
+        id: "CF001",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description:
+            "ACK starvation: max message length exceeds window*MTU with end-of-message-only ACKs",
+    },
+    RuleInfo {
+        id: "CF002",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description: "MTU out of range (1..=4096) or not a power of two",
+    },
+    RuleInfo {
+        id: "CF003",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description: "retransmission window of zero packets (flow can never start)",
+    },
+    RuleInfo {
+        id: "CF004",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description: "TLB geometry broken: non-power-of-two sets, zero ways, or sTLB page >= lTLB page",
+    },
+    RuleInfo {
+        id: "CF005",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description: "shell can never schedule: invalid vFPGA/stream/channel/service combination",
+    },
+    RuleInfo {
+        id: "CF006",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description: "service set does not fit the shell service band of the implied floorplan",
+    },
+    RuleInfo {
+        id: "CF007",
+        layer: Layer::Config,
+        severity: Severity::Warning,
+        description: "oversized TLB SRAM budget (exceeds the on-chip SRAM the MMU model assumes)",
+    },
+    // --- DES ---------------------------------------------------------
+    RuleInfo {
+        id: "DS001",
+        layer: Layer::Des,
+        severity: Severity::Error,
+        description:
+            "ordering hazard: same-timestamp events on one target without distinct tie-break priorities",
+    },
+    RuleInfo {
+        id: "DS002",
+        layer: Layer::Des,
+        severity: Severity::Info,
+        description: "same-timestamp events with undeclared targets (disjointness unprovable)",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    CATALOG.iter().find(|r| r.id == id)
+}
+
+/// Render the catalog as a table (the CLI's `--catalog`).
+pub fn render_catalog() -> String {
+    let mut out = String::from("ID      LAYER      SEVERITY  DESCRIPTION\n");
+    for r in CATALOG {
+        out.push_str(&format!(
+            "{:<7} {:<10} {:<9} {}\n",
+            r.id,
+            r.layer.name(),
+            r.severity.to_string(),
+            r.description
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_ids_unique_and_ordered() {
+        let ids: Vec<&str> = CATALOG.iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), CATALOG.len(), "duplicate rule id");
+    }
+
+    #[test]
+    fn catalog_spans_all_layers_with_enough_rules() {
+        use std::collections::BTreeSet;
+        let layers: BTreeSet<&str> = CATALOG.iter().map(|r| r.layer.name()).collect();
+        assert!(layers.len() >= 4, "rules must span >= 4 layers");
+        assert!(CATALOG.len() >= 12, "catalog must ship >= 12 rules");
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert_eq!(rule("NL004").unwrap().layer, Layer::Netlist);
+        assert!(rule("ZZ999").is_none());
+        assert!(render_catalog().contains("CF001"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The on-disk shell specification (`*.json`) the CLI lints.
+//!
+//! A deployment describes a shell as a JSON document — device, vFPGA count,
+//! services, optional MMU geometry and QP transport contract. This module
+//! parses that document and converts it to the typed [`ShellConfig`] /
+//! [`QpSpec`] the config rules run over. The JSON schema deliberately
+//! carries *more* than `ShellConfig` (the QP message-size contract, the
+//! window-fill-ACK switch) because the lint checks the deployment's intent,
+//! not just what the runtime structs hold.
+
+use crate::config::QpSpec;
+use coyote::config::{ShellConfig, ShellServices};
+use coyote_fabric::DeviceKind;
+use coyote_mem::PageSize;
+use coyote_mmu::{MmuConfig, TlbConfig};
+use serde::{Deserialize, Serialize};
+
+/// One TLB's geometry in the spec file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlbSpec {
+    /// Set count.
+    pub sets: u64,
+    /// Ways per set.
+    pub ways: u64,
+    /// Page size: `"4k"`, `"2m"` or `"1g"`.
+    pub page: String,
+}
+
+impl TlbSpec {
+    fn to_config(&self) -> Result<TlbConfig, String> {
+        let page = match self.page.to_ascii_lowercase().as_str() {
+            "4k" => PageSize::Small,
+            "2m" => PageSize::Huge2M,
+            "1g" => PageSize::Huge1G,
+            other => return Err(format!("unknown page size '{other}' (use 4k, 2m or 1g)")),
+        };
+        Ok(TlbConfig {
+            sets: self.sets as usize,
+            ways: self.ways as usize,
+            page,
+        })
+    }
+}
+
+/// MMU geometry in the spec file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MmuSpec {
+    /// Small-page TLB.
+    pub stlb: TlbSpec,
+    /// Huge-page TLB.
+    pub ltlb: TlbSpec,
+}
+
+/// QP transport contract in the spec file (see [`QpSpec`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QpSpecFile {
+    /// Path MTU in bytes.
+    pub mtu: u64,
+    /// Outstanding-packet window.
+    pub window: u64,
+    /// Largest message the deployment will post.
+    pub max_msg_bytes: u64,
+    /// Whether the window-fill ACK safeguard is enabled.
+    pub ack_on_window_fill: bool,
+}
+
+/// A full shell specification document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShellSpec {
+    /// Deployment name (used in diagnostic locations).
+    pub name: String,
+    /// Target card: `"u55c"`, `"u250"` or `"u280"`.
+    pub device: String,
+    /// vFPGA region count.
+    pub n_vfpgas: u64,
+    /// HBM/DDR channels for the memory service (0 disables it).
+    pub memory_channels: u64,
+    /// RoCE networking service.
+    pub networking: bool,
+    /// Traffic sniffer service.
+    pub sniffer: bool,
+    /// Host streams per vFPGA.
+    pub n_host_streams: u64,
+    /// Card streams per vFPGA.
+    pub n_card_streams: u64,
+    /// Node identity on the simulated fabric.
+    pub node_id: u64,
+    /// MMU geometry; the 2 MB default when absent.
+    pub mmu: Option<MmuSpec>,
+    /// QP transport contract; linted only when present.
+    pub qp: Option<QpSpecFile>,
+}
+
+fn clamp_u8(v: u64) -> u8 {
+    u8::try_from(v).unwrap_or(u8::MAX)
+}
+
+impl ShellSpec {
+    /// Parse a spec document from JSON text.
+    pub fn from_json(text: &str) -> Result<ShellSpec, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Render back to JSON (fixture generation, round-trip tests).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization is infallible")
+    }
+
+    /// The typed shell configuration this spec describes. Out-of-range
+    /// counts saturate (to 255) rather than wrap, so a nonsense value still
+    /// trips the range checks in `ShellConfig::validate` instead of
+    /// silently aliasing a valid one.
+    pub fn to_shell_config(&self) -> Result<ShellConfig, String> {
+        let device = match self.device.to_ascii_lowercase().as_str() {
+            "u55c" => DeviceKind::U55C,
+            "u250" => DeviceKind::U250,
+            "u280" => DeviceKind::U280,
+            other => return Err(format!("unknown device '{other}' (use u55c, u250 or u280)")),
+        };
+        let mmu = match &self.mmu {
+            None => MmuConfig::default_2m(),
+            Some(spec) => MmuConfig {
+                stlb: spec.stlb.to_config()?,
+                ltlb: spec.ltlb.to_config()?,
+            },
+        };
+        Ok(ShellConfig {
+            device,
+            n_vfpgas: clamp_u8(self.n_vfpgas),
+            services: ShellServices {
+                memory_channels: self.memory_channels as usize,
+                networking: self.networking,
+                sniffer: self.sniffer,
+            },
+            mmu,
+            n_host_streams: clamp_u8(self.n_host_streams),
+            n_card_streams: clamp_u8(self.n_card_streams),
+            sniffer_config: if self.sniffer {
+                Some(coyote_net::SnifferConfig::default())
+            } else {
+                None
+            },
+            node_id: u16::try_from(self.node_id).unwrap_or(u16::MAX),
+        })
+    }
+
+    /// The QP transport contract, when the spec declares one.
+    pub fn qp_spec(&self) -> Option<QpSpec> {
+        self.qp.as_ref().map(|q| QpSpec {
+            mtu: q.mtu as usize,
+            window: q.window as usize,
+            max_msg_bytes: q.max_msg_bytes as usize,
+            ack_on_window_fill: q.ack_on_window_fill,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShellSpec {
+        ShellSpec {
+            name: "full".into(),
+            device: "u55c".into(),
+            n_vfpgas: 4,
+            memory_channels: 32,
+            networking: true,
+            sniffer: false,
+            n_host_streams: 4,
+            n_card_streams: 16,
+            node_id: 1,
+            mmu: Some(MmuSpec {
+                stlb: TlbSpec {
+                    sets: 512,
+                    ways: 4,
+                    page: "4k".into(),
+                },
+                ltlb: TlbSpec {
+                    sets: 32,
+                    ways: 4,
+                    page: "2m".into(),
+                },
+            }),
+            qp: Some(QpSpecFile {
+                mtu: 4096,
+                window: 64,
+                max_msg_bytes: 262_144,
+                ack_on_window_fill: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = sample();
+        let back = ShellSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn converts_to_shell_config() {
+        let cfg = sample().to_shell_config().unwrap();
+        assert_eq!(cfg.device, DeviceKind::U55C);
+        assert_eq!(cfg.n_vfpgas, 4);
+        assert!(cfg.services.networking);
+        assert_eq!(cfg.mmu.stlb.sets, 512);
+        cfg.validate().unwrap();
+        let qp = sample().qp_spec().unwrap();
+        assert_eq!(qp.window, 64);
+    }
+
+    #[test]
+    fn optional_sections_default() {
+        let mut spec = sample();
+        spec.mmu = None;
+        spec.qp = None;
+        let text = spec.to_json();
+        let back = ShellSpec::from_json(&text).unwrap();
+        assert_eq!(back.mmu, None);
+        let cfg = back.to_shell_config().unwrap();
+        assert_eq!(cfg.mmu.stlb.sets, MmuConfig::default_2m().stlb.sets);
+        assert!(back.qp_spec().is_none());
+    }
+
+    #[test]
+    fn bad_device_and_page_rejected() {
+        let mut spec = sample();
+        spec.device = "virtex2".into();
+        assert!(spec.to_shell_config().is_err());
+
+        let mut spec = sample();
+        spec.mmu.as_mut().unwrap().stlb.page = "16k".into();
+        assert!(spec.to_shell_config().is_err());
+    }
+
+    #[test]
+    fn oversized_counts_saturate_not_wrap() {
+        let mut spec = sample();
+        spec.n_vfpgas = 256; // u8 wrap would alias to 0… or worse, 256+1=1
+        let cfg = spec.to_shell_config().unwrap();
+        assert_eq!(cfg.n_vfpgas, 255);
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,553 @@
+//! Golden tests: every rule in the catalog fires on a seeded violation with
+//! the exact rule id and location, and stays silent on a clean counterpart.
+//!
+//! Config rules are exercised through the JSON fixtures in `fixtures/`
+//! (the same files a deployment would feed the CLI); netlist, floorplan,
+//! bitstream and DES rules use programmatic fixtures because their inputs
+//! are in-memory artifacts.
+
+use coyote_fabric::{
+    Bitstream, BitstreamKind, Device, DeviceKind, Floorplan, Partition, PartitionId, Rect,
+    ResourceVec, ShellProfile, FRAME_RECORD_BYTES, HEADER_BYTES,
+};
+use coyote_lint::{
+    lint_bitstream, lint_floorplan, lint_netlist, lint_shell_spec, lint_trace, DeployContext,
+    PartitionDemand, Report, Severity, ShellSpec,
+};
+use coyote_synth::{CellKind, Net, Netlist};
+
+fn fixture(name: &str) -> ShellSpec {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    ShellSpec::from_json(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Assert the report contains exactly one finding of `rule` and that it sits
+/// at `unit`/`path`.
+#[track_caller]
+fn assert_fires(report: &Report, rule: &str, unit: &str, path: &str) {
+    let hits: Vec<_> = report.of_rule(rule).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {rule}, got:\n{}",
+        report.render_human()
+    );
+    assert_eq!(hits[0].location.unit, unit, "{rule} unit");
+    assert_eq!(hits[0].location.path, path, "{rule} path");
+}
+
+// ----------------------------------------------------------------- config
+
+#[test]
+fn clean_config_fixtures_produce_zero_diagnostics() {
+    for name in ["clean_full.json", "clean_host_only.json"] {
+        let r = lint_shell_spec(&fixture(name));
+        assert!(r.is_clean(), "{name}:\n{}", r.render_human());
+    }
+}
+
+#[test]
+fn config_fixtures_fire_their_rule_at_the_exact_location() {
+    let cases = [
+        (
+            "cf001_ack_starvation.json",
+            "CF001",
+            "config:cf001-ack-starvation",
+            "qp.max_msg_bytes",
+        ),
+        (
+            "cf002_bad_mtu.json",
+            "CF002",
+            "config:cf002-bad-mtu",
+            "qp.mtu",
+        ),
+        (
+            "cf003_zero_window.json",
+            "CF003",
+            "config:cf003-zero-window",
+            "qp.window",
+        ),
+        (
+            "cf004_inverted_tlb.json",
+            "CF004",
+            "config:cf004-inverted-tlb",
+            "mmu",
+        ),
+        (
+            "cf005_unschedulable.json",
+            "CF005",
+            "config:cf005-unschedulable",
+            "shell",
+        ),
+        (
+            "cf006_service_overflow.json",
+            "CF006",
+            "config:cf006-service-overflow",
+            "shell.services",
+        ),
+        (
+            "cf007_oversized_tlb.json",
+            "CF007",
+            "config:cf007-oversized-tlb",
+            "mmu",
+        ),
+    ];
+    for (file, rule, unit, path) in cases {
+        let r = lint_shell_spec(&fixture(file));
+        assert_fires(&r, rule, unit, path);
+    }
+}
+
+#[test]
+fn the_pre_fix_deadlock_config_is_an_error() {
+    // The acceptance case: a config reproducing the ack_req starvation
+    // deadlock the RC queue pair had before the window-fill ACK fix must be
+    // rejected at error severity.
+    let r = lint_shell_spec(&fixture("cf001_ack_starvation.json"));
+    assert!(r.has_errors());
+    assert_eq!(r.of_rule("CF001").next().unwrap().severity, Severity::Error);
+}
+
+// ---------------------------------------------------------------- netlist
+
+/// A minimal clean netlist: Io -> Lut -> Ff pipeline.
+fn clean_netlist() -> Netlist {
+    Netlist {
+        name: "golden".into(),
+        cells: vec![CellKind::Io, CellKind::Lut, CellKind::Ff],
+        levels: vec![0, 1, 2],
+        nets: vec![
+            Net {
+                driver: 0,
+                sinks: vec![1],
+                width: 8,
+            },
+            Net {
+                driver: 1,
+                sinks: vec![2],
+                width: 16,
+            },
+        ],
+        footprint: ResourceVec::logic(64, 64),
+    }
+}
+
+#[test]
+fn clean_netlist_produces_zero_diagnostics() {
+    let r = lint_netlist(&clean_netlist());
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn nl001_undriven_net() {
+    let mut n = clean_netlist();
+    n.nets.push(Net {
+        driver: 99,
+        sinks: vec![1],
+        width: 8,
+    });
+    assert_fires(&lint_netlist(&n), "NL001", "netlist:golden", "net[2]");
+}
+
+#[test]
+fn nl002_multiply_driven() {
+    let mut n = clean_netlist();
+    n.cells.push(CellKind::Lut);
+    n.levels.push(1);
+    n.nets.push(Net {
+        driver: 0,
+        sinks: vec![3],
+        width: 8,
+    });
+    assert_fires(&lint_netlist(&n), "NL002", "netlist:golden", "cell[0]");
+}
+
+#[test]
+fn nl003_dangling_cell() {
+    let mut n = clean_netlist();
+    n.cells.push(CellKind::Lut);
+    n.levels.push(1);
+    assert_fires(&lint_netlist(&n), "NL003", "netlist:golden", "cell[3]");
+}
+
+#[test]
+fn nl004_combinational_loop() {
+    let n = Netlist {
+        name: "golden".into(),
+        cells: vec![CellKind::Lut, CellKind::Lut],
+        levels: vec![0, 1],
+        nets: vec![
+            Net {
+                driver: 0,
+                sinks: vec![1],
+                width: 8,
+            },
+            Net {
+                driver: 1,
+                sinks: vec![0],
+                width: 8,
+            },
+        ],
+        footprint: ResourceVec::logic(64, 64),
+    };
+    assert_fires(&lint_netlist(&n), "NL004", "netlist:golden", "cell[0]");
+}
+
+#[test]
+fn nl005_width_mismatch() {
+    let n = Netlist {
+        name: "golden".into(),
+        cells: vec![CellKind::Io, CellKind::Io, CellKind::Lut],
+        levels: vec![0, 0, 1],
+        nets: vec![
+            Net {
+                driver: 0,
+                sinks: vec![2],
+                width: 8,
+            },
+            Net {
+                driver: 1,
+                sinks: vec![2],
+                width: 16,
+            },
+        ],
+        footprint: ResourceVec::logic(64, 64),
+    };
+    assert_fires(&lint_netlist(&n), "NL005", "netlist:golden", "cell[2]");
+}
+
+#[test]
+fn nl006_unreachable_cell() {
+    let mut n = clean_netlist();
+    // Cell 3 drives into the pipeline but nothing reaches *it*.
+    n.cells.push(CellKind::Lut);
+    n.levels.push(1);
+    n.nets.push(Net {
+        driver: 3,
+        sinks: vec![2],
+        width: 16,
+    });
+    assert_fires(&lint_netlist(&n), "NL006", "netlist:golden", "cell[3]");
+}
+
+#[test]
+fn nl007_invalid_sink() {
+    let mut n = clean_netlist();
+    n.nets.push(Net {
+        driver: 2,
+        sinks: vec![99],
+        width: 32,
+    });
+    assert_fires(&lint_netlist(&n), "NL007", "netlist:golden", "net[2]");
+}
+
+// -------------------------------------------------------------- floorplan
+
+fn dev() -> Device {
+    Device::new(DeviceKind::U55C)
+}
+
+fn shell() -> Partition {
+    Partition {
+        id: PartitionId::Shell,
+        rect: Rect::new(8, 0, 60, 100),
+    }
+}
+
+#[test]
+fn clean_floorplan_produces_zero_diagnostics() {
+    let fp = Floorplan::preset(DeviceKind::U55C, ShellProfile::HostMemoryNetwork, 4);
+    let r = lint_floorplan(&fp, &dev(), &[]);
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn fp001_out_of_bounds() {
+    let fp = Floorplan::custom(
+        DeviceKind::U55C,
+        vec![
+            shell(),
+            Partition {
+                id: PartitionId::Static,
+                rect: Rect::new(0, 0, 8, 110),
+            },
+        ],
+    );
+    let r = lint_floorplan(&fp, &dev(), &[]);
+    assert_fires(&r, "FP001", "floorplan:Alveo U55C", "static");
+}
+
+#[test]
+fn fp002_overlap() {
+    let fp = Floorplan::custom(
+        DeviceKind::U55C,
+        vec![
+            shell(),
+            Partition {
+                id: PartitionId::Static,
+                rect: Rect::new(0, 0, 10, 100),
+            },
+        ],
+    );
+    let r = lint_floorplan(&fp, &dev(), &[]);
+    assert_fires(&r, "FP002", "floorplan:Alveo U55C", "static");
+}
+
+#[test]
+fn fp003_vfpga_outside_shell() {
+    let fp = Floorplan::custom(
+        DeviceKind::U55C,
+        vec![
+            shell(),
+            Partition {
+                id: PartitionId::Vfpga(0),
+                rect: Rect::new(55, 0, 70, 100),
+            },
+        ],
+    );
+    let r = lint_floorplan(&fp, &dev(), &[]);
+    assert_fires(&r, "FP003", "floorplan:Alveo U55C", "vfpga(0)");
+}
+
+#[test]
+fn fp004_missing_shell() {
+    let fp = Floorplan::custom(
+        DeviceKind::U55C,
+        vec![Partition {
+            id: PartitionId::Static,
+            rect: Rect::new(0, 0, 8, 100),
+        }],
+    );
+    let r = lint_floorplan(&fp, &dev(), &[]);
+    assert_fires(&r, "FP004", "floorplan:Alveo U55C", "shell");
+}
+
+#[test]
+fn fp005_duplicate_partition() {
+    let fp = Floorplan::custom(
+        DeviceKind::U55C,
+        vec![
+            shell(),
+            Partition {
+                id: PartitionId::Vfpga(0),
+                rect: Rect::new(20, 0, 40, 50),
+            },
+            Partition {
+                id: PartitionId::Vfpga(0),
+                rect: Rect::new(20, 50, 40, 100),
+            },
+        ],
+    );
+    let r = lint_floorplan(&fp, &dev(), &[]);
+    assert_fires(&r, "FP005", "floorplan:Alveo U55C", "vfpga(0)");
+}
+
+#[test]
+fn fp006_over_capacity() {
+    let fp = Floorplan::preset(DeviceKind::U55C, ShellProfile::HostOnly, 1);
+    let demand = PartitionDemand {
+        id: PartitionId::Vfpga(0),
+        demand: ResourceVec::new(10_000_000, 0, 0, 0, 0),
+        design: "monster".into(),
+    };
+    let r = lint_floorplan(&fp, &dev(), &[demand]);
+    assert_fires(&r, "FP006", "floorplan:Alveo U55C", "vfpga(0)");
+}
+
+#[test]
+fn fp007_clock_region_straddle() {
+    let fp = Floorplan::custom(
+        DeviceKind::U55C,
+        vec![
+            shell(),
+            Partition {
+                id: PartitionId::Vfpga(0),
+                rect: Rect::new(20, 10, 40, 60),
+            },
+        ],
+    );
+    let r = lint_floorplan(&fp, &dev(), &[]);
+    assert_fires(&r, "FP007", "floorplan:Alveo U55C", "vfpga(0)");
+    assert_ne!(r.max_severity(), Some(Severity::Error));
+}
+
+// -------------------------------------------------------------- bitstream
+
+fn good_blob() -> Vec<u8> {
+    Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 8, 7)
+        .bytes()
+        .to_vec()
+}
+
+fn restamp_crc(bytes: &mut [u8]) {
+    let end = bytes.len() - 4;
+    let crc = coyote_fabric::crc32(&bytes[..end]).to_le_bytes();
+    bytes[end..].copy_from_slice(&crc);
+}
+
+#[test]
+fn clean_bitstream_produces_zero_diagnostics() {
+    let fp = Floorplan::preset(DeviceKind::U55C, ShellProfile::HostOnly, 1);
+    let frames = Device::frames_for_tiles(fp.tiles_of(PartitionId::Shell).unwrap());
+    let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, frames, 7);
+    let ctx = DeployContext {
+        device: DeviceKind::U55C,
+        floorplan: Some(&fp),
+    };
+    let r = lint_bitstream("shell.bin", bs.bytes(), Some(&ctx));
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn bs001_malformed_header() {
+    let mut b = good_blob();
+    b[0] = b'X';
+    assert_fires(
+        &lint_bitstream("bad.bin", &b, None),
+        "BS001",
+        "bitstream:bad.bin",
+        "header",
+    );
+}
+
+#[test]
+fn bs002_truncated() {
+    let mut b = good_blob();
+    b.truncate(b.len() - FRAME_RECORD_BYTES);
+    restamp_crc(&mut b);
+    assert_fires(
+        &lint_bitstream("bad.bin", &b, None),
+        "BS002",
+        "bitstream:bad.bin",
+        "body",
+    );
+}
+
+#[test]
+fn bs003_crc_mismatch() {
+    let mut b = good_blob();
+    let mid = b.len() / 2;
+    b[mid] ^= 0xFF;
+    assert_fires(
+        &lint_bitstream("bad.bin", &b, None),
+        "BS003",
+        "bitstream:bad.bin",
+        "trailer",
+    );
+}
+
+#[test]
+fn bs004_frame_address_sequence() {
+    let mut b = good_blob();
+    let off = HEADER_BYTES + 3 * FRAME_RECORD_BYTES;
+    b[off..off + 4].copy_from_slice(&77u32.to_le_bytes());
+    restamp_crc(&mut b);
+    assert_fires(
+        &lint_bitstream("bad.bin", &b, None),
+        "BS004",
+        "bitstream:bad.bin",
+        "frame[3]",
+    );
+}
+
+#[test]
+fn bs005_frames_outside_partition() {
+    let fp = Floorplan::preset(DeviceKind::U55C, ShellProfile::HostOnly, 1);
+    let budget = Device::frames_for_tiles(fp.tiles_of(PartitionId::Vfpga(0)).unwrap());
+    let bs = Bitstream::assemble(
+        DeviceKind::U55C,
+        BitstreamKind::App { vfpga: 0 },
+        budget + 1,
+        7,
+    );
+    let ctx = DeployContext {
+        device: DeviceKind::U55C,
+        floorplan: Some(&fp),
+    };
+    assert_fires(
+        &lint_bitstream("big.bin", bs.bytes(), Some(&ctx)),
+        "BS005",
+        "bitstream:big.bin",
+        "frames",
+    );
+}
+
+#[test]
+fn bs006_device_mismatch() {
+    let bs = Bitstream::assemble(DeviceKind::U250, BitstreamKind::Shell, 8, 7);
+    let ctx = DeployContext {
+        device: DeviceKind::U55C,
+        floorplan: None,
+    };
+    assert_fires(
+        &lint_bitstream("wrong.bin", bs.bytes(), Some(&ctx)),
+        "BS006",
+        "bitstream:wrong.bin",
+        "header",
+    );
+}
+
+// -------------------------------------------------------------------- des
+
+#[test]
+fn ds001_ordering_hazard() {
+    let mut sim = coyote_sim::Simulation::new(0u64);
+    sim.record_trace();
+    let at = coyote_sim::SimTime(500);
+    sim.scheduler()
+        .schedule_at_tagged(at, 9, None, |w: &mut u64, _| *w += 1);
+    sim.scheduler()
+        .schedule_at_tagged(at, 9, None, |w: &mut u64, _| *w *= 2);
+    let trace = sim.take_trace();
+    assert_fires(&lint_trace("qp", &trace), "DS001", "trace:qp", "t=500ps");
+}
+
+#[test]
+fn ds002_undeclared_targets() {
+    let mut sim = coyote_sim::Simulation::new(0u64);
+    sim.record_trace();
+    let at = coyote_sim::SimTime(500);
+    sim.schedule_at(at, |w: &mut u64, _| *w += 1);
+    sim.schedule_at(at, |w: &mut u64, _| *w += 1);
+    let trace = sim.take_trace();
+    let r = lint_trace("qp", &trace);
+    assert_fires(&r, "DS002", "trace:qp", "t=500ps");
+    assert_eq!(r.max_severity(), Some(Severity::Info));
+}
+
+#[test]
+fn clean_trace_produces_zero_diagnostics() {
+    let mut sim = coyote_sim::Simulation::new(0u64);
+    sim.record_trace();
+    let at = coyote_sim::SimTime(500);
+    sim.scheduler()
+        .schedule_at_tagged(at, 9, Some(0), |w: &mut u64, _| *w += 1);
+    sim.scheduler()
+        .schedule_at_tagged(at, 9, Some(1), |w: &mut u64, _| *w *= 2);
+    sim.scheduler()
+        .schedule_at_tagged(at, 10, None, |w: &mut u64, _| *w += 3);
+    let trace = sim.take_trace();
+    let r = lint_trace("qp", &trace);
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+// ------------------------------------------------------------ the catalog
+
+#[test]
+fn every_catalog_rule_has_golden_coverage() {
+    // Keep this list in sync: a rule added to the catalog without a golden
+    // test above fails here.
+    let covered = [
+        "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "FP001", "FP002", "FP003",
+        "FP004", "FP005", "FP006", "FP007", "BS001", "BS002", "BS003", "BS004", "BS005", "BS006",
+        "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "DS001", "DS002",
+    ];
+    for rule in coyote_lint::CATALOG {
+        assert!(
+            covered.contains(&rule.id),
+            "rule {} has no golden test",
+            rule.id
+        );
+    }
+}

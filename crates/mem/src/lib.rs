@@ -17,6 +17,8 @@
 //! owned by [`CardMemory`]; host-side DRAM is never the bottleneck in the
 //! paper's experiments (PCIe is) and carries no timing model of its own.
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod card;
 pub mod gpu;

@@ -17,6 +17,8 @@
 //!   TLB with the shared virtualization pipeline whose occupancy produces
 //!   the throughput taper of Fig. 7(a).
 
+#![forbid(unsafe_code)]
+
 pub mod mmu;
 pub mod space;
 pub mod tlb;

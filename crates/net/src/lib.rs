@@ -22,6 +22,8 @@
 //! * No congestion control (the paper's stack relies on PFC; drops are
 //!   injected only for retransmission testing).
 
+#![forbid(unsafe_code)]
+
 pub mod frame;
 pub mod headers;
 pub mod icrc;

@@ -12,6 +12,8 @@
 //! * [`CreditTable`] — per-key credit pools; requests stall (back-pressure
 //!   onto the vFPGA) rather than flooding the shared fabric.
 
+#![forbid(unsafe_code)]
+
 pub mod credits;
 pub mod interleave;
 pub mod packetizer;

@@ -19,6 +19,27 @@ use crate::time::{SimDuration, SimTime};
 /// The type of a scheduled event body.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
 
+/// One recorded scheduling decision (see [`Scheduler::record_trace`]).
+///
+/// A trace is the input to the `coyote-lint` DES determinism analysis: two
+/// entries with the same `at` and the same `target` but no distinct
+/// `priority` describe events whose relative order is fixed only by `seq`
+/// (scheduling order) — an ordering hazard if the scheduling order itself
+/// is not deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time the event fires at.
+    pub at: SimTime,
+    /// Queue sequence number (the tie-break actually used by the engine).
+    pub seq: u64,
+    /// Component the event mutates, when declared via
+    /// [`Scheduler::schedule_at_tagged`]; `None` for untagged events.
+    pub target: Option<u64>,
+    /// Explicit same-instant priority, when declared. Lower runs first in
+    /// intent; the engine itself still orders by `(at, seq)`.
+    pub priority: Option<u8>,
+}
+
 struct Scheduled<W> {
     at: SimTime,
     seq: u64,
@@ -54,6 +75,7 @@ pub struct Scheduler<W> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Scheduled<W>>,
+    trace: Option<Vec<TraceEntry>>,
 }
 
 impl<W> Scheduler<W> {
@@ -62,6 +84,24 @@ impl<W> Scheduler<W> {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
+            trace: None,
+        }
+    }
+
+    /// Start recording a [`TraceEntry`] per scheduled event. Entries already
+    /// recorded are kept; recording is off by default (zero cost).
+    pub fn record_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded trace (empty if recording was never enabled).
+    /// Recording continues if it was on.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
         }
     }
 
@@ -84,6 +124,22 @@ impl<W> Scheduler<W> {
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
+        self.push(at, None, None, Box::new(f));
+    }
+
+    /// Schedule `f` at `at`, declaring the component it mutates (`target`)
+    /// and an optional same-instant `priority`. The declaration changes
+    /// nothing about execution — the engine always orders by `(time, seq)` —
+    /// but it makes the event auditable: the DES determinism lint flags
+    /// same-time events on one target that lack distinct priorities.
+    pub fn schedule_at_tagged<F>(&mut self, at: SimTime, target: u64, priority: Option<u8>, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.push(at, Some(target), priority, Box::new(f));
+    }
+
+    fn push(&mut self, at: SimTime, target: Option<u64>, priority: Option<u8>, f: EventFn<W>) {
         assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -91,11 +147,15 @@ impl<W> Scheduler<W> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEntry {
+                at,
+                seq,
+                target,
+                priority,
+            });
+        }
+        self.queue.push(Scheduled { at, seq, f });
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -157,6 +217,16 @@ impl<W> Simulation<W> {
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
         self.sched.schedule_after(delay, f);
+    }
+
+    /// Start recording the scheduling trace (see [`Scheduler::record_trace`]).
+    pub fn record_trace(&mut self) {
+        self.sched.record_trace();
+    }
+
+    /// Take the recorded scheduling trace.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.sched.take_trace()
     }
 
     /// Execute the single earliest pending event, if any.
@@ -282,6 +352,36 @@ mod tests {
         }
         assert!(sim.run_while(|w| *w >= 3));
         assert_eq!(sim.world, 3);
+    }
+
+    #[test]
+    fn trace_records_tagged_and_untagged_events() {
+        let mut sim = Simulation::new(0u32);
+        sim.record_trace();
+        let t = SimTime::ZERO + SimDuration::from_ns(5);
+        sim.schedule_at(t, |w: &mut u32, _| *w += 1);
+        sim.scheduler()
+            .schedule_at_tagged(t, 42, Some(1), |w: &mut u32, _| *w += 1);
+        let trace = sim.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].target, None);
+        assert_eq!(trace[1].target, Some(42));
+        assert_eq!(trace[1].priority, Some(1));
+        assert_eq!(trace[0].at, trace[1].at);
+        assert!(trace[0].seq < trace[1].seq);
+        // Taking drains, recording continues.
+        assert!(sim.take_trace().is_empty());
+        sim.schedule_at(t, |w: &mut u32, _| *w += 1);
+        assert_eq!(sim.take_trace().len(), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.world, 3);
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let mut sim = Simulation::new(());
+        sim.schedule_after(SimDuration::from_ns(1), |_, _| {});
+        assert!(sim.take_trace().is_empty());
     }
 
     #[test]

@@ -45,6 +45,8 @@
 //! assert_eq!(end, coyote_sim::SimTime::ZERO + SimDuration::from_ns(900));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arbiter;
 pub mod credit;
 pub mod engine;
@@ -59,7 +61,7 @@ pub mod time;
 
 pub use arbiter::RrQueue;
 pub use credit::CreditPool;
-pub use engine::{Scheduler, Simulation};
+pub use engine::{Scheduler, Simulation, TraceEntry};
 pub use fifo::BoundedFifo;
 pub use link::{LinkModel, Transfer};
 pub use par::{par_map, thread_budget};

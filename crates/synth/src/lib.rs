@@ -17,6 +17,8 @@
 //! One netlist cell represents [`netlist::PRIMITIVES_PER_CELL`] device
 //! primitives; modeled times scale back up by the same factor.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod flow;
 pub mod library;
@@ -30,7 +32,7 @@ pub use flow::{
     app_flow, fig7b_configs, shell_flow, AppArtifacts, BuildReport, BuildRequest, ShellArtifacts,
 };
 pub use library::{Ip, IpBlock};
-pub use netlist::{CellKind, Netlist};
+pub use netlist::{stage_width, CellKind, Net, Netlist};
 pub use place::{Placement, Placer};
 pub use route::{RouteResult, Router};
 pub use timing::TimingReport;

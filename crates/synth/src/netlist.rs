@@ -37,6 +37,17 @@ pub struct Net {
     pub driver: u32,
     /// Sink cell indices.
     pub sinks: Vec<u32>,
+    /// Bus width in bits. Every net feeding one sink cell must agree on
+    /// width (a cell has one input port width); synthesis derives it from
+    /// the driver's pipeline level, so stitched netlists stay consistent.
+    pub width: u16,
+}
+
+/// Bus width of a net driven from pipeline level `level`. Stage widths walk
+/// the AXI-stream ladder (8/16/32/64 bits) so consecutive levels genuinely
+/// differ — a net wired to the wrong stage is a detectable width mismatch.
+pub fn stage_width(level: u16) -> u16 {
+    8 << (level % 4)
 }
 
 /// A synthesized design fragment.
@@ -102,6 +113,7 @@ impl Netlist {
         }
         // Each non-final-level cell drives one net into the next level.
         let mut nets = Vec::new();
+        let mut net_of: Vec<Option<usize>> = vec![None; total as usize];
         for (i, &l) in levels.iter().enumerate() {
             let next = (l + 1) as usize;
             if next >= depth as usize || by_level[next].is_empty() {
@@ -112,10 +124,39 @@ impl Netlist {
             let sinks: Vec<u32> = (0..n_sinks)
                 .map(|_| pool[rng.gen_range(pool.len() as u64) as usize])
                 .collect();
+            net_of[i] = Some(nets.len());
             nets.push(Net {
                 driver: i as u32,
                 sinks,
+                width: stage_width(l),
             });
+        }
+        // Coverage pass: every cell above level 0 gets at least one incoming
+        // edge from the level below. The random fanout draw alone leaves a
+        // few percent of cells with no driver, and those accidental dead
+        // cells would be indistinguishable from real defects to a netlist
+        // DRC (dangling/unreachable-cell rules).
+        let mut is_sink = vec![false; total as usize];
+        for net in &nets {
+            for &s in &net.sinks {
+                is_sink[s as usize] = true;
+            }
+        }
+        for l in 1..depth as usize {
+            if by_level[l - 1].is_empty() {
+                continue;
+            }
+            let pool = &by_level[l - 1];
+            for &c in &by_level[l] {
+                if is_sink[c as usize] {
+                    continue;
+                }
+                let d = pool[rng.gen_range(pool.len() as u64) as usize];
+                if let Some(idx) = net_of[d as usize] {
+                    nets[idx].sinks.push(c);
+                    is_sink[c as usize] = true;
+                }
+            }
         }
         Netlist {
             name: name.to_string(),
@@ -144,6 +185,7 @@ impl Netlist {
         self.nets.extend(other.nets.iter().map(|n| Net {
             driver: n.driver + base,
             sinks: n.sinks.iter().map(|s| s + base).collect(),
+            width: n.width,
         }));
         self.footprint += other.footprint;
     }

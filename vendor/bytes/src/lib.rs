@@ -6,6 +6,8 @@
 //! the payload. That is exactly the property the shell datapath relies on
 //! to move packet payloads between phases without allocation churn.
 
+#![forbid(unsafe_code)]
+
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};

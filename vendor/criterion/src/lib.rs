@@ -8,6 +8,8 @@
 //! `--test` to `harness = false` targets), each benchmark runs exactly one
 //! iteration as a smoke test.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Throughput annotation for a benchmark group.

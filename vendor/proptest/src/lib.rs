@@ -8,6 +8,8 @@
 //! shrinking — a failing case panics with the generated inputs' debug
 //! representation via the standard assert message.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 

@@ -10,6 +10,8 @@
 //! Externally-tagged enum representation matches real serde: unit variants
 //! serialize as a string, data-carrying variants as a one-key object.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::fmt;
@@ -302,7 +304,7 @@ mod tests {
     fn primitives_roundtrip() {
         let v = 42u64.to_value();
         assert_eq!(u64::from_value(&v), Ok(42));
-        assert_eq!(u8::from_value(&Value::Int(300)).is_err(), true);
+        assert!(u8::from_value(&Value::Int(300)).is_err());
         let t = ("a".to_string(), 1.5f64).to_value();
         assert_eq!(<(String, f64)>::from_value(&t), Ok(("a".to_string(), 1.5)));
     }

@@ -11,6 +11,8 @@
 //! parsed: generated code names fields and lets inference resolve the
 //! trait calls, so arbitrarily complex field types work for free.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving item.

@@ -6,6 +6,8 @@
 //! shortest-roundtrip float formatting — so regenerated `results/*.json`
 //! files keep the familiar shape.
 
+#![forbid(unsafe_code)]
+
 pub use serde::Value;
 
 use std::fmt;
