@@ -45,13 +45,20 @@ const IDS: &[&str] = &[
     "net_goodput",
     "net_fanin",
     "net_retransmit",
+    "net_chaos",
     "net_micro",
 ];
 
 /// Group aliases: one name selecting several experiments.
 const GROUPS: &[(&str, &[&str])] = &[(
     "net",
-    &["net_goodput", "net_fanin", "net_retransmit", "net_micro"],
+    &[
+        "net_goodput",
+        "net_fanin",
+        "net_retransmit",
+        "net_chaos",
+        "net_micro",
+    ],
 )];
 
 /// Where `--timings` records the wall-clock trajectory.
@@ -97,6 +104,7 @@ fn run_one(id: &str) -> Option<ExperimentResult> {
         "net_goodput" => cached("net_goodput", coyote_bench::netexp::net_goodput),
         "net_fanin" => cached("net_fanin", coyote_bench::netexp::net_fanin),
         "net_retransmit" => cached("net_retransmit", coyote_bench::netexp::net_retransmit),
+        "net_chaos" => cached("net_chaos", coyote_bench::netexp::net_chaos),
         "net_micro" => cached("net_micro", coyote_bench::netexp::net_micro),
         _ => return None,
     })

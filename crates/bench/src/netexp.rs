@@ -206,6 +206,95 @@ pub fn net_retransmit() -> ExperimentResult {
     }
 }
 
+/// Default seed for `net_chaos` (see `COYOTE_CHAOS_SEED`).
+const DEFAULT_CHAOS_SEED: u64 = 7;
+
+/// One seeded chaos run: a 256 KB (64 KB quick) write under a 1% loss
+/// plan, pumped to completion. Returns the goodput row inputs and the
+/// injector's fault-trace hash.
+fn chaos_run(seed: u64) -> (u64, u64, u64, f64) {
+    let size: u64 = if quick() { 64 << 10 } else { 256 << 10 };
+    let (mut p, t) = rdma_platform();
+    let mut nic = CommodityNic::new("mlx5_0", size as usize + 4096);
+    let mut switch = Switch::new(2);
+    let plan = coyote_chaos::FaultPlan::new(seed).net_loss(0.01);
+    switch.attach_chaos(plan.injector(coyote_chaos::Domain::NetSwitch));
+    let buf = t.get_mem(&mut p, size).unwrap();
+    let (qp_nic, qp_fpga) = QpConfig::pair(0x120, 0x220);
+    nic.create_qp(qp_nic);
+    p.rdma_create_qp(42, qp_fpga).unwrap();
+    let payload: Vec<u8> = (0..size).map(|i| (i % 239) as u8).collect();
+    nic.write_memory(0, &payload);
+    nic.post(
+        0x120,
+        3,
+        Verb::Write {
+            remote_vaddr: buf,
+            local_vaddr: 0,
+            len: size,
+        },
+    );
+    let mut frames = 0u64;
+    let mut done = false;
+    for _round in 0..100 {
+        let now = p.now();
+        frames += run_with_nic(&mut p, 0, &mut nic, 1, &mut switch, now);
+        if nic.poll_completions().iter().any(|(_, c)| c.status.is_ok()) {
+            done = true;
+            break;
+        }
+        for f in nic.on_timeout_frames() {
+            frames += 1;
+            for d in switch.inject(p.now(), 1, f) {
+                for resp in p.net_rx(d.at, &d.bytes) {
+                    for d2 in switch.inject(d.at, 0, resp) {
+                        nic.on_frame(&d2.bytes);
+                    }
+                }
+            }
+        }
+    }
+    assert!(done, "chaos write never completed (seed {seed})");
+    assert_eq!(t.read(&p, buf, size as usize).unwrap(), payload);
+    let dropped = switch.stats(0).dropped + switch.stats(1).dropped;
+    let hash = switch.chaos().unwrap().trace().hash();
+    let goodput = rate(size, p.now().since(SimTime::ZERO)).as_gbps_f64() * 8.0;
+    (hash, frames, dropped, goodput)
+}
+
+/// Chaos smoke: a seeded 1% loss plan over the NIC -> FPGA write, run
+/// twice. Recovery must be total and the fault trace bit-identical; the
+/// trace hash goes to the log so CI runs are comparable at a glance.
+pub fn net_chaos() -> ExperimentResult {
+    // Default chosen so the 1% plan fires even over the short quick-mode
+    // run; `COYOTE_CHAOS_SEED` overrides it for ad-hoc exploration.
+    let seed = std::env::var("COYOTE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CHAOS_SEED);
+    let (hash, frames, dropped, goodput) = chaos_run(seed);
+    let (hash2, frames2, dropped2, _) = chaos_run(seed);
+    assert_eq!(
+        (hash, frames, dropped),
+        (hash2, frames2, dropped2),
+        "same seed, same plan: the fault trace must be bit-identical"
+    );
+    assert!(dropped > 0, "the seeded 1% plan must fire at least once");
+    println!("net_chaos: seed {seed:#x} fault-trace hash {hash:016x}");
+    let rows = vec![Row::new("1% seeded loss", "goodput Gbit/s", goodput)
+        .with("frames", frames as f64)
+        .with("dropped", dropped as f64)];
+    ExperimentResult {
+        id: "net_chaos".into(),
+        title: "Chaos smoke: seeded 1% loss plan, bit-identical fault trace".into(),
+        rows,
+        verdict: "the seeded fault plan drops frames mid-write and the transport recovers to a \
+                  byte-exact payload; rerunning the seed reproduces the exact fault trace, whose \
+                  hash is printed for CI log comparison"
+            .into(),
+    }
+}
+
 /// Build one window of outstanding MTU-sized WRITE frames on a fresh QP.
 fn staged_qp(segments: u64) -> (QueuePair, Vec<u8>) {
     let (cfg, _) = QpConfig::pair(0x700, 0x800);
@@ -307,5 +396,11 @@ pub fn net_micro() -> ExperimentResult {
 
 /// All network experiments.
 pub fn all() -> Vec<ExperimentResult> {
-    vec![net_goodput(), net_fanin(), net_retransmit(), net_micro()]
+    vec![
+        net_goodput(),
+        net_fanin(),
+        net_retransmit(),
+        net_chaos(),
+        net_micro(),
+    ]
 }

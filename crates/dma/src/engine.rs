@@ -7,6 +7,7 @@
 //! a fixed descriptor-processing overhead, which is what bends the small-
 //! message end of Fig. 10(a).
 
+use coyote_chaos::Injector;
 use coyote_sched::{packetize_iter, Interleaver, Packet};
 use coyote_sim::{params, LinkModel, SimDuration, SimTime, Transfer};
 use std::collections::HashMap;
@@ -73,6 +74,7 @@ pub struct XdmaEngine {
     next_id: JobId,
     chunk: u64,
     desc_overhead: SimDuration,
+    chaos: Option<Injector>,
 }
 
 impl Default for XdmaEngine {
@@ -91,7 +93,24 @@ impl XdmaEngine {
             next_id: 1,
             chunk: params::DEFAULT_PACKET_BYTES,
             desc_overhead: params::XDMA_DESC_OVERHEAD,
+            chaos: None,
         }
+    }
+
+    /// Attach a chaos injector, consulted once per packet served by
+    /// [`XdmaEngine::book_all_chaos`] (`DmaStall`, `TenantCrash`).
+    pub fn attach_chaos(&mut self, injector: Injector) {
+        self.chaos = Some(injector);
+    }
+
+    /// The attached chaos injector.
+    pub fn chaos(&self) -> Option<&Injector> {
+        self.chaos.as_ref()
+    }
+
+    /// Mutable access to the attached chaos injector.
+    pub fn chaos_mut(&mut self) -> Option<&mut Injector> {
+        self.chaos.as_mut()
     }
 
     /// Override the packetization chunk ("default, but configurable").
@@ -158,6 +177,42 @@ impl XdmaEngine {
             .collect()
     }
 
+    /// [`XdmaEngine::book_all`] under the attached chaos injector: stalled
+    /// packets arrive late (bounded by [`coyote_chaos::MAX_STALL_PS`]) but
+    /// in order; a crashed tenant's packets are reclaimed from *both*
+    /// directions and its in-flight job bookkeeping is dropped, so the
+    /// surviving tenants' timing is unaffected beyond the freed bandwidth.
+    ///
+    /// Falls back to plain [`XdmaEngine::book_all`] when no injector is
+    /// attached.
+    pub fn book_all_chaos(&mut self, now: SimTime, dir: XdmaDir) -> ChaosBooked {
+        let Some(mut inj) = self.chaos.take() else {
+            return ChaosBooked {
+                done: self.book_all(now, dir),
+                crashed: Vec::new(),
+            };
+        };
+        let overhead = self.desc_overhead;
+        let drained = self.dir_mut(dir).drain_chaos(now, &mut inj);
+        let mut crashed = Vec::new();
+        for (tenant, lost) in drained.crashed {
+            for qp in &lost {
+                self.remaining.remove(&qp.job.id);
+            }
+            // Reclaim the tenant's queue in the other direction too: a dead
+            // tenant holds no resources anywhere.
+            self.evict_tenant(tenant);
+            crashed.push(tenant);
+        }
+        let done = drained
+            .delivered
+            .into_iter()
+            .filter_map(|d| self.finish(d, overhead))
+            .collect();
+        self.chaos = Some(inj);
+        ChaosBooked { done, crashed }
+    }
+
     fn finish(
         &mut self,
         d: coyote_sched::Delivered<u8, QueuedPacket>,
@@ -212,6 +267,15 @@ impl XdmaEngine {
             }
         }
     }
+}
+
+/// The outcome of [`XdmaEngine::book_all_chaos`].
+#[derive(Debug)]
+pub struct ChaosBooked {
+    /// Packets that made it over the link, in service order.
+    pub done: Vec<PacketDone>,
+    /// Tenants that crashed mid-drain (queues reclaimed in both directions).
+    pub crashed: Vec<u8>,
 }
 
 #[cfg(test)]

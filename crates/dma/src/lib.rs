@@ -22,6 +22,6 @@ pub mod engine;
 pub mod msix;
 pub mod writeback;
 
-pub use engine::{DmaJob, JobId, PacketDone, XdmaDir, XdmaEngine};
+pub use engine::{ChaosBooked, DmaJob, JobId, PacketDone, XdmaDir, XdmaEngine};
 pub use msix::{IrqReason, MsiVector, MsiX};
 pub use writeback::WritebackTable;

@@ -150,6 +150,23 @@ impl CoyoteDriver {
         (&mut self.icap, &mut self.config_state)
     }
 
+    /// Attach a chaos injector to the ICAP port (bitstream flips, transient
+    /// rejections); consulted once per programming attempt.
+    pub fn attach_icap_chaos(&mut self, injector: coyote_chaos::Injector) {
+        self.icap.attach_chaos(injector);
+    }
+
+    /// The ICAP port's chaos injector (its trace records every injected
+    /// fault and every recovery), if attached.
+    pub fn icap_chaos(&self) -> Option<&coyote_chaos::Injector> {
+        self.icap.chaos()
+    }
+
+    /// Mutable access to the ICAP port's chaos injector.
+    pub fn icap_chaos_mut(&mut self) -> Option<&mut coyote_chaos::Injector> {
+        self.icap.chaos_mut()
+    }
+
     /// Completed host<->card migrations.
     pub fn migrations(&self) -> u64 {
         self.migrations

@@ -33,4 +33,4 @@ pub mod reconfig;
 pub use driver::{CoyoteDriver, DriverError, Hpid};
 pub use ioctl::{Ioctl, IoctlReply};
 pub use irq::{EventFd, IrqEvent};
-pub use reconfig::{ReconfigTiming, VivadoBaseline};
+pub use reconfig::{ReconfigError, ReconfigTiming, ResilientReconfig, VivadoBaseline};

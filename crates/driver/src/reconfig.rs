@@ -9,8 +9,10 @@
 //! driver re-insertion".
 
 use crate::driver::CoyoteDriver;
-use coyote_fabric::bitstream::{Bitstream, BitstreamError};
-use coyote_fabric::config::ConfigError;
+use coyote_chaos::{FaultKind, RetryPolicy};
+use coyote_fabric::bitstream::{Bitstream, BitstreamError, BitstreamKind};
+use coyote_fabric::config::{ConfigError, ProgramError};
+use coyote_fabric::floorplan::PartitionId;
 use coyote_sim::{params, SimDuration, SimTime};
 
 /// Timing decomposition of one partial reconfiguration.
@@ -35,6 +37,12 @@ pub enum ReconfigError {
     Bitstream(BitstreamError),
     /// The device rejected it.
     Config(ConfigError),
+    /// The retry budget ran out before a clean programming pass; the
+    /// previously active image is still in place.
+    RetriesExhausted {
+        /// Attempts made (equals the policy's `max_attempts`).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for ReconfigError {
@@ -42,11 +50,31 @@ impl std::fmt::Display for ReconfigError {
         match self {
             ReconfigError::Bitstream(e) => write!(f, "bitstream invalid: {e}"),
             ReconfigError::Config(e) => write!(f, "configuration rejected: {e}"),
+            ReconfigError::RetriesExhausted { attempts } => {
+                write!(f, "reconfiguration failed after {attempts} attempts")
+            }
         }
     }
 }
 
 impl std::error::Error for ReconfigError {}
+
+/// The outcome of a hardened, retrying reconfiguration.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientReconfig {
+    /// Timing of the *successful* attempt (total latency measured from the
+    /// original request, so it includes every failed attempt and backoff).
+    pub timing: ReconfigTiming,
+    /// Attempts made, successful one included.
+    pub attempts: u32,
+    /// Attempts that failed because the in-flight blob was corrupted and
+    /// the bitstream parser caught it.
+    pub flips_detected: u32,
+    /// Attempts the configuration port transiently rejected.
+    pub rejects: u32,
+    /// True when at least one attempt failed before success.
+    pub recovered: bool,
+}
 
 impl CoyoteDriver {
     /// Load a partial bitstream.
@@ -97,6 +125,99 @@ impl CoyoteDriver {
             kernel_latency: program_done.since(copy_done),
             total_latency: program_done.since(now),
         })
+    }
+
+    /// Load a partial bitstream through a hardened path: bounded retries
+    /// with jitter-free exponential backoff, and verify-after-write.
+    ///
+    /// The recovery contract:
+    ///
+    /// * A corrupted in-flight blob (an injected [`FaultKind::BitstreamFlip`])
+    ///   is caught by the bitstream CRC/frame parser *before* the ICAP sees
+    ///   it; the attempt fails, the active image is untouched, and the
+    ///   pristine in-memory copy is retried after the backoff delay.
+    /// * A transient [`ConfigError::PortRejected`] is likewise retried.
+    /// * After programming, the committed digest at the target partition is
+    ///   compared against the requested image (verify-after-write).
+    /// * When the attempt budget runs out the call returns
+    ///   [`ReconfigError::RetriesExhausted`] and the device gracefully keeps
+    ///   the previous bitstream — commit only ever happens on full success.
+    ///
+    /// The disk read (when `from_disk`) is charged once; retries reuse the
+    /// in-memory copy and pay only the kernel copy + programming stages.
+    pub fn reconfigure_resilient(
+        &mut self,
+        now: SimTime,
+        blob: &[u8],
+        from_disk: bool,
+        policy: RetryPolicy,
+    ) -> Result<ResilientReconfig, ReconfigError> {
+        // Pre-validate the pristine copy: a genuinely bad image fails fast
+        // instead of burning the retry budget on it.
+        let pristine = Bitstream::from_bytes(blob.to_vec()).map_err(ReconfigError::Bitstream)?;
+        let expect_digest = pristine.digest();
+        let verify_at = match pristine.kind() {
+            BitstreamKind::Full | BitstreamKind::Shell => PartitionId::Shell,
+            BitstreamKind::App { vfpga } => PartitionId::Vfpga(vfpga),
+        };
+        let len = pristine.len();
+        let read_done = if from_disk {
+            now + params::BITSTREAM_DISK_BW.time_for(len)
+        } else {
+            now
+        };
+
+        let mut backoff = policy.backoff();
+        let mut attempt_start = read_done;
+        let mut attempts = 0u32;
+        let mut flips_detected = 0u32;
+        let mut rejects = 0u32;
+        loop {
+            attempts += 1;
+            let copy_done = attempt_start + params::KERNEL_COPY_BW.time_for(len);
+            let program_start = copy_done + params::RECONFIG_SETUP;
+            let (icap, state) = self.icap_and_state();
+            match icap.program_blob(program_start, blob.to_vec(), state) {
+                Ok((_bs, xfer)) => {
+                    let committed = self.config_state().image(verify_at).map(|i| i.digest);
+                    if committed == Some(expect_digest) {
+                        let recovered = attempts > 1;
+                        if recovered {
+                            let kind = if flips_detected > 0 {
+                                FaultKind::BitstreamFlip
+                            } else {
+                                FaultKind::IcapReject
+                            };
+                            if let Some(inj) = self.icap_and_state().0.chaos_mut() {
+                                inj.record_recovered(kind, u64::from(attempts));
+                            }
+                        }
+                        return Ok(ResilientReconfig {
+                            timing: ReconfigTiming {
+                                read_done,
+                                copy_done,
+                                program_done: xfer.done,
+                                kernel_latency: xfer.done.since(copy_done),
+                                total_latency: xfer.done.since(now),
+                            },
+                            attempts,
+                            flips_detected,
+                            rejects,
+                            recovered,
+                        });
+                    }
+                    // Verify-after-write mismatch: retry like any fault.
+                }
+                Err(ProgramError::Bitstream(_)) => flips_detected += 1,
+                Err(ProgramError::Config(ConfigError::PortRejected)) => rejects += 1,
+                // Device mismatch is permanent; no retry can fix it.
+                Err(ProgramError::Config(e)) => return Err(ReconfigError::Config(e)),
+            }
+            match backoff.next() {
+                Some(delay) => attempt_start = program_start + delay,
+                None => return Err(ReconfigError::RetriesExhausted { attempts }),
+            }
+        }
     }
 }
 

@@ -12,9 +12,10 @@
 //! [`Bitstream`] occupies the port for `len / bandwidth` and then commits
 //! the image into the [`ConfigState`].
 
-use crate::bitstream::{Bitstream, BitstreamKind};
+use crate::bitstream::{Bitstream, BitstreamError, BitstreamKind};
 use crate::device::DeviceKind;
 use crate::floorplan::PartitionId;
+use coyote_chaos::{FaultKind, Injector};
 use coyote_sim::time::Bandwidth;
 use coyote_sim::{LinkModel, SimDuration, SimTime, Transfer};
 use std::collections::HashMap;
@@ -75,6 +76,9 @@ pub enum ConfigError {
         /// Device in the bitstream header.
         bitstream: DeviceKind,
     },
+    /// The port transiently refused the programming request (a retryable
+    /// fault; nothing was written and the active image is untouched).
+    PortRejected,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -86,11 +90,34 @@ impl std::fmt::Display for ConfigError {
                 bitstream.name(),
                 card.name()
             ),
+            ConfigError::PortRejected => write!(f, "configuration port rejected the request"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Errors from [`ConfigPort::program_blob`]: the blob failed validation or
+/// the port refused it. Either way nothing was committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The blob failed the bitstream parser (bad magic, frame structure or
+    /// CRC — this is how an in-flight bit-flip is *detected*).
+    Bitstream(BitstreamError),
+    /// The port refused the request.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::Bitstream(e) => write!(f, "bitstream rejected: {e}"),
+            ProgramError::Config(e) => write!(f, "programming failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
 
 /// One image committed into a partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +198,7 @@ impl ConfigState {
 pub struct ConfigPort {
     kind: ConfigPortKind,
     link: LinkModel,
+    chaos: Option<Injector>,
 }
 
 impl ConfigPort {
@@ -179,12 +207,29 @@ impl ConfigPort {
         ConfigPort {
             kind,
             link: LinkModel::new(kind.bandwidth(), SimDuration::ZERO),
+            chaos: None,
         }
     }
 
     /// Which controller this is.
     pub fn kind(&self) -> ConfigPortKind {
         self.kind
+    }
+
+    /// Attach a chaos injector, consulted once per [`ConfigPort::program_blob`]
+    /// attempt ([`FaultKind::BitstreamFlip`] and [`FaultKind::IcapReject`]).
+    pub fn attach_chaos(&mut self, injector: Injector) {
+        self.chaos = Some(injector);
+    }
+
+    /// The attached chaos injector.
+    pub fn chaos(&self) -> Option<&Injector> {
+        self.chaos.as_ref()
+    }
+
+    /// Mutable access to the attached chaos injector (for recovery records).
+    pub fn chaos_mut(&mut self) -> Option<&mut Injector> {
+        self.chaos.as_mut()
     }
 
     /// Program `bs` starting at or after `now`; on success the image is
@@ -207,6 +252,58 @@ impl ConfigPort {
         let xfer = self.link.transmit(now, bs.len());
         state.commit(bs, xfer.done);
         Ok(xfer)
+    }
+
+    /// Program raw bitstream bytes: validate with the frame parser, then
+    /// program. This is the path a fault plan can corrupt — an injected
+    /// [`FaultKind::BitstreamFlip`] flips one bit of the in-flight blob, and
+    /// the parser's CRC/frame check must catch it *before* anything touches
+    /// the device: on any error the active image is untouched, because
+    /// commit only ever happens on full success.
+    pub fn program_blob(
+        &mut self,
+        now: SimTime,
+        blob: Vec<u8>,
+        state: &mut ConfigState,
+    ) -> Result<(Bitstream, Transfer), ProgramError> {
+        let mut blob = blob;
+        let mut flipped = false;
+        if let Some(inj) = &mut self.chaos {
+            for fault in inj.next_at(now) {
+                match fault.kind {
+                    FaultKind::BitstreamFlip if !blob.is_empty() => {
+                        let bit = if fault.param != 0 {
+                            fault.param
+                        } else {
+                            inj.derived(blob.len() as u64)
+                        };
+                        let idx = (bit / 8) as usize % blob.len();
+                        blob[idx] ^= 1 << (bit % 8);
+                        flipped = true;
+                    }
+                    FaultKind::IcapReject => {
+                        inj.record_detected(FaultKind::IcapReject, 0);
+                        return Err(ProgramError::Config(ConfigError::PortRejected));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let bs = match Bitstream::from_bytes(blob) {
+            Ok(bs) => bs,
+            Err(e) => {
+                if flipped {
+                    if let Some(inj) = &mut self.chaos {
+                        inj.record_detected(FaultKind::BitstreamFlip, 0);
+                    }
+                }
+                return Err(ProgramError::Bitstream(e));
+            }
+        };
+        let xfer = self
+            .program(now, &bs, state)
+            .map_err(ProgramError::Config)?;
+        Ok((bs, xfer))
     }
 
     /// Total bytes ever streamed through this port.

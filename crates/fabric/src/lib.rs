@@ -27,7 +27,7 @@ pub mod floorplan;
 pub mod resources;
 
 pub use bitstream::{Bitstream, BitstreamError, BitstreamKind, HEADER_BYTES};
-pub use config::{ConfigPort, ConfigPortKind, ConfigState};
+pub use config::{ConfigError, ConfigPort, ConfigPortKind, ConfigState, ProgramError};
 pub use crc::crc32;
 pub use device::{Device, DeviceKind, FRAMES_PER_TILE, FRAME_PAYLOAD_BYTES, FRAME_RECORD_BYTES};
 pub use floorplan::{Floorplan, FloorplanError, Partition, PartitionId, Rect, ShellProfile};

@@ -31,7 +31,7 @@ pub mod rules;
 pub mod shellspec;
 
 pub use bitstream::{lint_bitstream, DeployContext};
-pub use config::{lint_mmu, lint_qp, lint_shell, QpSpec};
+pub use config::{lint_fault_plan, lint_mmu, lint_qp, lint_shell, QpSpec};
 pub use des::lint_trace;
 pub use diag::{Diagnostic, LintConfig, Location, Report, Severity};
 pub use floorplan::{lint_floorplan, PartitionDemand};

@@ -217,6 +217,14 @@ pub const CATALOG: &[RuleInfo] = &[
         severity: Severity::Warning,
         description: "oversized TLB SRAM budget (exceeds the on-chip SRAM the MMU model assumes)",
     },
+    RuleInfo {
+        id: "CF008",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description:
+            "fault plan outruns the retry budget: injected loss rate leaves the recovery path \
+             an unrecoverable residual failure probability",
+    },
     // --- DES ---------------------------------------------------------
     RuleInfo {
         id: "DS001",

@@ -100,6 +100,29 @@ fn config_fixtures_fire_their_rule_at_the_exact_location() {
 }
 
 #[test]
+fn cf008_uncoverable_fault_plan_is_an_error() {
+    // CF008's input is an in-memory fault plan + retry policy, like the DES
+    // rules' traces.
+    use coyote_chaos::{FaultPlan, RetryPolicy};
+    let policy = RetryPolicy::reconfig_default();
+
+    // Covered plan: clean.
+    let ok = FaultPlan::new(1).net_loss(0.01);
+    assert!(coyote_lint::lint_fault_plan("chaos", &ok, &policy).is_clean());
+
+    // Uncoverable plan: fires at the exact location with error severity.
+    let bad = FaultPlan::new(1).net_loss(0.5);
+    let r = coyote_lint::lint_fault_plan("cf008-lossy-plan", &bad, &policy);
+    assert_fires(&r, "CF008", "config:cf008-lossy-plan", "plan.net_loss");
+    assert_eq!(r.of_rule("CF008").next().unwrap().severity, Severity::Error);
+
+    // A rate-1.0 blackhole is flagged no matter the budget.
+    let hole = FaultPlan::new(1).net_loss(1.0);
+    let r = coyote_lint::lint_fault_plan("chaos", &hole, &policy);
+    assert!(r.has_errors(), "{}", r.render_human());
+}
+
+#[test]
 fn the_pre_fix_deadlock_config_is_an_error() {
     // The acceptance case: a config reproducing the ack_req starvation
     // deadlock the RC queue pair had before the window-fill ACK fix must be
@@ -541,7 +564,7 @@ fn every_catalog_rule_has_golden_coverage() {
     let covered = [
         "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "FP001", "FP002", "FP003",
         "FP004", "FP005", "FP006", "FP007", "BS001", "BS002", "BS003", "BS004", "BS005", "BS006",
-        "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "DS001", "DS002",
+        "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "DS001", "DS002",
     ];
     for rule in coyote_lint::CATALOG {
         assert!(

@@ -23,6 +23,9 @@ pub struct CommodityNic {
     /// SENDs delivered to this endpoint, per QP. Each message is the shared
     /// payload buffer handed up by the QP — no re-serialized copy.
     inbox: Vec<(u32, Bytes)>,
+    /// Frames dropped at RX because they failed to parse (bad ICRC, not
+    /// RoCE). This is where injected wire corruption is *detected*.
+    rx_corrupt: u64,
 }
 
 impl CommodityNic {
@@ -33,7 +36,18 @@ impl CommodityNic {
             memory: vec![0u8; mem_bytes],
             qps: BTreeMap::new(),
             inbox: Vec::new(),
+            rx_corrupt: 0,
         }
+    }
+
+    /// Frames dropped at RX as unparseable (ICRC mismatch / not RoCE).
+    pub fn rx_corrupt(&self) -> u64 {
+        self.rx_corrupt
+    }
+
+    /// A QP's transport statistics (retransmits, duplicates, NAKs).
+    pub fn qp_stats(&self, qpn: u32) -> Option<crate::qp::QpStats> {
+        self.qps.get(&qpn).map(|q| q.stats())
     }
 
     /// Device name (e.g. "mlx5_0").
@@ -83,6 +97,7 @@ impl CommodityNic {
     /// payload out of the borrowed buffer; prefer [`CommodityNic::on_frame`]).
     pub fn on_wire(&mut self, frame: &[u8]) -> Vec<RocePacket> {
         let Ok(pkt) = RocePacket::parse(frame) else {
+            self.rx_corrupt += 1;
             return Vec::new(); // Not RoCE or corrupt; NIC drops it.
         };
         self.deliver(pkt)
@@ -92,6 +107,7 @@ impl CommodityNic {
     /// the frame's payload segment.
     pub fn on_frame(&mut self, frame: &Frame) -> Vec<RocePacket> {
         let Ok(pkt) = RocePacket::parse_frame(frame) else {
+            self.rx_corrupt += 1;
             return Vec::new(); // Not RoCE or corrupt; NIC drops it.
         };
         self.deliver(pkt)

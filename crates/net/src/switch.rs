@@ -7,7 +7,8 @@
 
 use crate::frame::Frame;
 use crate::headers::MacAddr;
-use coyote_sim::{params, LinkModel, SimTime, Xorshift64Star};
+use coyote_chaos::{FaultKind, Injector};
+use coyote_sim::{params, LinkModel, SimTime};
 use std::collections::HashMap;
 
 /// A switch port index.
@@ -38,6 +39,12 @@ pub struct PortStats {
     pub tx_bytes: u64,
     /// Frames dropped by injection.
     pub dropped: u64,
+    /// Frames corrupted by injection.
+    pub corrupted: u64,
+    /// Frames duplicated by injection.
+    pub duplicated: u64,
+    /// Frames held back (reordered) by injection.
+    pub reordered: u64,
 }
 
 /// The switch.
@@ -47,8 +54,10 @@ pub struct Switch {
     ports: Vec<(LinkModel, LinkModel)>,
     stats: Vec<PortStats>,
     mac_table: HashMap<MacAddr, PortId>,
-    drop_rate: f64,
-    rng: Xorshift64Star,
+    chaos: Option<Injector>,
+    /// Deliveries held back by a `NetReorder` fault, released after the
+    /// next frame's deliveries.
+    held: Vec<Delivery>,
 }
 
 impl Switch {
@@ -65,16 +74,39 @@ impl Switch {
                 .collect(),
             stats: vec![PortStats::default(); ports],
             mac_table: HashMap::new(),
-            drop_rate: 0.0,
-            rng: Xorshift64Star::new(0xC0_7E),
+            chaos: None,
+            held: Vec::new(),
         }
     }
 
     /// Enable seeded random frame dropping (testing retransmission).
+    ///
+    /// A convenience wrapper over [`Switch::attach_chaos`] with a loss-only
+    /// injector; `1.0` is a valid rate (a blackhole dropping every frame).
     pub fn set_drop_rate(&mut self, rate: f64, seed: u64) {
-        assert!((0.0..1.0).contains(&rate), "drop rate out of range");
-        self.drop_rate = rate;
-        self.rng = Xorshift64Star::new(seed);
+        assert!((0.0..=1.0).contains(&rate), "drop rate out of range");
+        self.chaos = Some(Injector::loss_only(rate, seed));
+    }
+
+    /// Attach a chaos injector; it is consulted once per injected frame.
+    pub fn attach_chaos(&mut self, injector: Injector) {
+        self.chaos = Some(injector);
+    }
+
+    /// The attached chaos injector (its trace records every fault fired).
+    pub fn chaos(&self) -> Option<&Injector> {
+        self.chaos.as_ref()
+    }
+
+    /// Mutable access to the attached chaos injector.
+    pub fn chaos_mut(&mut self) -> Option<&mut Injector> {
+        self.chaos.as_mut()
+    }
+
+    /// Release any deliveries still held back by a reorder fault (call once
+    /// the traffic pattern is done, so no frame stays in limbo).
+    pub fn release_held(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.held)
     }
 
     /// Number of ports.
@@ -98,15 +130,30 @@ impl Switch {
         ingress: PortId,
         bytes: impl Into<Frame>,
     ) -> Vec<Delivery> {
-        let frame: Frame = bytes.into();
+        let mut frame: Frame = bytes.into();
         self.stats[ingress].rx_frames += 1;
         self.stats[ingress].rx_bytes += frame.len() as u64;
 
-        if self.drop_rate > 0.0 && self.rng.chance(self.drop_rate) {
-            // Dropped before the forwarding pipeline: a frame the switch
-            // never processed must not update the MAC table either.
-            self.stats[ingress].dropped += 1;
-            return Vec::new();
+        // Deliveries held back by an earlier reorder fault are released
+        // after this frame's own deliveries.
+        let pending = std::mem::take(&mut self.held);
+
+        // One chaos evaluation per frame.
+        let mut corrupt = false;
+        let mut duplicate = false;
+        let mut reorder = false;
+        if let Some(inj) = &mut self.chaos {
+            let faults = inj.next_at(now);
+            let dropped = faults.iter().any(|f| f.kind == FaultKind::NetLoss);
+            corrupt = faults.iter().any(|f| f.kind == FaultKind::NetCorrupt);
+            duplicate = faults.iter().any(|f| f.kind == FaultKind::NetDuplicate);
+            reorder = faults.iter().any(|f| f.kind == FaultKind::NetReorder);
+            if dropped {
+                // Dropped before the forwarding pipeline: a frame the switch
+                // never processed must not update the MAC table either.
+                self.stats[ingress].dropped += 1;
+                return pending;
+            }
         }
 
         // Learn the source MAC (only for frames actually forwarded).
@@ -136,21 +183,60 @@ impl Switch {
             None => (0..self.ports.len()).filter(|&p| p != ingress).collect(), // Flood.
         };
 
-        egress_ports
-            .into_iter()
-            .map(|port| {
-                let out = self.ports[port].1.transmit(at_switch, len);
+        // Corruption happens after the routing decision (real switches
+        // corrupt on the wire, not in the lookup): flip one bit of a
+        // CRC-covered byte. The flatten-and-rebuild is a genuine copy and is
+        // counted as one by the zero-copy accounting.
+        if corrupt {
+            let derived = self.chaos.as_ref().map_or(0, |i| i.derived(len));
+            frame = corrupt_frame(&frame, derived);
+            self.stats[ingress].corrupted += 1;
+        }
+        if duplicate {
+            self.stats[ingress].duplicated += 1;
+        }
+
+        let mut out: Vec<Delivery> = Vec::new();
+        for port in egress_ports {
+            let copies = if duplicate { 2 } else { 1 };
+            for _ in 0..copies {
+                let xfer = self.ports[port].1.transmit(at_switch, len);
                 self.stats[port].tx_frames += 1;
                 self.stats[port].tx_bytes += len;
-                Delivery {
-                    at: out.arrival,
+                out.push(Delivery {
+                    at: xfer.arrival,
                     port,
-                    // Reference-count bump; flood shares one frame.
+                    // Reference-count bump; flood and duplication share one
+                    // frame.
                     bytes: frame.clone(),
-                }
-            })
-            .collect()
+                });
+            }
+        }
+
+        if reorder {
+            // Hold this frame back; it is released after the next frame.
+            self.stats[ingress].reordered += 1;
+            self.held.append(&mut out);
+        }
+        out.extend(pending);
+        out
     }
+}
+
+/// Flip one bit of a CRC-covered byte: a payload byte when the frame has a
+/// payload segment, the frame's last byte (the ICRC trailer) otherwise.
+fn corrupt_frame(frame: &Frame, derived: u64) -> Frame {
+    let mut wire = frame.to_vec();
+    if wire.is_empty() {
+        return frame.clone();
+    }
+    let idx = if !frame.payload().is_empty() {
+        frame.head().len() + (derived as usize % frame.payload().len())
+    } else {
+        wire.len() - 1
+    };
+    wire[idx] ^= 1 << (derived % 8);
+    Frame::from(wire)
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 //! queue books each packet on the link in round-robin order and reports the
 //! per-packet timing, which the shell turns into completion events.
 
-use coyote_sim::{LinkModel, RrQueue, SimTime, Transfer};
+use coyote_chaos::{FaultKind, Injector, MAX_STALL_PS};
+use coyote_sim::{LinkModel, RrQueue, SimDuration, SimTime, Transfer};
 use std::hash::Hash;
 
 /// A packet delivered over the shared link.
@@ -97,6 +98,64 @@ impl<K: Eq + Hash + Clone, P: PacketLen> Interleaver<K, P> {
     pub fn evict(&mut self, key: &K) -> Vec<P> {
         self.queue.drain_key(key)
     }
+
+    /// Drain every queued packet under a chaos injector (one injector op
+    /// per packet served):
+    ///
+    /// * [`FaultKind::DmaStall`] delays that packet's arrival by the rule's
+    ///   parameter, clamped to [`MAX_STALL_PS`] — a bounded stall, never a
+    ///   hang. In-order completion is preserved because the link booking
+    ///   order is unchanged.
+    /// * [`FaultKind::TenantCrash`] kills the tenant being served: the
+    ///   in-flight packet and everything else it queued are evicted without
+    ///   touching the link, so surviving tenants keep their share.
+    pub fn drain_chaos(&mut self, now: SimTime, inj: &mut Injector) -> ChaosDrain<K, P> {
+        let mut delivered = Vec::with_capacity(self.queue.len());
+        let mut crashed: Vec<(K, Vec<P>)> = Vec::new();
+        while let Some((key, packet)) = self.queue.pop() {
+            let mut stall = SimDuration::ZERO;
+            let mut crash = false;
+            for fault in inj.next_at(now) {
+                match fault.kind {
+                    FaultKind::DmaStall => {
+                        stall += SimDuration::from_ps(fault.param.min(MAX_STALL_PS));
+                    }
+                    FaultKind::TenantCrash => crash = true,
+                    _ => {}
+                }
+            }
+            if crash {
+                let mut lost = self.queue.drain_key(&key);
+                lost.insert(0, packet);
+                inj.record_detected(FaultKind::TenantCrash, lost.len() as u64);
+                crashed.push((key, lost));
+                continue;
+            }
+            let mut transfer = self.link.transmit(now, packet.packet_len());
+            if stall > SimDuration::ZERO {
+                transfer.arrival += stall;
+                // A stalled packet still completes: the stall is absorbed,
+                // bounded, and in-order.
+                inj.record_recovered(FaultKind::DmaStall, stall.as_ps());
+            }
+            delivered.push(Delivered {
+                key,
+                packet,
+                transfer,
+            });
+        }
+        ChaosDrain { delivered, crashed }
+    }
+}
+
+/// The outcome of [`Interleaver::drain_chaos`].
+#[derive(Debug)]
+pub struct ChaosDrain<K, P> {
+    /// Packets that made it onto the link, in service order.
+    pub delivered: Vec<Delivered<K, P>>,
+    /// Tenants that crashed mid-slot, with the packets they lost (the
+    /// in-flight one first).
+    pub crashed: Vec<(K, Vec<P>)>,
 }
 
 /// Length in bytes of a schedulable packet.

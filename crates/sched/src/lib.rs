@@ -19,5 +19,5 @@ pub mod interleave;
 pub mod packetizer;
 
 pub use credits::CreditTable;
-pub use interleave::{Delivered, Interleaver};
+pub use interleave::{ChaosDrain, Delivered, Interleaver};
 pub use packetizer::{packetize, packetize_iter, Packet, PacketIter};

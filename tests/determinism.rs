@@ -11,7 +11,10 @@ use coyote::build::build_shell;
 use coyote::kernel::Passthrough;
 use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
 use coyote_apps::AesCbcKernel;
-use coyote_sim::par::THREADS_ENV;
+use coyote_chaos::{Domain, FaultPlan, FaultTrace};
+use coyote_net::{CommodityNic, QpConfig, Switch, Verb};
+use coyote_sim::par::{par_map, THREADS_ENV};
+use coyote_sim::SimTime;
 use coyote_synth::{Ip, IpBlock};
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -101,6 +104,86 @@ fn drain_fingerprint() -> Vec<(u64, u64, u64)> {
     out
 }
 
+/// One seeded lossy RDMA write through a chaos-attached switch; returns
+/// the injector's fault trace and a digest of the delivered payload.
+fn chaos_run(seed: u64) -> (FaultTrace, u64) {
+    let plan = FaultPlan::new(seed)
+        .net_loss(0.2)
+        .net_reorder(0.1)
+        .net_duplicate(0.1);
+    let mut sw = Switch::new(2);
+    sw.attach_chaos(plan.injector(Domain::NetSwitch));
+    let (ca, cb) = QpConfig::pair(100, 200);
+    let mut a = CommodityNic::new("a", 1 << 20);
+    let mut b = CommodityNic::new("b", 1 << 20);
+    a.create_qp(ca);
+    b.create_qp(cb);
+    let len = 40_000usize;
+    let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31)).collect();
+    a.write_memory(0, &data);
+    a.post(
+        100,
+        1,
+        Verb::Write {
+            remote_vaddr: 4096,
+            local_vaddr: 0,
+            len: len as u64,
+        },
+    );
+    // Pump to quiescence: fresh frames, then reorder-held ones, then the
+    // retransmission timers (idle rounds only).
+    for _ in 0..600 {
+        let mut frames: std::collections::VecDeque<(usize, coyote_net::Frame)> = Default::default();
+        frames.extend(a.poll_tx_frames().into_iter().map(|f| (0usize, f)));
+        frames.extend(b.poll_tx_frames().into_iter().map(|f| (1usize, f)));
+        if frames.is_empty() {
+            let held = sw.release_held();
+            if !held.is_empty() {
+                for d in held {
+                    let (rx, port) = if d.port == 0 {
+                        (&mut a, 0)
+                    } else {
+                        (&mut b, 1)
+                    };
+                    for resp in rx.on_frame(&d.bytes) {
+                        frames.push_back((port, resp.to_frame()));
+                    }
+                }
+            } else {
+                frames.extend(a.on_timeout_frames().into_iter().map(|f| (0usize, f)));
+                frames.extend(b.on_timeout_frames().into_iter().map(|f| (1usize, f)));
+                if frames.is_empty() {
+                    break;
+                }
+            }
+        }
+        while let Some((port, f)) = frames.pop_front() {
+            for d in sw.inject(SimTime::ZERO, port, f) {
+                let (rx, port) = if d.port == 0 {
+                    (&mut a, 0)
+                } else {
+                    (&mut b, 1)
+                };
+                for resp in rx.on_frame(&d.bytes) {
+                    frames.push_back((port, resp.to_frame()));
+                }
+            }
+        }
+    }
+    assert_eq!(&b.memory()[4096..4096 + len], &data[..], "seed {seed}");
+    (sw.chaos().unwrap().trace().clone(), fnv(b.memory()))
+}
+
+/// Chaos across a `par_map` seed fan-out, digested: per-seed trace hashes,
+/// the canonical merged-trace hash, and the delivered payload digests.
+fn chaos_fingerprint() -> (Vec<(u64, u64)>, u64) {
+    let seeds = [1u64, 7, 42, 1337, 0xC0FFEE];
+    let runs = par_map(&seeds, |_, &seed| chaos_run(seed));
+    let per_seed: Vec<(u64, u64)> = runs.iter().map(|(t, m)| (t.hash(), *m)).collect();
+    let merged = FaultTrace::merged(runs.into_iter().map(|(t, _)| t)).hash();
+    (per_seed, merged)
+}
+
 fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
     std::env::set_var(THREADS_ENV, threads);
     let out = f();
@@ -139,5 +222,27 @@ fn artifacts_identical_across_thread_counts() {
     assert_eq!(
         drain_8, drain_8_again,
         "drain not reproducible at 8 threads"
+    );
+
+    // Chaos: the fault trace is part of the determinism contract. The
+    // seeded fan-out recovers on every worker, and both the per-seed trace
+    // hashes and the canonical merged trace are bit-identical at 1, 4 and
+    // 8 threads (threads decide who computes, never what happened).
+    let chaos_1 = with_threads("1", chaos_fingerprint);
+    let chaos_4 = with_threads("4", chaos_fingerprint);
+    let chaos_8 = with_threads("8", chaos_fingerprint);
+    let chaos_8_again = with_threads("8", chaos_fingerprint);
+    assert!(!chaos_1.0.is_empty() && chaos_1.0.iter().all(|&(h, _)| h != 0));
+    assert_eq!(
+        chaos_1, chaos_4,
+        "chaos trace differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        chaos_1, chaos_8,
+        "chaos trace differs between 1 and 8 threads"
+    );
+    assert_eq!(
+        chaos_8, chaos_8_again,
+        "chaos trace not reproducible at 8 threads"
     );
 }
