@@ -27,7 +27,7 @@ use coyote_dma::{DmaJob, XdmaDir};
 use coyote_mmu::{MemLocation, TranslateOutcome};
 use coyote_sched::packetize_iter;
 use coyote_sim::{params, RrQueue, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// A queued, not-yet-executed invocation.
 #[derive(Debug, Clone, Copy)]
@@ -221,7 +221,7 @@ impl Platform {
         }
         // Host inputs: fair-shared on the H2C pipe. Credit windows bound
         // the outstanding packets per (vFPGA, stream, read).
-        let mut windows: HashMap<(u8, u8, bool), VecDeque<SimTime>> = HashMap::new();
+        let mut windows: BTreeMap<(u8, u8, bool), VecDeque<SimTime>> = BTreeMap::new();
         for done in self.xdma.book_all(min_start, XdmaDir::H2C) {
             let (inv_idx, _) = host_job_map[&done.job.id];
             let r = &resolved[inv_idx];
@@ -305,7 +305,7 @@ impl Platform {
         let mut kernel_latency: HashMap<usize, SimDuration> = HashMap::new();
         // Packets destined to block-pipeline kernels, grouped per
         // (vfpga, tid), in order.
-        let mut block_queues: HashMap<(usize, u16), VecDeque<InputPacket>> = HashMap::new();
+        let mut block_queues: BTreeMap<(usize, u16), VecDeque<InputPacket>> = BTreeMap::new();
         for p in inputs {
             let r = &resolved[p.inv_idx];
             let v = r.inv.vfpga as usize;
@@ -372,7 +372,7 @@ impl Platform {
         // min-heap over per-thread candidate issue times; one block issues
         // per pop, so threads genuinely interleave in the pipeline.
         type ThreadQueue = ((usize, u16), VecDeque<InputPacket>);
-        let mut by_vfpga: HashMap<usize, Vec<ThreadQueue>> = HashMap::new();
+        let mut by_vfpga: BTreeMap<usize, Vec<ThreadQueue>> = BTreeMap::new();
         for (key, q) in block_queues {
             by_vfpga.entry(key.0).or_default().push((key, q));
         }

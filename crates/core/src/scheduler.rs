@@ -14,13 +14,13 @@
 use crate::platform::{Platform, PlatformError};
 use crate::reconfig::CRcnfg;
 use coyote_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A registered application: its partial bitstreams (one per region) and
 /// usage statistics.
 struct AppEntry {
     /// Bitstream bytes per vFPGA region index.
-    bitstreams: HashMap<u8, Vec<u8>>,
+    bitstreams: BTreeMap<u8, Vec<u8>>,
 }
 
 /// Per-region scheduler state.

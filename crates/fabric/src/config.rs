@@ -18,7 +18,7 @@ use crate::floorplan::PartitionId;
 use coyote_chaos::{FaultKind, Injector};
 use coyote_sim::time::Bandwidth;
 use coyote_sim::{LinkModel, SimDuration, SimTime, Transfer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The reconfiguration controllers compared in Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,7 +134,7 @@ pub struct LoadedImage {
 #[derive(Debug, Clone)]
 pub struct ConfigState {
     device: DeviceKind,
-    loaded: HashMap<PartitionId, LoadedImage>,
+    loaded: BTreeMap<PartitionId, LoadedImage>,
     reconfig_count: u64,
 }
 
@@ -143,7 +143,7 @@ impl ConfigState {
     pub fn new(device: DeviceKind) -> ConfigState {
         ConfigState {
             device,
-            loaded: HashMap::new(),
+            loaded: BTreeMap::new(),
             reconfig_count: 0,
         }
     }

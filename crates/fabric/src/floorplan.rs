@@ -63,7 +63,10 @@ impl Rect {
 }
 
 /// Identity of a reconfigurable (or static) partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` so partition-keyed tables can be `BTreeMap`s: the configuration
+/// layer iterates them, and iteration order must not depend on a hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PartitionId {
     /// The static layer: PCIe/XDMA link, reconfiguration controller. Never
     /// partially reconfigured; shipped as a routed, locked checkpoint.

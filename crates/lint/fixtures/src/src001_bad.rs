@@ -1,0 +1,11 @@
+//! Seeded SRC001 violation: iterating a HashMap feeds bucket order into
+//! the returned artifact.
+use std::collections::HashMap;
+
+pub fn frame_order(routes: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (port, _next) in routes {
+        out.push(*port);
+    }
+    out
+}

@@ -1,0 +1,10 @@
+//! Clean counterpart: ordered map for iteration; hash map only for lookup.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn frame_order(routes: &BTreeMap<u32, u32>) -> Vec<u32> {
+    routes.keys().copied().collect()
+}
+
+pub fn next_hop(table: &HashMap<u32, u32>, port: u32) -> Option<u32> {
+    table.get(&port).copied()
+}

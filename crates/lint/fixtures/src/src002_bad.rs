@@ -1,0 +1,6 @@
+//! Seeded SRC002 violation: a latency sample read off the wall clock.
+
+pub fn sample_latency_ns() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

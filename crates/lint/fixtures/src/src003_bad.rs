@@ -1,0 +1,7 @@
+//! Seeded SRC003 violation: a seed drawn from ambient entropy makes the
+//! run unreproducible.
+
+pub fn ambient_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

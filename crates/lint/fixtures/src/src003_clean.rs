@@ -1,0 +1,6 @@
+//! Clean counterpart: all randomness flows from a caller-supplied seed.
+
+pub fn seeded_draw(seed: u64) -> u64 {
+    let mut rng = coyote_sim::Xorshift64Star::new(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+//! Seeded SRC004 violation: float math inside a par_map worker.
+
+pub fn scaled(samples: &[u64]) -> Vec<f64> {
+    coyote_sim::par_map(samples, |s| *s as f64 * 1.5)
+}

@@ -1,0 +1,7 @@
+//! Clean counterpart: workers stay integer; the float conversion happens
+//! once, after the deterministic input-order join.
+
+pub fn mean(samples: &[u64]) -> f64 {
+    let totals: Vec<u64> = coyote_sim::par_map(samples, |s| s + 1);
+    totals.iter().sum::<u64>() as f64 / totals.len() as f64
+}

@@ -1,0 +1,7 @@
+//! Seeded SRC005 violation: a relaxed counter whose value reaches the
+//! caller (and so, potentially, an artifact).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(stat: &AtomicU64) -> u64 {
+    stat.fetch_add(1, Ordering::Relaxed)
+}

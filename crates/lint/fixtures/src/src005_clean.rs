@@ -1,0 +1,6 @@
+//! Clean counterpart: sequentially consistent ordering.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(stat: &AtomicU64) -> u64 {
+    stat.fetch_add(1, Ordering::SeqCst)
+}

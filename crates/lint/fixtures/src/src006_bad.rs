@@ -1,0 +1,6 @@
+//! Seeded SRC006 violation: an ad-hoc thread bypasses the input-order
+//! merge that makes the sanctioned fan-out deterministic.
+
+pub fn fan_out(jobs: Vec<u64>) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || jobs.into_iter().sum())
+}

@@ -1,0 +1,6 @@
+//! Clean counterpart: parallelism expressed through the sanctioned
+//! fork-join, whose results merge in input order.
+
+pub fn fan_out(jobs: &[u64]) -> Vec<u64> {
+    coyote_sim::par_map(jobs, |j| j + 1)
+}

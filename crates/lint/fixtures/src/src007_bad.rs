@@ -1,0 +1,9 @@
+//! Seeded SRC007 violation: a model decision keyed on the process
+//! environment, which no seed or input captures.
+
+pub fn burst_len() -> u64 {
+    match std::env::var("COYOTE_BURST") {
+        Ok(v) => v.parse().unwrap_or(8),
+        Err(_) => 8,
+    }
+}

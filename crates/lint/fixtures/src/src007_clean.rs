@@ -1,0 +1,5 @@
+//! Clean counterpart: the knob arrives as an explicit parameter.
+
+pub fn burst_len(configured: Option<u64>) -> u64 {
+    configured.unwrap_or(8)
+}

@@ -1,30 +1,42 @@
-//! The `coyote-lint` CLI: lint shell specs and bitstream blobs from disk.
+//! The `coyote-lint` CLI: lint shell specs, bitstream blobs and — with
+//! `--source` — the workspace's own Rust code.
 //!
 //! ```text
 //! coyote-lint [OPTIONS] <PATH>...
 //!
 //! PATHs ending in .json are shell specifications; .bin are bitstreams.
+//! With --source, PATHs are .rs files or directories scanned recursively
+//! (the coyote-detlint determinism analyzer, SRC001-SRC007).
 //!
 //! Options:
+//!   --source        treat paths as Rust source (files or directories)
 //!   --json          machine-readable JSON report on stdout
 //!   --allow <RULE>  suppress a rule (repeatable)
 //!   --deny <RULE>   promote a rule to error severity (repeatable)
+//!   --strict        exit 2 (gate failure) on any error-severity finding
 //!   --catalog       print the rule catalog and exit
 //!   -h, --help      this text
 //!
 //! Exit status: 0 clean or warnings only, 1 error-severity findings,
-//! 2 usage or I/O failure.
+//! 2 usage or I/O failure — or, under --strict, any deny-level finding
+//! (the CI gate keys on 2).
 //! ```
 
-use coyote_lint::{lint_bitstream, lint_shell_spec, LintConfig, Report, ShellSpec};
+use coyote_lint::{
+    lint_bitstream, lint_shell_spec, lint_source, lint_source_tree, LintConfig, Report, ShellSpec,
+};
+use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: coyote-lint [--json] [--allow RULE]... [--deny RULE]... \
-                     [--catalog] <path.json|path.bin>...";
+const USAGE: &str = "usage: coyote-lint [--source] [--json] [--allow RULE]... [--deny RULE]... \
+                     [--strict] [--catalog] <path>...";
 
 fn main() -> ExitCode {
+    // detlint: allow(SRC007): CLI argument plumbing, not model state.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut source = false;
+    let mut strict = false;
     let mut config = LintConfig::new();
     let mut paths: Vec<String> = Vec::new();
 
@@ -32,6 +44,8 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--source" => source = true,
+            "--strict" => strict = true,
             "--catalog" => {
                 print!("{}", coyote_lint::render_catalog());
                 return ExitCode::SUCCESS;
@@ -70,7 +84,12 @@ fn main() -> ExitCode {
 
     let mut report = Report::new();
     for path in &paths {
-        match lint_path(path) {
+        let result = if source {
+            lint_source_path(path)
+        } else {
+            lint_path(path)
+        };
+        match result {
             Ok(r) => report.extend(r),
             Err(e) => {
                 eprintln!("coyote-lint: {path}: {e}");
@@ -86,7 +105,11 @@ fn main() -> ExitCode {
         print!("{}", report.render_human());
     }
     if report.has_errors() {
-        ExitCode::FAILURE
+        if strict {
+            ExitCode::from(2)
+        } else {
+            ExitCode::FAILURE
+        }
     } else {
         ExitCode::SUCCESS
     }
@@ -103,5 +126,17 @@ fn lint_path(path: &str) -> Result<Report, String> {
         Ok(lint_bitstream(name, &bytes, None))
     } else {
         Err("unsupported file type (expected .json shell spec or .bin bitstream)".to_string())
+    }
+}
+
+fn lint_source_path(path: &str) -> Result<Report, String> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        lint_source_tree(p).map_err(|e| e.to_string())
+    } else if path.ends_with(".rs") {
+        let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+        Ok(lint_source(path, &text))
+    } else {
+        Err("unsupported source path (expected a .rs file or a directory)".to_string())
     }
 }

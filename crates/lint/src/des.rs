@@ -1,4 +1,4 @@
-//! DES determinism analysis (DS001–DS002).
+//! DES determinism analysis (DS001–DS005): the happens-before checker.
 //!
 //! The scheduler breaks ties between same-timestamp events by insertion
 //! sequence number. That is deterministic for one binary, but the insertion
@@ -14,16 +14,42 @@
 //! * **DS002** — same-timestamp events where some event declares no target
 //!   at all, so disjointness cannot be established. Informational: the
 //!   events may well be independent, but nothing proves it.
+//! * **DS003** — same-timestamp events on *different* targets that declare
+//!   the same subsystem `domain` without a total priority order. Distinct
+//!   targets prove the events touch different objects, but a shared domain
+//!   says they communicate through one subsystem (a switch, a DMA engine),
+//!   so "disjoint targets" no longer implies "order-free".
+//! * **DS004** — a merged fault trace whose events are out of canonical
+//!   `(domain, op)` order: someone concatenated per-worker traces instead
+//!   of going through [`coyote_chaos::FaultTrace::merged`], so the trace
+//!   (and its published FNV-64 hash) depends on collection order.
+//! * **DS005** — an executed pop whose order contradicts the declared
+//!   priorities: the engine honors `(time, seq)`, so when a lower-priority
+//!   event was *inserted* first it also *runs* first, silently overriding
+//!   the declared intent. The schedule works today by accident of insertion
+//!   order — exactly what a refactor breaks.
 
 use crate::diag::{Diagnostic, Location, Report, Severity};
-use coyote_sim::TraceEntry;
+use coyote_chaos::FaultTrace;
+use coyote_sim::{TraceEntry, TracePhase};
 use std::collections::BTreeMap;
 
 fn loc(unit: &str, at_ps: u64) -> Location {
     Location::new(format!("trace:{unit}"), format!("t={at_ps}ps"))
 }
 
-/// Analyze one recorded event trace for ordering hazards.
+/// True if the priority multiset fails to impose a total order: some
+/// priority is undeclared, or two entries share one.
+fn no_total_order(mut priorities: Vec<Option<u8>>) -> bool {
+    priorities.sort_unstable();
+    let all_declared = priorities.iter().all(Option::is_some);
+    let mut distinct = priorities.clone();
+    distinct.dedup();
+    !all_declared || distinct.len() != priorities.len()
+}
+
+/// Analyze one recorded event trace for ordering hazards (DS001–DS003,
+/// DS005).
 pub fn lint_trace(unit: &str, trace: &[TraceEntry]) -> Report {
     let mut report = Report::new();
 
@@ -33,7 +59,21 @@ pub fn lint_trace(unit: &str, trace: &[TraceEntry]) -> Report {
         by_time.entry(e.at.as_ps()).or_default().push(e);
     }
 
-    for (at_ps, events) in by_time {
+    for (at_ps, entries) in by_time {
+        let events: Vec<&TraceEntry> = entries
+            .iter()
+            .copied()
+            .filter(|e| e.phase == TracePhase::Scheduled)
+            .collect();
+        let executed: Vec<&TraceEntry> = entries
+            .iter()
+            .copied()
+            .filter(|e| e.phase == TracePhase::Executed)
+            .collect();
+
+        // DS005 needs only the pops; the scheduling-side rules need >= 2
+        // pushes at one instant.
+        lint_pop_order(unit, at_ps, &executed, &mut report);
         if events.len() < 2 {
             continue;
         }
@@ -47,16 +87,11 @@ pub fn lint_trace(unit: &str, trace: &[TraceEntry]) -> Report {
                 None => untargeted += 1,
             }
         }
-        for (target, group) in by_target {
+        for (target, group) in &by_target {
             if group.len() < 2 {
                 continue;
             }
-            let mut priorities: Vec<Option<u8>> = group.iter().map(|e| e.priority).collect();
-            priorities.sort_unstable();
-            let all_declared = priorities.iter().all(Option::is_some);
-            let mut distinct = priorities.clone();
-            distinct.dedup();
-            if !all_declared || distinct.len() != priorities.len() {
+            if no_total_order(group.iter().map(|e| e.priority).collect()) {
                 let seqs: Vec<u64> = group.iter().map(|e| e.seq).collect();
                 report.push(
                     Diagnostic::new(
@@ -72,6 +107,47 @@ pub fn lint_trace(unit: &str, trace: &[TraceEntry]) -> Report {
                     )
                     .with_suggestion(
                         "schedule these with schedule_at_tagged and distinct priorities",
+                    ),
+                );
+            }
+        }
+
+        // DS003: distinct targets, but a shared declared domain without a
+        // total priority order across the domain's events. Same-target
+        // pairs are DS001's jurisdiction; count each domain once.
+        let mut by_domain: BTreeMap<u64, Vec<&TraceEntry>> = BTreeMap::new();
+        for e in &events {
+            if let Some(d) = e.domain {
+                by_domain.entry(d).or_default().push(e);
+            }
+        }
+        for (domain, group) in by_domain {
+            if group.len() < 2 {
+                continue;
+            }
+            let mut targets: Vec<Option<u64>> = group.iter().map(|e| e.target).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            if targets.len() < 2 {
+                continue; // Single target: DS001 covers it.
+            }
+            if no_total_order(group.iter().map(|e| e.priority).collect()) {
+                let seqs: Vec<u64> = group.iter().map(|e| e.seq).collect();
+                report.push(
+                    Diagnostic::new(
+                        "DS003",
+                        Severity::Error,
+                        loc(unit, at_ps),
+                        format!(
+                            "{} events at t={at_ps}ps share domain {domain} across different \
+                             targets with no total priority order (seqs {seqs:?}); the \
+                             subsystem observes them in insertion order",
+                            group.len()
+                        ),
+                    )
+                    .with_suggestion(
+                        "give the domain's same-instant events distinct priorities \
+                         (EventTag::target(..).priority(..).domain(..))",
                     ),
                 );
             }
@@ -95,10 +171,85 @@ pub fn lint_trace(unit: &str, trace: &[TraceEntry]) -> Report {
     report
 }
 
+/// DS005: executed pops at one instant that contradict declared priorities.
+fn lint_pop_order(unit: &str, at_ps: u64, executed: &[&TraceEntry], report: &mut Report) {
+    // Compare each executed pair on the same target with both priorities
+    // declared and distinct: the lower priority number must pop first.
+    for (i, a) in executed.iter().enumerate() {
+        for b in &executed[i + 1..] {
+            let (Some(ta), Some(tb)) = (a.target, b.target) else {
+                continue;
+            };
+            if ta != tb {
+                continue;
+            }
+            let (Some(pa), Some(pb)) = (a.priority, b.priority) else {
+                continue;
+            };
+            // `a` popped before `b`.
+            if pa > pb {
+                report.push(
+                    Diagnostic::new(
+                        "DS005",
+                        Severity::Error,
+                        loc(unit, at_ps),
+                        format!(
+                            "pop order at t={at_ps}ps contradicts declared priorities on \
+                             target {ta}: priority {pa} (seq {}) ran before priority {pb} \
+                             (seq {}); the engine broke the tie by insertion order",
+                            a.seq, b.seq
+                        ),
+                    )
+                    .with_suggestion(
+                        "enqueue same-instant events in priority order, or split them \
+                         across distinct timestamps",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// DS004: verify a fault trace is in the canonical merge order.
+///
+/// [`FaultTrace::merged`] sorts events by `(domain tag, op)` so the merged
+/// trace — and the FNV-64 hash CI publishes — is independent of which worker
+/// finished first. A trace assembled by plain concatenation breaks that
+/// contract; this rule catches it after the fact.
+pub fn lint_fault_trace(unit: &str, trace: &FaultTrace) -> Report {
+    let mut report = Report::new();
+    let events = trace.events();
+    for (i, pair) in events.windows(2).enumerate() {
+        let (a, b) = (&pair[0], &pair[1]);
+        if (a.domain.tag(), a.op) > (b.domain.tag(), b.op) {
+            report.push(
+                Diagnostic::new(
+                    "DS004",
+                    Severity::Error,
+                    Location::new(format!("trace:{unit}"), format!("event[{}]", i + 1)),
+                    format!(
+                        "fault trace leaves canonical (domain, op) order at event {}: \
+                         ({}, op={}) follows ({}, op={}); the trace hash depends on \
+                         collection order",
+                        i + 1,
+                        b.domain.name(),
+                        b.op,
+                        a.domain.name(),
+                        a.op,
+                    ),
+                )
+                .with_suggestion("combine per-domain traces with FaultTrace::merged"),
+            );
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coyote_sim::{SimTime, Simulation};
+    use coyote_chaos::{Domain, FaultKind, TraceKind};
+    use coyote_sim::{EventTag, SimTime, Simulation};
 
     fn traced<F: FnOnce(&mut Simulation<u64>)>(build: F) -> Vec<TraceEntry> {
         let mut sim = Simulation::new(0u64);
@@ -107,6 +258,16 @@ mod tests {
         let trace = sim.take_trace();
         sim.run_until_idle();
         trace
+    }
+
+    /// Like [`traced`], but runs the simulation first so the trace includes
+    /// the executed pops (DS005's input).
+    fn traced_run<F: FnOnce(&mut Simulation<u64>)>(build: F) -> Vec<TraceEntry> {
+        let mut sim = Simulation::new(0u64);
+        sim.record_trace();
+        build(&mut sim);
+        sim.run_until_idle();
+        sim.take_trace()
     }
 
     #[test]
@@ -178,5 +339,154 @@ mod tests {
             sim.schedule_at(SimTime(2), |w, _| *w += 1);
         });
         assert!(lint_trace("t", &trace).is_clean());
+    }
+
+    // ------------------------------------------------------------- DS003
+
+    #[test]
+    fn ds003_shared_domain_without_order_flagged() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_with(at, EventTag::target(1).domain(9), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_with(at, EventTag::target(2).domain(9), |w, _| *w *= 2);
+        });
+        let r = lint_trace("t", &trace);
+        assert_eq!(r.of_rule("DS003").count(), 1, "{}", r.render_human());
+        assert!(r.of_rule("DS001").next().is_none(), "targets are distinct");
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn ds003_clean_with_domain_wide_priorities() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler().schedule_at_with(
+                at,
+                EventTag::target(1).priority(0).domain(9),
+                |w, _| *w += 1,
+            );
+            sim.scheduler().schedule_at_with(
+                at,
+                EventTag::target(2).priority(1).domain(9),
+                |w, _| *w *= 2,
+            );
+        });
+        assert!(lint_trace("t", &trace).is_clean());
+    }
+
+    #[test]
+    fn ds003_different_domains_are_clean() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_with(at, EventTag::target(1).domain(9), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_with(at, EventTag::target(2).domain(10), |w, _| *w *= 2);
+        });
+        assert!(lint_trace("t", &trace).is_clean());
+    }
+
+    #[test]
+    fn ds003_same_target_defers_to_ds001() {
+        let trace = traced(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_with(at, EventTag::target(1).domain(9), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_with(at, EventTag::target(1).domain(9), |w, _| *w *= 2);
+        });
+        let r = lint_trace("t", &trace);
+        assert_eq!(r.of_rule("DS001").count(), 1);
+        assert!(r.of_rule("DS003").next().is_none());
+    }
+
+    // ------------------------------------------------------------- DS005
+
+    #[test]
+    fn ds005_priority_inversion_at_pop_flagged() {
+        // Priority 1 inserted first => pops first; the declared intent
+        // (priority 0 first) loses to insertion order.
+        let trace = traced_run(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(1), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(0), |w, _| *w *= 2);
+        });
+        let r = lint_trace("t", &trace);
+        assert_eq!(r.of_rule("DS005").count(), 1, "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn ds005_clean_when_insertion_matches_priority() {
+        let trace = traced_run(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(0), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(1), |w, _| *w *= 2);
+        });
+        assert!(lint_trace("t", &trace).is_clean());
+    }
+
+    #[test]
+    fn ds005_ignores_distinct_targets_and_undeclared_priorities() {
+        let trace = traced_run(|sim| {
+            let at = SimTime(500);
+            sim.scheduler()
+                .schedule_at_tagged(at, 7, Some(1), |w, _| *w += 1);
+            sim.scheduler()
+                .schedule_at_tagged(at, 8, Some(0), |w, _| *w *= 2);
+            sim.schedule_at(SimTime(600), |w, _| *w += 3);
+        });
+        let r = lint_trace("t", &trace);
+        assert!(r.of_rule("DS005").next().is_none(), "{}", r.render_human());
+    }
+
+    // ------------------------------------------------------------- DS004
+
+    fn fault(trace: &mut FaultTrace, domain: Domain, op: u64) {
+        trace.push(
+            domain,
+            op,
+            SimTime::ZERO,
+            TraceKind::Injected,
+            FaultKind::NetLoss,
+            0,
+        );
+    }
+
+    #[test]
+    fn ds004_concatenated_trace_flagged() {
+        // Net events (tag > dma) recorded before DMA events: canonical
+        // merge order is violated at the boundary.
+        let mut t = FaultTrace::new();
+        fault(&mut t, Domain::NetSwitch, 0);
+        fault(&mut t, Domain::Dma, 0);
+        let r = lint_fault_trace("chaos", &t);
+        assert_eq!(r.of_rule("DS004").count(), 1, "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn ds004_merged_trace_is_clean() {
+        let mut net = FaultTrace::new();
+        fault(&mut net, Domain::NetSwitch, 1);
+        let mut dma = FaultTrace::new();
+        fault(&mut dma, Domain::Dma, 0);
+        let merged = FaultTrace::merged([dma, net]);
+        assert!(lint_fault_trace("chaos", &merged).is_clean());
+    }
+
+    #[test]
+    fn ds004_out_of_order_ops_within_domain_flagged() {
+        let mut t = FaultTrace::new();
+        fault(&mut t, Domain::NetSwitch, 5);
+        fault(&mut t, Domain::NetSwitch, 2);
+        let r = lint_fault_trace("chaos", &t);
+        assert_eq!(r.of_rule("DS004").count(), 1);
     }
 }

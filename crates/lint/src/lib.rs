@@ -13,8 +13,13 @@
 //!   path, including deployment checks (BS001–BS006).
 //! * [`lint_shell`] / [`lint_qp`] / [`lint_mmu`] — configurations that
 //!   would deadlock, starve or fail to schedule (CF001–CF007).
-//! * [`lint_trace`] — DES schedules whose outcome depends on event
-//!   insertion order (DS001–DS002).
+//! * [`lint_trace`] / [`lint_fault_trace`] — DES schedules whose outcome
+//!   depends on event insertion order, and fault traces merged outside the
+//!   canonical order (DS001–DS005).
+//! * [`lint_source`] / [`lint_source_tree`] — the `coyote-detlint`
+//!   source-level determinism analyzer: hash-order iteration, wall-clock
+//!   and entropy escapes, float reductions in `par_map`, relaxed atomics,
+//!   ad-hoc threads, environment reads (SRC001–SRC007).
 //!
 //! All rules emit [`Diagnostic`]s into a [`Report`]; [`LintConfig`] applies
 //! per-rule allow/deny; the `coyote-lint` binary renders reports as text or
@@ -29,15 +34,17 @@ pub mod floorplan;
 pub mod netlist;
 pub mod rules;
 pub mod shellspec;
+pub mod source;
 
 pub use bitstream::{lint_bitstream, DeployContext};
 pub use config::{lint_fault_plan, lint_mmu, lint_qp, lint_shell, QpSpec};
-pub use des::lint_trace;
+pub use des::{lint_fault_trace, lint_trace};
 pub use diag::{Diagnostic, LintConfig, Location, Report, Severity};
 pub use floorplan::{lint_floorplan, PartitionDemand};
 pub use netlist::lint_netlist;
 pub use rules::{render_catalog, rule, Layer, RuleInfo, CATALOG};
 pub use shellspec::ShellSpec;
+pub use source::{lint_source, lint_source_tree};
 
 use coyote_fabric::{Device, Floorplan};
 

@@ -20,6 +20,8 @@ pub enum Layer {
     Config,
     /// Discrete-event scheduler traces (`coyote-sim`).
     Des,
+    /// The workspace's own Rust source (the `coyote-detlint` analyzer).
+    Source,
 }
 
 impl Layer {
@@ -31,6 +33,7 @@ impl Layer {
             Layer::Bitstream => "bitstream",
             Layer::Config => "config",
             Layer::Des => "des",
+            Layer::Source => "source",
         }
     }
 }
@@ -238,6 +241,87 @@ pub const CATALOG: &[RuleInfo] = &[
         layer: Layer::Des,
         severity: Severity::Info,
         description: "same-timestamp events with undeclared targets (disjointness unprovable)",
+    },
+    RuleInfo {
+        id: "DS003",
+        layer: Layer::Des,
+        severity: Severity::Error,
+        description:
+            "same-timestamp events sharing a subsystem domain across targets without a total \
+             priority order",
+    },
+    RuleInfo {
+        id: "DS004",
+        layer: Layer::Des,
+        severity: Severity::Error,
+        description:
+            "fault trace out of canonical (domain, op) order: merged by concatenation, not \
+             FaultTrace::merged, so the published hash depends on collection order",
+    },
+    RuleInfo {
+        id: "DS005",
+        layer: Layer::Des,
+        severity: Severity::Error,
+        description:
+            "executed pop order contradicts declared same-instant priorities (the engine \
+             broke the tie by insertion order)",
+    },
+    // --- Source (coyote-detlint) -------------------------------------
+    RuleInfo {
+        id: "SRC001",
+        layer: Layer::Source,
+        severity: Severity::Error,
+        description:
+            "iteration over an unordered HashMap/HashSet: visit order varies per process \
+             (SipHash keys are random), so any artifact it feeds is nondeterministic",
+    },
+    RuleInfo {
+        id: "SRC002",
+        layer: Layer::Source,
+        severity: Severity::Error,
+        description:
+            "wall-clock escape: Instant::now/SystemTime::now inside model code ties results \
+             to real time instead of simulated time",
+    },
+    RuleInfo {
+        id: "SRC003",
+        layer: Layer::Source,
+        severity: Severity::Error,
+        description:
+            "ambient entropy: thread_rng/OsRng/RandomState/from_entropy draws differ per run; \
+             all randomness must come from a seeded Xorshift64Star",
+    },
+    RuleInfo {
+        id: "SRC004",
+        layer: Layer::Source,
+        severity: Severity::Warning,
+        description:
+            "floating-point arithmetic inside a par_map worker: float reduction is not \
+             associative, so any cross-slot merge becomes schedule-dependent",
+    },
+    RuleInfo {
+        id: "SRC005",
+        layer: Layer::Source,
+        severity: Severity::Warning,
+        description:
+            "Ordering::Relaxed atomic: safe only for the work-claiming counter; a relaxed \
+             value that feeds a trace or artifact is schedule-dependent",
+    },
+    RuleInfo {
+        id: "SRC006",
+        layer: Layer::Source,
+        severity: Severity::Error,
+        description:
+            "thread spawn outside the sanctioned par_map fan-out: ad-hoc threads bypass the \
+             input-order merge that makes parallelism deterministic",
+    },
+    RuleInfo {
+        id: "SRC007",
+        layer: Layer::Source,
+        severity: Severity::Warning,
+        description:
+            "environment read (std::env::var) in model code: results silently depend on the \
+             process environment",
     },
 ];
 

@@ -1,0 +1,534 @@
+//! A minimal Rust lexer for the determinism analyzer.
+//!
+//! This is not a full grammar — the analyzer needs only a faithful token
+//! stream with line numbers: identifiers, punctuation and literal kinds,
+//! with comments and string/char literals stripped so pattern matching
+//! never fires inside text. The only comment content that survives is the
+//! `detlint:` directive family (see [`SourceFile::allows`]), which is how
+//! a sanctioned call site opts out of a rule *in the code under review*,
+//! next to the justification.
+//!
+//! Handled: line and nested block comments, string/byte-string literals,
+//! raw strings with arbitrary `#` depth, char literals vs. lifetimes,
+//! numeric literals with suffixes (classified int vs. float — SRC004 keys
+//! on float literals).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a token is. The analyzer keys on identifiers and punctuation;
+/// literal kinds are kept so rules can reason about them (floats) without
+/// their text ever being pattern-matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+    /// Integer literal.
+    Int,
+    /// Floating-point literal (contains `.`, an exponent, or an `f` suffix).
+    Float,
+    /// String, byte-string or raw-string literal (text dropped).
+    Str,
+    /// Character literal (text dropped).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// Kind.
+    pub kind: TokenKind,
+    /// Identifier text (empty for every other kind — rules never need it).
+    pub text: String,
+}
+
+impl Token {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A lexed source file: the token stream plus the allow directives found
+/// in its comments.
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    /// All tokens outside comments/strings, in order.
+    pub tokens: Vec<Token>,
+    /// `detlint: allow(RULE, ...)` directives: line → suppressed rule ids.
+    /// A directive suppresses findings on its own line and the next line.
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Is `rule` suppressed at `line`? True if a directive sits on the line
+    /// itself (trailing comment) or — for own-line comments — if this is
+    /// the first code line after the directive ([`lex`] resolves that
+    /// mapping, so multi-line justification comments work).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(&line).is_some_and(|set| set.contains(rule))
+    }
+}
+
+/// Parse a comment body for a `detlint: allow(...)` directive.
+fn parse_directive(comment: &str, line: u32, allows: &mut BTreeMap<u32, BTreeSet<String>>) {
+    let Some(rest) = comment.trim_start().strip_prefix("detlint:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return;
+    };
+    let Some(open) = rest.find('(') else { return };
+    let Some(close) = rest[open..].find(')') else {
+        return;
+    };
+    let rules = &rest[open + 1..open + close];
+    let set = allows.entry(line).or_default();
+    for rule in rules.split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            set.insert(rule.to_string());
+        }
+    }
+}
+
+/// Lex `text` into a [`SourceFile`].
+pub fn lex(text: &str) -> SourceFile {
+    let bytes = text.as_bytes();
+    let mut out = SourceFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                parse_directive(&text[start..i], line, &mut out.allows);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; directives inside are ignored.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i + 1, &mut line);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                });
+            }
+            b'r' | b'b' if raw_string_start(bytes, i).is_some() => {
+                let (body, hashes) = raw_string_start(bytes, i).expect("checked");
+                i = skip_raw_string(bytes, body, hashes, &mut line);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                });
+            }
+            b'\'' => {
+                // Char literal vs. lifetime.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                let is_char = matches!(next, Some(b'\\'))
+                    || (next.is_some() && after == Some(b'\''))
+                    || matches!(next, Some(n) if !is_ident_start(n));
+                if is_char {
+                    i += 1;
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2; // Escape: skip the backslash and the escaped char.
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1; // \u{...} and friends.
+                        }
+                    } else {
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                    }
+                    i += 1; // Closing quote.
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Char,
+                        text: String::new(),
+                    });
+                } else {
+                    i += 1;
+                    while i < bytes.len() && is_ident_cont(bytes[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Lifetime,
+                        text: String::new(),
+                    });
+                }
+            }
+            b if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident,
+                    text: text[start..i].to_string(),
+                });
+            }
+            b if b.is_ascii_digit() => {
+                let start = i;
+                let hex = b == b'0'
+                    && matches!(
+                        bytes.get(i + 1),
+                        Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+                    );
+                i += 1;
+                let mut saw_dot = false;
+                let mut suffix = String::new();
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_digit() || c == b'_' || (hex && c.is_ascii_hexdigit()) {
+                        i += 1;
+                    } else if c == b'.'
+                        && !hex
+                        && !saw_dot
+                        && bytes.get(i + 1).map_or(true, |n| n.is_ascii_digit())
+                    {
+                        saw_dot = true;
+                        i += 1;
+                    } else if is_ident_cont(c) && !hex {
+                        suffix.push(c as char);
+                        i += 1;
+                    } else if is_ident_cont(c) {
+                        i += 1; // Hex digits / suffix on a hex literal.
+                    } else {
+                        break;
+                    }
+                }
+                let float = saw_dot || suffix.starts_with('f') || (!hex && suffix.starts_with('e'));
+                let _ = start;
+                out.tokens.push(Token {
+                    line,
+                    kind: if float {
+                        TokenKind::Float
+                    } else {
+                        TokenKind::Int
+                    },
+                    text: String::new(),
+                });
+            }
+            other => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(other as char),
+                    text: String::new(),
+                });
+                i += 1;
+            }
+        }
+    }
+
+    // An own-line directive governs the first *code* line after it, however
+    // many comment lines the justification spans. Token lines are
+    // nondecreasing, so a forward scan resolves each directive.
+    let mut extra: Vec<(u32, BTreeSet<String>)> = Vec::new();
+    for (&dir_line, rules) in &out.allows {
+        if let Some(tok) = out.tokens.iter().find(|t| t.line > dir_line) {
+            extra.push((tok.line, rules.clone()));
+        }
+    }
+    for (line, rules) in extra {
+        out.allows.entry(line).or_default().extend(rules);
+    }
+    out
+}
+
+/// Does a raw (byte) string start at `i`? Returns (body start, hash count).
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        // Plain byte string b"..." — treat via skip_string path instead.
+        if bytes.get(i) == Some(&b'b') && bytes.get(i + 1) == Some(&b'"') {
+            return Some((i + 2, usize::MAX)); // Sentinel: escaped string.
+        }
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Skip an escaped string body starting after the opening quote; returns the
+/// index after the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string body; returns the index after the closing delimiter.
+fn skip_raw_string(bytes: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    if hashes == usize::MAX {
+        return skip_string(bytes, i, line); // b"..." sentinel.
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut n = 0;
+            while n < hashes && bytes.get(j) == Some(&b'#') {
+                n += 1;
+                j += 1;
+            }
+            if n == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Drop tokens inside `#[cfg(test)]`-gated items (the determinism contract
+/// covers shipped code; test modules freely use HashSet collections and
+/// wall-clock sleeps).
+pub fn strip_cfg_test(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            // Skip the attribute itself: `# [ cfg ( test ) ]`.
+            i += 7;
+            // Skip any further attributes on the same item.
+            while i < tokens.len() && tokens[i].is_punct('#') {
+                i = skip_attr(&tokens, i);
+            }
+            // Skip the gated item: to the end of its brace block, or to a
+            // `;` for brace-less items.
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if tokens[i].is_punct(';') && depth == 0 {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Is `# [ cfg ( test ) ]` at `i`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.len() > i + 6
+        && tokens[i].is_punct('#')
+        && tokens[i + 1].is_punct('[')
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct('(')
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(')')
+        && tokens[i + 6].is_punct(']')
+}
+
+/// Skip a `# [ ... ]` attribute; returns the index after its `]`.
+fn skip_attr(tokens: &[Token], mut i: usize) -> usize {
+    debug_assert!(tokens[i].is_punct('#'));
+    i += 1;
+    if i < tokens.len() && tokens[i].is_punct('[') {
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            if tokens[i].is_punct('[') {
+                depth += 1;
+            } else if tokens[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(text: &str) -> Vec<String> {
+        lex(text)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in a block /* nested */ comment */
+            let s = "thread_rng() in a string";
+            let r = r#"SystemTime::now() raw"#;
+            let c = 'x';
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let f = lex(src);
+        let lifetimes = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert!(f.tokens.iter().all(|t| t.kind != TokenKind::Char));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let f = lex("let a = 1.5; let b = 10; let c = 2f64; let d = 0x3f; let e = 0..10;");
+        let floats = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Float)
+            .count();
+        let ints = f.tokens.iter().filter(|t| t.kind == TokenKind::Int).count();
+        assert_eq!(floats, 2, "1.5 and 2f64");
+        assert_eq!(ints, 4, "10, 0x3f and both ends of 0..10");
+    }
+
+    #[test]
+    fn directive_parsed_and_scoped() {
+        let src =
+            "\nlet x = 1; // detlint: allow(SRC001, SRC005): sanctioned\nlet y = 2;\nlet z = 3;\n";
+        let f = lex(src);
+        assert!(f.is_allowed("SRC001", 2), "same line");
+        assert!(f.is_allowed("SRC005", 3), "next code line");
+        assert!(!f.is_allowed("SRC001", 4), "two lines down");
+        assert!(!f.is_allowed("SRC002", 2), "other rules unaffected");
+    }
+
+    #[test]
+    fn directive_skips_continuation_comment_lines() {
+        let src = "\n// detlint: allow(SRC002): this harness timing loop is\n// measured on purpose; the value never enters the model.\nlet t = now();\nlet u = now();\n";
+        let f = lex(src);
+        assert!(
+            f.is_allowed("SRC002", 4),
+            "first code line after a multi-line justification"
+        );
+        assert!(!f.is_allowed("SRC002", 5), "next statement unaffected");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_stripped() {
+        let src = "
+            fn shipped() { let m = 1; }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { let h = std::collections::HashSet::new(); }
+            }
+            fn also_shipped() {}
+        ";
+        let toks = strip_cfg_test(lex(src).tokens);
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"shipped"));
+        assert!(ids.contains(&"also_shipped"));
+        assert!(!ids.contains(&"helper"));
+        assert!(!ids.contains(&"HashSet"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"line\none\";\nlet b = 9;\n";
+        let f = lex(src);
+        let b = f.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -11,8 +11,8 @@ use coyote_fabric::{
     ResourceVec, ShellProfile, FRAME_RECORD_BYTES, HEADER_BYTES,
 };
 use coyote_lint::{
-    lint_bitstream, lint_floorplan, lint_netlist, lint_shell_spec, lint_trace, DeployContext,
-    PartitionDemand, Report, Severity, ShellSpec,
+    lint_bitstream, lint_fault_trace, lint_floorplan, lint_netlist, lint_shell_spec, lint_source,
+    lint_trace, DeployContext, PartitionDemand, Report, Severity, ShellSpec,
 };
 use coyote_synth::{CellKind, Net, Netlist};
 
@@ -555,6 +555,150 @@ fn clean_trace_produces_zero_diagnostics() {
     assert!(r.is_clean(), "{}", r.render_human());
 }
 
+#[test]
+fn ds003_shared_domain_without_total_order() {
+    use coyote_sim::EventTag;
+    let mut sim = coyote_sim::Simulation::new(0u64);
+    sim.record_trace();
+    let at = coyote_sim::SimTime(750);
+    sim.scheduler()
+        .schedule_at_with(at, EventTag::target(1).domain(40), |w: &mut u64, _| *w += 1);
+    sim.scheduler()
+        .schedule_at_with(at, EventTag::target(2).domain(40), |w: &mut u64, _| *w *= 2);
+    let trace = sim.take_trace();
+    let r = lint_trace("switch", &trace);
+    assert_fires(&r, "DS003", "trace:switch", "t=750ps");
+    assert!(r.has_errors());
+}
+
+#[test]
+fn ds004_concatenated_fault_trace() {
+    use coyote_chaos::{Domain, FaultKind, FaultTrace, TraceKind};
+    use coyote_sim::SimTime;
+    // NetSwitch's tag sorts after Dma's: recording net before dma leaves
+    // canonical (domain, op) order at the boundary event.
+    let mut t = FaultTrace::new();
+    t.push(
+        Domain::NetSwitch,
+        0,
+        SimTime::ZERO,
+        TraceKind::Injected,
+        FaultKind::NetLoss,
+        0,
+    );
+    t.push(
+        Domain::Dma,
+        0,
+        SimTime::ZERO,
+        TraceKind::Injected,
+        FaultKind::DmaStall,
+        0,
+    );
+    let r = lint_fault_trace("chaos", &t);
+    assert_fires(&r, "DS004", "trace:chaos", "event[1]");
+    assert!(r.has_errors());
+
+    // The canonical merge of the same per-domain traces is clean.
+    let mut net = FaultTrace::new();
+    net.push(
+        Domain::NetSwitch,
+        0,
+        SimTime::ZERO,
+        TraceKind::Injected,
+        FaultKind::NetLoss,
+        0,
+    );
+    let mut dma = FaultTrace::new();
+    dma.push(
+        Domain::Dma,
+        0,
+        SimTime::ZERO,
+        TraceKind::Injected,
+        FaultKind::DmaStall,
+        0,
+    );
+    assert!(lint_fault_trace("chaos", &FaultTrace::merged([net, dma])).is_clean());
+}
+
+#[test]
+fn ds005_pop_order_contradicts_priorities() {
+    // Insert the priority-1 event first: the engine pops by (time, seq),
+    // so it runs before the priority-0 event — declared intent loses.
+    let mut sim = coyote_sim::Simulation::new(0u64);
+    sim.record_trace();
+    let at = coyote_sim::SimTime(900);
+    sim.scheduler()
+        .schedule_at_tagged(at, 5, Some(1), |w: &mut u64, _| *w += 1);
+    sim.scheduler()
+        .schedule_at_tagged(at, 5, Some(0), |w: &mut u64, _| *w *= 2);
+    sim.run_until_idle();
+    let trace = sim.take_trace();
+    let r = lint_trace("qp", &trace);
+    assert_fires(&r, "DS005", "trace:qp", "t=900ps");
+    assert!(r.has_errors());
+}
+
+// ----------------------------------------------------- source (detlint)
+
+fn source_fixture(name: &str) -> Report {
+    let path = format!("{}/fixtures/src/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    lint_source(name, &text)
+}
+
+#[test]
+fn src_rules_fire_on_seeded_fixtures_at_exact_locations() {
+    let cases = [
+        ("src001_bad.rs", "SRC001", "L7"),
+        ("src002_bad.rs", "SRC002", "L4"),
+        ("src003_bad.rs", "SRC003", "L5"),
+        ("src004_bad.rs", "SRC004", "L4"),
+        ("src005_bad.rs", "SRC005", "L6"),
+        ("src006_bad.rs", "SRC006", "L5"),
+        ("src007_bad.rs", "SRC007", "L5"),
+    ];
+    for (file, rule, line) in cases {
+        let r = source_fixture(file);
+        assert_fires(&r, rule, &format!("src:{file}"), line);
+        // The seeded fixture trips exactly its own rule, nothing else.
+        assert_eq!(
+            r.diagnostics.len(),
+            1,
+            "{file} must fire only {rule}:\n{}",
+            r.render_human()
+        );
+    }
+}
+
+#[test]
+fn clean_source_fixtures_produce_zero_diagnostics() {
+    for file in [
+        "src001_clean.rs",
+        "src002_clean.rs",
+        "src003_clean.rs",
+        "src004_clean.rs",
+        "src005_clean.rs",
+        "src006_clean.rs",
+        "src007_clean.rs",
+    ] {
+        let r = source_fixture(file);
+        assert!(r.is_clean(), "{file}:\n{}", r.render_human());
+    }
+}
+
+#[test]
+fn src_severities_match_the_catalog() {
+    for (file, rule) in [
+        ("src001_bad.rs", "SRC001"),
+        ("src004_bad.rs", "SRC004"),
+        ("src005_bad.rs", "SRC005"),
+    ] {
+        let r = source_fixture(file);
+        let expected = coyote_lint::rule(rule).unwrap().severity;
+        assert_eq!(r.of_rule(rule).next().unwrap().severity, expected);
+    }
+}
+
 // ------------------------------------------------------------ the catalog
 
 #[test]
@@ -565,6 +709,8 @@ fn every_catalog_rule_has_golden_coverage() {
         "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "FP001", "FP002", "FP003",
         "FP004", "FP005", "FP006", "FP007", "BS001", "BS002", "BS003", "BS004", "BS005", "BS006",
         "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "DS001", "DS002",
+        "DS003", "DS004", "DS005", "SRC001", "SRC002", "SRC003", "SRC004", "SRC005", "SRC006",
+        "SRC007",
     ];
     for rule in coyote_lint::CATALOG {
         assert!(
@@ -572,5 +718,18 @@ fn every_catalog_rule_has_golden_coverage() {
             "rule {} has no golden test",
             rule.id
         );
+    }
+    // And the bad/clean fixture pair exists on disk for every source rule.
+    for n in 1..=7 {
+        for kind in ["bad", "clean"] {
+            let path = format!(
+                "{}/fixtures/src/src00{n}_{kind}.rs",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            assert!(
+                std::path::Path::new(&path).exists(),
+                "missing fixture {path}"
+            );
+        }
     }
 }

@@ -470,7 +470,7 @@ fn seq_leq(a: u32, b: u32) -> bool {
 pub struct TcpStack {
     mac: MacAddr,
     ip: [u8; 4],
-    sockets: HashMap<(u16, u16), TcpSocket>,
+    sockets: BTreeMap<(u16, u16), TcpSocket>,
     listeners: HashMap<u16, ()>,
     /// Peer L2/L3 addresses by remote port (learned from SYNs / configured
     /// at connect).
@@ -484,7 +484,7 @@ impl TcpStack {
         TcpStack {
             mac,
             ip,
-            sockets: HashMap::new(),
+            sockets: BTreeMap::new(),
             listeners: HashMap::new(),
             peers: HashMap::new(),
             isn: 0x1000,

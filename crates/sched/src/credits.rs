@@ -9,21 +9,20 @@
 //! `(vfpga, stream, direction)` — to an independent [`CreditPool`].
 
 use coyote_sim::CreditPool;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Independent credit pools per key, created on first use.
 #[derive(Debug, Clone)]
-pub struct CreditTable<K: Eq + Hash + Clone> {
-    pools: HashMap<K, CreditPool>,
+pub struct CreditTable<K: Ord + Clone> {
+    pools: BTreeMap<K, CreditPool>,
     default_capacity: u64,
 }
 
-impl<K: Eq + Hash + Clone> CreditTable<K> {
+impl<K: Ord + Clone> CreditTable<K> {
     /// A table whose pools hold `default_capacity` credits each.
     pub fn new(default_capacity: u64) -> Self {
         CreditTable {
-            pools: HashMap::new(),
+            pools: BTreeMap::new(),
             default_capacity,
         }
     }

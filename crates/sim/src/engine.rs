@@ -19,13 +19,65 @@ use crate::time::{SimDuration, SimTime};
 /// The type of a scheduled event body.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
 
-/// One recorded scheduling decision (see [`Scheduler::record_trace`]).
+/// Which side of the queue a [`TraceEntry`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TracePhase {
+    /// The event was pushed into the queue (a scheduling decision).
+    Scheduled,
+    /// The event was popped and is about to run (an execution decision).
+    Executed,
+}
+
+/// Full determinism tagging for one event: the component it mutates, an
+/// explicit same-instant priority, and the subsystem domain it belongs to.
 ///
-/// A trace is the input to the `coyote-lint` DES determinism analysis: two
-/// entries with the same `at` and the same `target` but no distinct
-/// `priority` describe events whose relative order is fixed only by `seq`
-/// (scheduling order) — an ordering hazard if the scheduling order itself
-/// is not deterministic.
+/// Built fluently: `EventTag::target(7).priority(0).domain(DOMAIN_NET)`.
+/// Every field is optional; what is declared is what the DES determinism
+/// lint can audit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventTag {
+    /// Component the event mutates.
+    pub target: Option<u64>,
+    /// Same-instant priority; lower runs first in intent.
+    pub priority: Option<u8>,
+    /// Subsystem domain (net, DMA, MMU, ...); lets the lint reason about
+    /// ordering across targets that share state through one subsystem.
+    pub domain: Option<u64>,
+}
+
+impl EventTag {
+    /// Tag declaring only the mutated component.
+    pub fn target(target: u64) -> EventTag {
+        EventTag {
+            target: Some(target),
+            ..EventTag::default()
+        }
+    }
+
+    /// Declare the same-instant priority.
+    pub fn priority(mut self, priority: u8) -> EventTag {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Declare the subsystem domain.
+    pub fn domain(mut self, domain: u64) -> EventTag {
+        self.domain = Some(domain);
+        self
+    }
+}
+
+/// One recorded scheduling or execution decision (see
+/// [`Scheduler::record_trace`]).
+///
+/// A trace is the input to the `coyote-lint` DES determinism analysis:
+/// two `Scheduled` entries with the same `at` and the same `target` but no
+/// distinct `priority` describe events whose relative order is fixed only
+/// by `seq` (scheduling order) — an ordering hazard if the scheduling order
+/// itself is not deterministic. `Executed` entries record the pop order the
+/// engine actually used, so the lint can also catch pops that contradict
+/// the declared priorities (the tie-break the engine honors is `seq`, not
+/// `priority`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Simulated time the event fires at.
@@ -38,11 +90,16 @@ pub struct TraceEntry {
     /// Explicit same-instant priority, when declared. Lower runs first in
     /// intent; the engine itself still orders by `(at, seq)`.
     pub priority: Option<u8>,
+    /// Subsystem domain, when declared via [`Scheduler::schedule_at_with`].
+    pub domain: Option<u64>,
+    /// Whether this entry records a push or a pop.
+    pub phase: TracePhase,
 }
 
 struct Scheduled<W> {
     at: SimTime,
     seq: u64,
+    tag: EventTag,
     f: EventFn<W>,
 }
 
@@ -124,7 +181,7 @@ impl<W> Scheduler<W> {
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
-        self.push(at, None, None, Box::new(f));
+        self.push(at, EventTag::default(), Box::new(f));
     }
 
     /// Schedule `f` at `at`, declaring the component it mutates (`target`)
@@ -136,10 +193,26 @@ impl<W> Scheduler<W> {
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
-        self.push(at, Some(target), priority, Box::new(f));
+        let tag = EventTag {
+            target: Some(target),
+            priority,
+            domain: None,
+        };
+        self.push(at, tag, Box::new(f));
     }
 
-    fn push(&mut self, at: SimTime, target: Option<u64>, priority: Option<u8>, f: EventFn<W>) {
+    /// Schedule `f` at `at` with a full [`EventTag`] — target, priority and
+    /// subsystem domain. Like [`Scheduler::schedule_at_tagged`], tagging is
+    /// purely declarative; it feeds the recorded trace, not the engine's
+    /// ordering.
+    pub fn schedule_at_with<F>(&mut self, at: SimTime, tag: EventTag, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.push(at, tag, Box::new(f));
+    }
+
+    fn push(&mut self, at: SimTime, tag: EventTag, f: EventFn<W>) {
         assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -151,11 +224,13 @@ impl<W> Scheduler<W> {
             trace.push(TraceEntry {
                 at,
                 seq,
-                target,
-                priority,
+                target: tag.target,
+                priority: tag.priority,
+                domain: tag.domain,
+                phase: TracePhase::Scheduled,
             });
         }
-        self.queue.push(Scheduled { at, seq, f });
+        self.queue.push(Scheduled { at, seq, tag, f });
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -169,7 +244,20 @@ impl<W> Scheduler<W> {
 
     fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<W>> {
         match self.queue.peek() {
-            Some(ev) if ev.at <= limit => self.queue.pop(),
+            Some(ev) if ev.at <= limit => {
+                let ev = self.queue.pop().expect("peeked event exists");
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(TraceEntry {
+                        at: ev.at,
+                        seq: ev.seq,
+                        target: ev.tag.target,
+                        priority: ev.tag.priority,
+                        domain: ev.tag.domain,
+                        phase: TracePhase::Executed,
+                    });
+                }
+                Some(ev)
+            }
             _ => None,
         }
     }
@@ -374,6 +462,42 @@ mod tests {
         sim.schedule_at(t, |w: &mut u32, _| *w += 1);
         assert_eq!(sim.take_trace().len(), 1);
         sim.run_until_idle();
+        assert_eq!(sim.world, 3);
+    }
+
+    #[test]
+    fn trace_records_domain_and_executed_pops() {
+        let mut sim = Simulation::new(0u32);
+        sim.record_trace();
+        let t = SimTime::ZERO + SimDuration::from_ns(5);
+        sim.scheduler()
+            .schedule_at_with(t, EventTag::target(3).priority(1).domain(77), |w, _| {
+                *w += 1
+            });
+        sim.scheduler()
+            .schedule_at_with(t, EventTag::target(4).priority(0).domain(77), |w, _| {
+                *w += 2
+            });
+        sim.run_until_idle();
+        let trace = sim.take_trace();
+        assert_eq!(trace.len(), 4, "two pushes + two pops");
+        let scheduled: Vec<_> = trace
+            .iter()
+            .filter(|e| e.phase == TracePhase::Scheduled)
+            .collect();
+        let executed: Vec<_> = trace
+            .iter()
+            .filter(|e| e.phase == TracePhase::Executed)
+            .collect();
+        assert_eq!(scheduled.len(), 2);
+        assert_eq!(executed.len(), 2);
+        assert_eq!(scheduled[0].domain, Some(77));
+        assert_eq!(scheduled[0].target, Some(3));
+        assert_eq!(scheduled[0].priority, Some(1));
+        // The engine pops by (at, seq): insertion order, not priority.
+        assert_eq!(executed[0].seq, scheduled[0].seq);
+        assert_eq!(executed[0].target, Some(3));
+        assert_eq!(executed[1].target, Some(4));
         assert_eq!(sim.world, 3);
     }
 

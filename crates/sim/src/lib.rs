@@ -61,7 +61,7 @@ pub mod time;
 
 pub use arbiter::RrQueue;
 pub use credit::CreditPool;
-pub use engine::{Scheduler, Simulation, TraceEntry};
+pub use engine::{EventTag, Scheduler, Simulation, TraceEntry, TracePhase};
 pub use fifo::BoundedFifo;
 pub use link::{LinkModel, Transfer};
 pub use par::{par_map, thread_budget};

@@ -12,6 +12,8 @@ use coyote::kernel::Passthrough;
 use coyote::{CThread, Oper, Platform, SgEntry, ShellConfig};
 use coyote_apps::AesCbcKernel;
 use coyote_chaos::{Domain, FaultPlan, FaultTrace};
+use coyote_mem::PageSize;
+use coyote_mmu::{AddressSpace, MemLocation, Mmu, MmuConfig, TlbConfig, TranslateOutcome};
 use coyote_net::{CommodityNic, QpConfig, Switch, Verb};
 use coyote_sim::par::{par_map, THREADS_ENV};
 use coyote_sim::SimTime;
@@ -184,6 +186,77 @@ fn chaos_fingerprint() -> (Vec<(u64, u64)>, u64) {
     (per_seed, merged)
 }
 
+/// One seeded MMU walk with a deliberately tiny sTLB (4 sets x 2 ways, so
+/// the 64-page working set actively evicts) while a page-fault-burst chaos
+/// plan fires twice mid-walk. Returns the injector's fault trace and a
+/// digest of every translated paddr, every hit/miss outcome and the final
+/// TLB counters — if replacement order or shootdown recovery ever depended
+/// on scheduling, the digest would diverge.
+fn mmu_chaos_run(seed: u64) -> (FaultTrace, u64) {
+    let cfg = MmuConfig {
+        stlb: TlbConfig {
+            sets: 4,
+            ways: 2,
+            page: PageSize::Small,
+        },
+        ltlb: TlbConfig::huge_default(),
+    };
+    let mut mmu = Mmu::new(cfg);
+    let plan = FaultPlan::new(seed)
+        .page_fault_burst_at(17)
+        .page_fault_burst_at(41);
+    mmu.attach_chaos(plan.injector(Domain::Mmu));
+    let mut space = AddressSpace::new();
+    let m = space.map_fresh(
+        64 * 4096,
+        PageSize::Small,
+        MemLocation::Host,
+        0x20_0000,
+        true,
+    );
+    let mut bytes = Vec::new();
+    // Seed-dependent but deterministic page revisit pattern (LCG stride),
+    // far wider than the 8-entry sTLB: every run both evicts and refills.
+    let mut x = seed | 1;
+    for step in 0..96u64 {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let page = (x >> 33) % 64;
+        let out = mmu.translate(
+            1,
+            m.vaddr + page * 4096 + (step % 4096),
+            false,
+            None,
+            &space,
+        );
+        let t = out.translation().unwrap();
+        bytes.extend_from_slice(&t.paddr.to_le_bytes());
+        bytes.push(u8::from(matches!(out, TranslateOutcome::MissFilled { .. })));
+    }
+    let stats = mmu.stlb().stats();
+    assert!(
+        stats.evictions > 0,
+        "workload must actively evict (seed {seed})"
+    );
+    assert_eq!(mmu.shootdowns(), 2, "both bursts must land (seed {seed})");
+    bytes.extend_from_slice(&stats.hits.to_le_bytes());
+    bytes.extend_from_slice(&stats.misses.to_le_bytes());
+    bytes.extend_from_slice(&stats.evictions.to_le_bytes());
+    (mmu.chaos().unwrap().trace().clone(), fnv(&bytes))
+}
+
+/// TLB-eviction workload under an active chaos plan, fanned out with
+/// `par_map` over seeds: per-seed (trace hash, digest) pairs plus the
+/// canonical merged-trace hash.
+fn mmu_chaos_fingerprint() -> (Vec<(u64, u64)>, u64) {
+    let seeds = [3u64, 11, 29, 0xBEEF];
+    let runs = par_map(&seeds, |_, &seed| mmu_chaos_run(seed));
+    let per_seed: Vec<(u64, u64)> = runs.iter().map(|(t, d)| (t.hash(), *d)).collect();
+    let merged = FaultTrace::merged(runs.into_iter().map(|(t, _)| t)).hash();
+    (per_seed, merged)
+}
+
 fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
     std::env::set_var(THREADS_ENV, threads);
     let out = f();
@@ -244,5 +317,28 @@ fn artifacts_identical_across_thread_counts() {
     assert_eq!(
         chaos_8, chaos_8_again,
         "chaos trace not reproducible at 8 threads"
+    );
+
+    // Chaos plan AND an active TLB-eviction workload in the same run: a
+    // page-fault-burst plan fires twice into an MMU whose sTLB is small
+    // enough that LRU replacement churns throughout. Translations, TLB
+    // counters and the fault trace must all be bit-identical at 1, 4 and
+    // 8 threads.
+    let mmu_1 = with_threads("1", mmu_chaos_fingerprint);
+    let mmu_4 = with_threads("4", mmu_chaos_fingerprint);
+    let mmu_8 = with_threads("8", mmu_chaos_fingerprint);
+    let mmu_8_again = with_threads("8", mmu_chaos_fingerprint);
+    assert!(!mmu_1.0.is_empty() && mmu_1.0.iter().all(|&(h, _)| h != 0));
+    assert_eq!(
+        mmu_1, mmu_4,
+        "MMU chaos+eviction trace differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        mmu_1, mmu_8,
+        "MMU chaos+eviction trace differs between 1 and 8 threads"
+    );
+    assert_eq!(
+        mmu_8, mmu_8_again,
+        "MMU chaos+eviction trace not reproducible at 8 threads"
     );
 }
