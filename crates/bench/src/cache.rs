@@ -29,6 +29,15 @@ pub fn cached(id: &'static str, f: fn() -> ExperimentResult) -> ExperimentResult
     cell.get_or_init(f).clone()
 }
 
+/// Drop every memoized result. The `scaling` sweep re-measures the same
+/// experiments at several thread budgets; without a reset every run after
+/// the first would measure a cache hit instead of the computation.
+pub fn reset() {
+    if let Some(registry) = REGISTRY.get() {
+        registry.lock().expect("cache registry poisoned").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

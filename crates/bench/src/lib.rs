@@ -14,5 +14,6 @@ pub mod claims;
 pub mod experiments;
 pub mod netexp;
 pub mod report;
+pub mod scaling;
 
 pub use report::{ExperimentResult, Row};

@@ -1,11 +1,14 @@
 //! The experiment harness CLI.
 //!
 //! ```text
-//! coyote-bench all            # every table and figure
-//! coyote-bench fig7a fig10b   # a selection
-//! coyote-bench net            # the network data-plane group
-//! coyote-bench net --quick    # CI smoke: same paths, smaller workloads
-//! coyote-bench all --timings  # also record wall-clock to BENCH_wallclock.json
+//! coyote-bench all              # every table and figure
+//! coyote-bench fig7a fig10b     # a selection
+//! coyote-bench net              # the network data-plane group
+//! coyote-bench net --quick      # CI smoke: same paths, smaller workloads
+//! coyote-bench all --timings    # also record wall-clock to BENCH_wallclock.json
+//! coyote-bench all --threads 4  # pin the worker budget for this run
+//! coyote-bench scaling          # sweep 1/2/4/8 threads, record speedups
+//! coyote-bench scaling --gate   # ... and fail if 8 threads lose to 1
 //! coyote-bench --list
 //! ```
 //!
@@ -13,16 +16,23 @@
 //! `results/`. Experiments are independent (each owns its own simulation),
 //! so they run concurrently; results are merged and printed in selection
 //! order, making the output and every `results/*.json` byte bit-identical
-//! to a serial run. `COYOTE_THREADS=1` forces serial execution.
+//! to a serial run. `COYOTE_THREADS=1` (or `--threads 1`) forces serial
+//! execution.
+//!
+//! The `scaling` pseudo-group runs the selection once per thread count in
+//! {1, 2, 4, 8}, resets the result cache between runs so every run
+//! measures real work, asserts the result fingerprints are bit-identical
+//! across thread counts, and appends one `kind: "scaling"` entry with
+//! per-experiment wall-clock and speedup columns to BENCH_wallclock.json.
 
 #![forbid(unsafe_code)]
 
-use coyote_bench::cache::cached;
+use coyote_bench::cache::{self, cached};
 use coyote_bench::experiments;
 use coyote_bench::ExperimentResult;
 use coyote_sim::par_map;
 use serde_json::Value;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const IDS: &[&str] = &[
     "table1",
@@ -42,6 +52,7 @@ const IDS: &[&str] = &[
     "ablation_virt",
     "ablation_mt",
     "claims",
+    "scaling_des",
     "net_goodput",
     "net_fanin",
     "net_retransmit",
@@ -61,7 +72,27 @@ const GROUPS: &[(&str, &[&str])] = &[(
     ],
 )];
 
-/// Where `--timings` records the wall-clock trajectory.
+/// Experiments that consume other experiments' memoized results (`claims`
+/// re-reads seven of them). They run in a second wave, after the wave that
+/// computes their inputs: under the old single-wave fan-out, `claims`
+/// blocked a worker on its dependencies' cache cells for the entire run —
+/// its recorded wall-clock was ~pure blocked time.
+const DEPENDENT: &[&str] = &["claims"];
+
+/// Experiments whose *measurand* is host wall-clock (`net_micro` times the
+/// serialize/retransmit hot loop in real nanoseconds). Their values are
+/// legitimately different on every run, so the `scaling` sweep's
+/// bit-identity fingerprint skips them — everything else must match
+/// exactly across thread counts.
+const NONDET: &[&str] = &["net_micro"];
+
+/// Thread counts the `scaling` sweep measures.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One sweep point: (threads, per-experiment results+walls, total, fingerprint).
+type SweepPoint = (usize, Vec<(ExperimentResult, Duration)>, Duration, u64);
+
+/// Where `--timings` and the scaling sweep record the wall-clock trajectory.
 const WALLCLOCK_FILE: &str = "BENCH_wallclock.json";
 
 fn run_one(id: &str) -> Option<ExperimentResult> {
@@ -101,6 +132,7 @@ fn run_one(id: &str) -> Option<ExperimentResult> {
             coyote_bench::ablations::ablation_threads_vs_vfpgas,
         ),
         "claims" => cached("claims", coyote_bench::claims::claims),
+        "scaling_des" => cached("scaling_des", coyote_bench::scaling::scaling_des),
         "net_goodput" => cached("net_goodput", coyote_bench::netexp::net_goodput),
         "net_fanin" => cached("net_fanin", coyote_bench::netexp::net_fanin),
         "net_retransmit" => cached("net_retransmit", coyote_bench::netexp::net_retransmit),
@@ -110,19 +142,69 @@ fn run_one(id: &str) -> Option<ExperimentResult> {
     })
 }
 
+/// Run a selection in dependency waves: first everything self-contained,
+/// then the experiments that read other experiments' caches. Results come
+/// back in selection order, so printing and JSON output are identical to a
+/// serial run.
+fn run_selection(selection: &[&str]) -> Vec<(ExperimentResult, Duration)> {
+    let wave1: Vec<&str> = selection
+        .iter()
+        .copied()
+        .filter(|id| !DEPENDENT.contains(id))
+        .collect();
+    let wave2: Vec<&str> = selection
+        .iter()
+        .copied()
+        .filter(|id| DEPENDENT.contains(id))
+        .collect();
+    let run_wave = |ids: &[&str]| {
+        par_map(ids, |_, id| {
+            // detlint: allow(SRC002): harness self-timing (per-experiment
+            // wall); never enters any experiment result.
+            let start = Instant::now();
+            let result = run_one(id).expect("selection validated in main");
+            (result, start.elapsed())
+        })
+    };
+    let mut first = run_wave(&wave1).into_iter();
+    let mut second = run_wave(&wave2).into_iter();
+    selection
+        .iter()
+        .map(|id| {
+            if DEPENDENT.contains(id) {
+                second.next().expect("one result per wave-2 id")
+            } else {
+                first.next().expect("one result per wave-1 id")
+            }
+        })
+        .collect()
+}
+
+/// FNV-64 over the serialized deterministic results, in selection order:
+/// one number that pins every value the run produced (same constants as the
+/// trace hashes). [`NONDET`] experiments are skipped.
+fn fingerprint(results: &[(ExperimentResult, Duration)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (result, _) in results {
+        if NONDET.contains(&result.id.as_str()) {
+            continue;
+        }
+        for b in serde_json::to_vec_pretty(result).expect("serializable result") {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Round to whole microseconds: precise enough for a trajectory record,
 /// stable enough to diff by eye.
-fn ms(elapsed: std::time::Duration) -> f64 {
+fn ms(elapsed: Duration) -> f64 {
     (elapsed.as_secs_f64() * 1e6).round() / 1e3
 }
 
-/// Append this run to the wall-clock trajectory file.
-fn record_wallclock(
-    label: &str,
-    threads: usize,
-    total: std::time::Duration,
-    per_exp: &[(&str, std::time::Duration)],
-) -> std::io::Result<()> {
+/// Append one run entry to the wall-clock trajectory file.
+fn append_run(entry: Value) -> std::io::Result<()> {
     let mut runs = match std::fs::read(WALLCLOCK_FILE) {
         Ok(raw) => match serde_json::value_from_slice(&raw) {
             Ok(Value::Object(fields)) => fields
@@ -137,6 +219,20 @@ fn record_wallclock(
         },
         Err(_) => Vec::new(),
     };
+    runs.push(entry);
+    let doc = Value::Object(vec![("runs".into(), Value::Array(runs))]);
+    let mut bytes = serde_json::to_vec_pretty(&doc).expect("serializable document");
+    bytes.push(b'\n');
+    std::fs::write(WALLCLOCK_FILE, bytes)
+}
+
+/// Append a plain (single thread count) run to the trajectory.
+fn record_wallclock(
+    label: &str,
+    threads: usize,
+    total: Duration,
+    per_exp: &[(&str, Duration)],
+) -> std::io::Result<()> {
     let experiments = per_exp
         .iter()
         .map(|(id, d)| {
@@ -146,16 +242,140 @@ fn record_wallclock(
             ])
         })
         .collect();
-    runs.push(Value::Object(vec![
+    append_run(Value::Object(vec![
         ("label".into(), Value::Str(label.into())),
         ("threads".into(), Value::Int(threads as i128)),
         ("total_ms".into(), Value::Float(ms(total))),
         ("experiments".into(), Value::Array(experiments)),
-    ]));
-    let doc = Value::Object(vec![("runs".into(), Value::Array(runs))]);
-    let mut bytes = serde_json::to_vec_pretty(&doc).expect("serializable document");
-    bytes.push(b'\n');
-    std::fs::write(WALLCLOCK_FILE, bytes)
+    ]))
+}
+
+/// Append a `kind: "scaling"` entry: per-experiment wall-clock at every
+/// swept thread count plus the speedup of the widest sweep point over
+/// serial.
+fn record_scaling(label: &str, selection: &[&str], sweeps: &[SweepPoint]) -> std::io::Result<()> {
+    let (t_hi, _, total_hi, fp) = sweeps.last().expect("non-empty sweep");
+    let (_, _, total_lo, _) = sweeps.first().expect("non-empty sweep");
+    let experiments = selection
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let mut fields = vec![("id".into(), Value::Str((*id).into()))];
+            for (t, results, _, _) in sweeps {
+                fields.push((format!("wall_ms_t{t}"), Value::Float(ms(results[i].1))));
+            }
+            let lo = sweeps.first().expect("non-empty sweep").1[i].1;
+            let hi = sweeps.last().expect("non-empty sweep").1[i].1;
+            fields.push((
+                format!("speedup_t{t_hi}_vs_t1"),
+                Value::Float(speedup(lo, hi)),
+            ));
+            Value::Object(fields)
+        })
+        .collect();
+    append_run(Value::Object(vec![
+        ("label".into(), Value::Str(label.into())),
+        ("kind".into(), Value::Str("scaling".into())),
+        (
+            "threads".into(),
+            Value::Array(
+                sweeps
+                    .iter()
+                    .map(|(t, ..)| Value::Int(*t as i128))
+                    .collect(),
+            ),
+        ),
+        ("fingerprint".into(), Value::Str(format!("{fp:016x}"))),
+        (
+            "totals_ms".into(),
+            Value::Array(
+                sweeps
+                    .iter()
+                    .map(|(_, _, d, _)| Value::Float(ms(*d)))
+                    .collect(),
+            ),
+        ),
+        (
+            format!("total_speedup_t{t_hi}_vs_t1"),
+            Value::Float(speedup(*total_lo, *total_hi)),
+        ),
+        ("experiments".into(), Value::Array(experiments)),
+    ]))
+}
+
+/// `serial / parallel`, rounded to 0.001 (values > 1 mean parallel won).
+fn speedup(serial: Duration, parallel: Duration) -> f64 {
+    if parallel.as_nanos() == 0 {
+        return 1.0;
+    }
+    (serial.as_secs_f64() / parallel.as_secs_f64() * 1e3).round() / 1e3
+}
+
+/// The `scaling` sweep: run the selection at each thread count, verify the
+/// fingerprints are bit-identical, record speedups, optionally gate.
+/// Returns the process exit code.
+fn run_scaling(selection: &[&str], label: &str, gate: bool) -> i32 {
+    let mut sweeps: Vec<SweepPoint> = Vec::with_capacity(THREAD_SWEEP.len());
+    for &t in &THREAD_SWEEP {
+        cache::reset();
+        std::env::set_var(coyote_sim::par::THREADS_ENV, t.to_string());
+        // detlint: allow(SRC002): harness self-timing of the whole sweep
+        // point; wall-clock never enters any experiment result.
+        let start = Instant::now();
+        let results = run_selection(selection);
+        let total = start.elapsed();
+        let fp = fingerprint(&results);
+        println!(
+            "scaling: threads={t:<2} total {:>10.1} ms  fingerprint {fp:016x}",
+            ms(total)
+        );
+        sweeps.push((t, results, total, fp));
+    }
+
+    // Write the 1-thread run's results to results/ so the sweep leaves the
+    // same artifacts a plain run would.
+    let out_dir = std::path::PathBuf::from("results");
+    for (result, _) in &sweeps[0].1 {
+        if let Err(e) = result.write_json(&out_dir) {
+            eprintln!("warning: could not write {}.json: {e}", result.id);
+        }
+    }
+
+    let fp0 = sweeps[0].3;
+    let mut code = 0;
+    if sweeps.iter().any(|(_, _, _, fp)| *fp != fp0) {
+        eprintln!("scaling: FINGERPRINT DIVERGENCE across thread counts:");
+        for (t, _, _, fp) in &sweeps {
+            eprintln!("  threads={t}: {fp:016x}");
+        }
+        code = 1;
+    } else {
+        println!("scaling: fingerprints bit-identical across {THREAD_SWEEP:?} threads");
+    }
+
+    let (t_hi, _, total_hi, _) = *sweeps.last().expect("non-empty sweep");
+    let total_lo = sweeps[0].2;
+    println!(
+        "scaling: {t_hi}-thread total {:.1} ms vs 1-thread {:.1} ms (speedup {:.3}x)",
+        ms(total_hi),
+        ms(total_lo),
+        speedup(total_lo, total_hi)
+    );
+    if gate && total_hi > total_lo {
+        eprintln!(
+            "scaling: GATE FAILED: {t_hi}-thread total ({:.1} ms) exceeds 1-thread total \
+             ({:.1} ms)",
+            ms(total_hi),
+            ms(total_lo)
+        );
+        code = 1;
+    }
+
+    match record_scaling(label, selection, &sweeps) {
+        Ok(()) => println!("scaling: recorded sweep -> {WALLCLOCK_FILE}"),
+        Err(e) => eprintln!("warning: could not write {WALLCLOCK_FILE}: {e}"),
+    }
+    code
 }
 
 fn main() {
@@ -167,15 +387,27 @@ fn main() {
         return;
     }
     let timings = args.iter().any(|a| a == "--timings");
+    let gate = args.iter().any(|a| a == "--gate");
     if args.iter().any(|a| a == "--quick") {
         // Experiments read this to shrink sizes/iterations (CI smoke runs).
         std::env::set_var("COYOTE_BENCH_QUICK", "1");
     }
-    let label = args
-        .iter()
-        .position(|a| a == "--label")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let label = flag_value("--label");
+    if let Some(threads) = flag_value("--threads") {
+        match threads.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => std::env::set_var(coyote_sim::par::THREADS_ENV, n.to_string()),
+            _ => {
+                eprintln!("--threads expects a positive integer, got '{threads}'");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut skip_next = false;
     let named: Vec<&str> = args
         .iter()
@@ -184,7 +416,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--label" {
+            if *a == "--label" || *a == "--threads" {
                 skip_next = true;
                 return false;
             }
@@ -192,9 +424,11 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
+    let sweep = named.contains(&"scaling");
     // Expand group aliases ("net" -> every net_* experiment).
     let named: Vec<&str> = named
         .into_iter()
+        .filter(|a| *a != "scaling")
         .flat_map(|a| match GROUPS.iter().find(|(g, _)| *g == a) {
             Some((_, ids)) => ids.to_vec(),
             None => vec![a],
@@ -217,18 +451,18 @@ fn main() {
         std::process::exit(2);
     }
 
+    if sweep {
+        let label = label.unwrap_or_else(|| "scaling".into());
+        std::process::exit(run_scaling(&selection, &label, gate));
+    }
+
     // Fan the experiments out; merge in selection order so stdout and the
     // JSON files match a serial run byte for byte.
     let threads = coyote_sim::thread_budget().min(selection.len().max(1));
     // detlint: allow(SRC002): harness self-timing — measures the harness,
     // and the wall-clock numbers never enter any experiment result.
     let wall_start = Instant::now();
-    let runs = par_map(&selection, |_, id| {
-        // detlint: allow(SRC002): harness self-timing (per-experiment wall).
-        let start = Instant::now();
-        let result = run_one(id).expect("selection validated above");
-        (result, start.elapsed())
-    });
+    let runs = run_selection(&selection);
     let wall_total = wall_start.elapsed();
 
     let out_dir = std::path::PathBuf::from("results");

@@ -1,0 +1,150 @@
+//! The sharded-engine scaling experiment (`scaling_des`).
+//!
+//! Drives the platform shard topology — net, DMA, fabric and scheduler,
+//! exactly the four concurrent hardware domains of the shell — with a
+//! synthetic cross-domain event storm, once serially and once on the full
+//! worker budget, and checks the two runs are bit-identical: same event
+//! count, same final worlds, same canonical FNV-64 trace fingerprint. The
+//! `scaling` sweep of the CLI reuses this experiment at 1/2/4/8 threads to
+//! measure how the conservative-window engine scales.
+
+use crate::report::{ExperimentResult, Row};
+use coyote_sim::{
+    EventTag, ShardCtx, ShardedSimulation, SimDuration, SimTime, DOMAIN_DMA, DOMAIN_FABRIC,
+    DOMAIN_NET, DOMAIN_SCHED,
+};
+
+/// CI smoke mode: fewer seeds and hops, same paths and assertions.
+fn quick() -> bool {
+    // detlint: allow(SRC007): CI-mode switch; scales iteration counts only,
+    // every asserted value is identical in both modes.
+    std::env::var_os("COYOTE_BENCH_QUICK").is_some()
+}
+
+const ORDER: [u64; 4] = [DOMAIN_NET, DOMAIN_DMA, DOMAIN_FABRIC, DOMAIN_SCHED];
+
+/// Egress lookahead of each platform domain (the link promises posts obey).
+fn egress(domain: u64) -> SimDuration {
+    match domain {
+        DOMAIN_NET => coyote_net::shard::shard_lookahead(),
+        DOMAIN_DMA => coyote_dma::shard::shard_lookahead(),
+        DOMAIN_FABRIC => coyote_fabric::shard::shard_lookahead(),
+        DOMAIN_SCHED => coyote_sched::shard::shard_lookahead(),
+        _ => unreachable!("platform domains only"),
+    }
+}
+
+fn mix(x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-scrambled, deterministic.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One hop of the storm: fold state into the owning shard's world, then
+/// post onward to a pseudo-randomly chosen *other* domain with exactly the
+/// legal minimum delay (the egress lookahead) — the worst case for the
+/// conservative windows.
+fn hop(
+    hops_left: u32,
+    state: u64,
+) -> impl FnOnce(&mut u64, &mut ShardCtx<'_, u64>) + Send + 'static {
+    move |w, ctx| {
+        *w = w.wrapping_add(mix(state ^ ctx.now().as_ps()));
+        if hops_left == 0 {
+            return;
+        }
+        let cur = ORDER
+            .iter()
+            .position(|&d| d == ctx.domain())
+            .expect("event on a platform shard");
+        let dst = ORDER[(cur + 1 + (state as usize % 3)) % ORDER.len()];
+        ctx.post_after(
+            dst,
+            egress(ctx.domain()),
+            EventTag::target(state % 8).priority((state % 251) as u8),
+            hop(hops_left - 1, mix(state)),
+        )
+        .expect("post respects the declared lookahead");
+    }
+}
+
+/// Run the storm on `workers` threads; returns (events, worlds, hash).
+fn run(workers: usize, seeds: u64, hops: u32) -> (u64, [u64; 4], u64) {
+    let topo = coyote::platform_topology();
+    let mut sim = ShardedSimulation::new(topo, vec![0u64; 4]).expect("platform topology is valid");
+    sim.record_trace();
+    for s in 0..seeds {
+        let domain = ORDER[(s % 4) as usize];
+        sim.seed(
+            domain,
+            SimTime::ZERO + SimDuration::from_ns(s),
+            EventTag::target(s % 8).priority((s % 251) as u8),
+            hop(hops, mix(s)),
+        )
+        .expect("seeding onto a platform shard");
+    }
+    sim.run_with_workers(workers);
+    let worlds = [
+        *sim.world_of(DOMAIN_NET).expect("net world"),
+        *sim.world_of(DOMAIN_DMA).expect("dma world"),
+        *sim.world_of(DOMAIN_FABRIC).expect("fabric world"),
+        *sim.world_of(DOMAIN_SCHED).expect("sched world"),
+    ];
+    (sim.events_executed(), worlds, sim.take_trace().hash())
+}
+
+/// The experiment: serial vs full-budget runs of the sharded engine over
+/// the platform topology must be bit-identical.
+pub fn scaling_des() -> ExperimentResult {
+    let (seeds, hops) = if quick() { (64, 24) } else { (192, 96) };
+    let budget = coyote_sim::thread_budget().max(2);
+    let serial = run(1, seeds, hops);
+    let parallel = run(budget, seeds, hops);
+    let identical = serial == parallel;
+    let rows = vec![
+        Row::new("events executed", "events", serial.0 as f64),
+        Row::new("shards", "count", 4.0),
+        Row::text("fingerprint (1 worker)", format!("{:016x}", serial.2)),
+        // The parallel label deliberately omits the worker count: the whole
+        // claim is that the result doesn't depend on it, and the `scaling`
+        // sweep fingerprints this JSON across thread budgets.
+        Row::text("fingerprint (parallel)", format!("{:016x}", parallel.2)),
+        Row::text(
+            "worlds + trace identical",
+            if identical { "yes" } else { "NO" },
+        ),
+    ];
+    ExperimentResult {
+        id: "scaling_des".into(),
+        title: "Sharded conservative DES: serial vs parallel bit-identity".into(),
+        rows,
+        verdict: if identical {
+            "PASS: sharded engine is bit-identical across worker counts".into()
+        } else {
+            "FAIL: parallel run diverged from serial".into()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_is_bit_identical_across_worker_counts() {
+        let serial = run(1, 16, 12);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers, 16, 12), serial, "workers={workers}");
+        }
+        assert!(serial.0 >= 16, "every seed executed");
+    }
+
+    #[test]
+    fn experiment_passes() {
+        std::env::set_var("COYOTE_BENCH_QUICK", "1");
+        let r = scaling_des();
+        assert!(r.verdict.starts_with("PASS"), "{}", r.verdict);
+    }
+}

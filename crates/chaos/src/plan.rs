@@ -114,6 +114,20 @@ impl Domain {
             Domain::Sched => 0x7363_6864,
         }
     }
+
+    /// The DES shard domain that owns this fault domain: the shard whose
+    /// event queue a fault of this domain must be injected on, so that a
+    /// chaos rule lands in the owning shard's deterministic event order and
+    /// never races a window boundary. Both network paths live on the `net`
+    /// shard; the MMU shares the DMA shard's PCIe/host-memory substrate.
+    pub fn shard_domain(self) -> u64 {
+        match self {
+            Domain::NetSwitch | Domain::NetQp => coyote_sim::DOMAIN_NET,
+            Domain::Reconfig => coyote_sim::DOMAIN_FABRIC,
+            Domain::Dma | Domain::Mmu => coyote_sim::DOMAIN_DMA,
+            Domain::Sched => coyote_sim::DOMAIN_SCHED,
+        }
+    }
 }
 
 /// When a rule fires.

@@ -20,6 +20,7 @@
 
 pub mod engine;
 pub mod msix;
+pub mod shard;
 pub mod writeback;
 
 pub use engine::{ChaosBooked, DmaJob, JobId, PacketDone, XdmaDir, XdmaEngine};

@@ -25,6 +25,7 @@ pub mod crc;
 pub mod device;
 pub mod floorplan;
 pub mod resources;
+pub mod shard;
 
 pub use bitstream::{Bitstream, BitstreamError, BitstreamKind, HEADER_BYTES};
 pub use config::{ConfigError, ConfigPort, ConfigPortKind, ConfigState, ProgramError};

@@ -28,10 +28,15 @@
 //!   event was *inserted* first it also *runs* first, silently overriding
 //!   the declared intent. The schedule works today by accident of insertion
 //!   order — exactly what a refactor breaks.
+//! * **DS006** — an event crossing a shard-domain boundary with a delay
+//!   below the declared link lookahead. The sharded engine's conservative
+//!   windows are exactly as wide as the lookahead promises; an event that
+//!   undercuts its link can land inside a window the destination shard has
+//!   already executed past, so no deterministic order exists for it.
 
 use crate::diag::{Diagnostic, Location, Report, Severity};
 use coyote_chaos::FaultTrace;
-use coyote_sim::{TraceEntry, TracePhase};
+use coyote_sim::{SimDuration, TraceEntry, TracePhase};
 use std::collections::BTreeMap;
 
 fn loc(unit: &str, at_ps: u64) -> Location {
@@ -208,6 +213,75 @@ fn lint_pop_order(unit: &str, at_ps: u64, executed: &[&TraceEntry], report: &mut
             }
         }
     }
+}
+
+/// DS006: verify cross-shard events respect the declared link lookaheads.
+///
+/// `lookaheads` is the topology's declaration table as produced by
+/// `coyote_sim::Topology::lookahead_decls`: `(src domain, dst domain,
+/// lookahead)` per directed link. Every `Scheduled` entry whose
+/// `src_domain` differs from its `domain` crossed a shard boundary; its
+/// scheduling delay `at - posted_at` must be at least the declared
+/// lookahead of that link (error), and the link itself must be declared at
+/// all (warning) — otherwise the conservative window cannot order the
+/// event and determinism across worker counts is forfeit.
+pub fn lint_shard_lookahead(
+    unit: &str,
+    trace: &[TraceEntry],
+    lookaheads: &[(u64, u64, SimDuration)],
+) -> Report {
+    let mut report = Report::new();
+    for e in trace {
+        if e.phase != TracePhase::Scheduled {
+            continue;
+        }
+        let (Some(src), Some(dst)) = (e.src_domain, e.domain) else {
+            continue;
+        };
+        if src == dst {
+            continue; // Local events need no link.
+        }
+        let declared = lookaheads
+            .iter()
+            .find(|&&(s, d, _)| s == src && d == dst)
+            .map(|&(_, _, l)| l);
+        let delay = e.at.saturating_since(e.posted_at);
+        match declared {
+            None => report.push(
+                Diagnostic::new(
+                    "DS006",
+                    Severity::Warning,
+                    loc(unit, e.at.as_ps()),
+                    format!(
+                        "event (seq {}) crossed shard domains {src:#x} -> {dst:#x} with no \
+                         declared link lookahead; the conservative window has no bound to \
+                         order it under",
+                        e.seq
+                    ),
+                )
+                .with_suggestion("declare the link (and its lookahead) in the shard topology"),
+            ),
+            Some(lookahead) if delay < lookahead => report.push(
+                Diagnostic::new(
+                    "DS006",
+                    Severity::Error,
+                    loc(unit, e.at.as_ps()),
+                    format!(
+                        "event (seq {}) crossed shard domains {src:#x} -> {dst:#x} with delay \
+                         {delay} below the declared link lookahead {lookahead}; it can land \
+                         inside a window the destination shard already executed past",
+                        e.seq
+                    ),
+                )
+                .with_suggestion(
+                    "post with at least the link lookahead, or shrink the declared lookahead \
+                     to the true minimum latency of the path",
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    report
 }
 
 /// DS004: verify a fault trace is in the canonical merge order.
@@ -488,5 +562,99 @@ mod tests {
         fault(&mut t, Domain::NetSwitch, 2);
         let r = lint_fault_trace("chaos", &t);
         assert_eq!(r.of_rule("DS004").count(), 1);
+    }
+
+    // ------------------------------------------------------------- DS006
+
+    use coyote_sim::SimDuration;
+
+    /// A sharded ping between two domains; with `delay` per post. The
+    /// sharded engine itself rejects below-lookahead posts at runtime, so
+    /// the hazardous trace is built through the serial engine, which is
+    /// exactly the "refactor escaped the shard API" case DS006 exists for.
+    fn cross_shard_trace(delay: SimDuration) -> Vec<TraceEntry> {
+        let mut sim = Simulation::new(0u64);
+        sim.record_trace();
+        sim.scheduler().schedule_at_with(
+            SimTime::ZERO + delay,
+            EventTag::target(1).domain(20).from_domain(10),
+            |w, _| *w += 1,
+        );
+        sim.run_until_idle();
+        sim.take_trace()
+    }
+
+    const LINK_10_TO_20: (u64, u64, SimDuration) = (10, 20, SimDuration(5_000));
+
+    #[test]
+    fn ds006_below_lookahead_cross_shard_post_flagged() {
+        let trace = cross_shard_trace(SimDuration(4_999));
+        let r = lint_shard_lookahead("t", &trace, &[LINK_10_TO_20]);
+        assert_eq!(r.of_rule("DS006").count(), 1, "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn ds006_at_or_above_lookahead_is_clean() {
+        for delay in [5_000, 5_001, 1_000_000] {
+            let trace = cross_shard_trace(SimDuration(delay));
+            assert!(lint_shard_lookahead("t", &trace, &[LINK_10_TO_20]).is_clean());
+        }
+    }
+
+    #[test]
+    fn ds006_undeclared_link_is_a_warning() {
+        let trace = cross_shard_trace(SimDuration(5_000));
+        // Only the reverse link is declared.
+        let r = lint_shard_lookahead("t", &trace, &[(20, 10, SimDuration(5_000))]);
+        assert_eq!(r.of_rule("DS006").count(), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn ds006_ignores_local_and_untagged_events() {
+        let trace = traced_run(|sim| {
+            // Local (same domain both sides) and untagged events are not
+            // shard crossings.
+            sim.scheduler().schedule_at_with(
+                SimTime(100),
+                EventTag::target(1).domain(10).from_domain(10),
+                |w, _| *w += 1,
+            );
+            sim.schedule_at(SimTime(100), |w, _| *w += 1);
+        });
+        assert!(lint_shard_lookahead("t", &trace, &[LINK_10_TO_20]).is_clean());
+    }
+
+    #[test]
+    fn ds006_reads_sharded_engine_traces() {
+        // The sharded engine's own trace export is DS006-clean by
+        // construction: post_after refuses below-lookahead delays.
+        use coyote_sim::{ShardSpec, ShardedSimulation, Topology};
+        let mut topo = Topology::new();
+        topo.add_shard(ShardSpec {
+            domain: 10,
+            name: "a",
+        })
+        .unwrap();
+        topo.add_shard(ShardSpec {
+            domain: 20,
+            name: "b",
+        })
+        .unwrap();
+        topo.link(0, 1, SimDuration(5_000)).unwrap();
+        let decls = topo.lookahead_decls();
+        let mut sim = ShardedSimulation::new(topo, vec![0u64, 0u64]).unwrap();
+        sim.record_trace();
+        sim.seed(10, SimTime::ZERO, EventTag::default(), |w, ctx| {
+            *w += 1;
+            ctx.post_after(20, SimDuration(5_000), EventTag::target(2), |w, _| *w += 1)
+                .unwrap();
+        })
+        .unwrap();
+        sim.run_with_workers(2);
+        let trace = sim.take_trace().to_trace_entries();
+        assert!(lint_shard_lookahead("sharded", &trace, &decls).is_clean());
     }
 }

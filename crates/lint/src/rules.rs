@@ -266,6 +266,15 @@ pub const CATALOG: &[RuleInfo] = &[
             "executed pop order contradicts declared same-instant priorities (the engine \
              broke the tie by insertion order)",
     },
+    RuleInfo {
+        id: "DS006",
+        layer: Layer::Des,
+        severity: Severity::Error,
+        description:
+            "cross-shard event scheduled with a delay below the declared link lookahead: the \
+             conservative window cannot order it, so determinism across worker counts is \
+             forfeit",
+    },
     // --- Source (coyote-detlint) -------------------------------------
     RuleInfo {
         id: "SRC001",

@@ -11,8 +11,9 @@ use coyote_fabric::{
     ResourceVec, ShellProfile, FRAME_RECORD_BYTES, HEADER_BYTES,
 };
 use coyote_lint::{
-    lint_bitstream, lint_fault_trace, lint_floorplan, lint_netlist, lint_shell_spec, lint_source,
-    lint_trace, DeployContext, PartitionDemand, Report, Severity, ShellSpec,
+    lint_bitstream, lint_fault_trace, lint_floorplan, lint_netlist, lint_shard_lookahead,
+    lint_shell_spec, lint_source, lint_trace, DeployContext, PartitionDemand, Report, Severity,
+    ShellSpec,
 };
 use coyote_synth::{CellKind, Net, Netlist};
 
@@ -638,6 +639,45 @@ fn ds005_pop_order_contradicts_priorities() {
     assert!(r.has_errors());
 }
 
+#[test]
+fn ds006_below_lookahead_shard_crossing() {
+    // An event crossing from the net shard domain to the DMA shard domain
+    // with a 1ns delay, against a link that promises 5ns lookahead: the
+    // conservative window cannot order it.
+    let mut sim = coyote_sim::Simulation::new(0u64);
+    sim.record_trace();
+    sim.scheduler().schedule_at_with(
+        coyote_sim::SimTime(1_000),
+        coyote_sim::EventTag::target(3)
+            .domain(coyote_sim::DOMAIN_DMA)
+            .from_domain(coyote_sim::DOMAIN_NET),
+        |w: &mut u64, _| *w += 1,
+    );
+    sim.run_until_idle();
+    let trace = sim.take_trace();
+    let decls = [(
+        coyote_sim::DOMAIN_NET,
+        coyote_sim::DOMAIN_DMA,
+        coyote_sim::SimDuration::from_ns(5),
+    )];
+    let r = lint_shard_lookahead("shards", &trace, &decls);
+    assert_fires(&r, "DS006", "trace:shards", "t=1000ps");
+    assert!(r.has_errors());
+
+    // The same crossing at the declared lookahead is clean.
+    let mut sim = coyote_sim::Simulation::new(0u64);
+    sim.record_trace();
+    sim.scheduler().schedule_at_with(
+        coyote_sim::SimTime(5_000),
+        coyote_sim::EventTag::target(3)
+            .domain(coyote_sim::DOMAIN_DMA)
+            .from_domain(coyote_sim::DOMAIN_NET),
+        |w: &mut u64, _| *w += 1,
+    );
+    sim.run_until_idle();
+    assert!(lint_shard_lookahead("shards", &sim.take_trace(), &decls).is_clean());
+}
+
 // ----------------------------------------------------- source (detlint)
 
 fn source_fixture(name: &str) -> Report {
@@ -709,8 +749,8 @@ fn every_catalog_rule_has_golden_coverage() {
         "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "FP001", "FP002", "FP003",
         "FP004", "FP005", "FP006", "FP007", "BS001", "BS002", "BS003", "BS004", "BS005", "BS006",
         "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "DS001", "DS002",
-        "DS003", "DS004", "DS005", "SRC001", "SRC002", "SRC003", "SRC004", "SRC005", "SRC006",
-        "SRC007",
+        "DS003", "DS004", "DS005", "DS006", "SRC001", "SRC002", "SRC003", "SRC004", "SRC005",
+        "SRC006", "SRC007",
     ];
     for rule in coyote_lint::CATALOG {
         assert!(

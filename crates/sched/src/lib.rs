@@ -17,6 +17,7 @@
 pub mod credits;
 pub mod interleave;
 pub mod packetizer;
+pub mod shard;
 
 pub use credits::CreditTable;
 pub use interleave::{ChaosDrain, Delivered, Interleaver};

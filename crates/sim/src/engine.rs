@@ -43,6 +43,10 @@ pub struct EventTag {
     /// Subsystem domain (net, DMA, MMU, ...); lets the lint reason about
     /// ordering across targets that share state through one subsystem.
     pub domain: Option<u64>,
+    /// Domain of the subsystem that *scheduled* the event, when it differs
+    /// from `domain` — i.e. the event crossed a shard boundary. Set by the
+    /// sharded engine on cross-shard posts; feeds the DS006 lookahead lint.
+    pub src_domain: Option<u64>,
 }
 
 impl EventTag {
@@ -63,6 +67,13 @@ impl EventTag {
     /// Declare the subsystem domain.
     pub fn domain(mut self, domain: u64) -> EventTag {
         self.domain = Some(domain);
+        self
+    }
+
+    /// Declare the scheduling-side domain (for events that cross a shard
+    /// boundary; the sharded engine sets this automatically on posts).
+    pub fn from_domain(mut self, src_domain: u64) -> EventTag {
+        self.src_domain = Some(src_domain);
         self
     }
 }
@@ -92,6 +103,12 @@ pub struct TraceEntry {
     pub priority: Option<u8>,
     /// Subsystem domain, when declared via [`Scheduler::schedule_at_with`].
     pub domain: Option<u64>,
+    /// Scheduling-side domain, when the event crossed a shard boundary
+    /// (see [`EventTag::from_domain`]); the DS006 lint compares
+    /// `at - posted_at` against the declared link lookahead.
+    pub src_domain: Option<u64>,
+    /// Simulated time the scheduling decision was made at.
+    pub posted_at: SimTime,
     /// Whether this entry records a push or a pop.
     pub phase: TracePhase,
 }
@@ -99,6 +116,7 @@ pub struct TraceEntry {
 struct Scheduled<W> {
     at: SimTime,
     seq: u64,
+    posted_at: SimTime,
     tag: EventTag,
     f: EventFn<W>,
 }
@@ -196,7 +214,7 @@ impl<W> Scheduler<W> {
         let tag = EventTag {
             target: Some(target),
             priority,
-            domain: None,
+            ..EventTag::default()
         };
         self.push(at, tag, Box::new(f));
     }
@@ -220,6 +238,7 @@ impl<W> Scheduler<W> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let posted_at = self.now;
         if let Some(trace) = self.trace.as_mut() {
             trace.push(TraceEntry {
                 at,
@@ -227,10 +246,18 @@ impl<W> Scheduler<W> {
                 target: tag.target,
                 priority: tag.priority,
                 domain: tag.domain,
+                src_domain: tag.src_domain,
+                posted_at,
                 phase: TracePhase::Scheduled,
             });
         }
-        self.queue.push(Scheduled { at, seq, tag, f });
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            posted_at,
+            tag,
+            f,
+        });
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -253,6 +280,8 @@ impl<W> Scheduler<W> {
                         target: ev.tag.target,
                         priority: ev.tag.priority,
                         domain: ev.tag.domain,
+                        src_domain: ev.tag.src_domain,
+                        posted_at: ev.posted_at,
                         phase: TracePhase::Executed,
                     });
                 }

@@ -56,8 +56,10 @@ pub mod par;
 pub mod params;
 pub mod pipeline;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
+pub mod window;
 
 pub use arbiter::RrQueue;
 pub use credit::CreditPool;
@@ -67,4 +69,9 @@ pub use link::{LinkModel, Transfer};
 pub use par::{par_map, thread_budget};
 pub use pipeline::PipelineModel;
 pub use rng::Xorshift64Star;
+pub use shard::{PostError, ShardCtx, ShardTrace, ShardTraceEntry, ShardedSimulation};
 pub use time::{Bandwidth, Freq, SimDuration, SimTime};
+pub use window::{
+    horizons, ShardId, ShardSpec, Topology, TopologyError, DOMAIN_DMA, DOMAIN_FABRIC, DOMAIN_NET,
+    DOMAIN_SCHED,
+};

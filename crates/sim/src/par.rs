@@ -13,12 +13,54 @@
 //! race only over *which* index they claim next; every result lands in the
 //! slot of its input index, so the merge order never depends on scheduling.
 //! Nothing here (or anywhere in the workspace) uses `unsafe`.
+//!
+//! # Cost model
+//!
+//! Two properties keep tiny work items from paying parallelism overhead
+//! (the `claims`/`fig7a` pathology: sub-millisecond experiments once spent
+//! >1000× their compute in setup):
+//!
+//! * **No nested fan-out.** A `par_map` reached from inside another
+//!   `par_map` runs inline on the already-busy worker — the outer fan-out
+//!   *is* the pool, so nesting would only oversubscribe the machine with
+//!   `workers²` threads fighting for `workers` cores. A thread-local flag
+//!   makes nesting free instead.
+//! * **Chunked claiming.** Workers claim runs of indices (≈4 chunks per
+//!   worker) rather than single items, so the per-claim synchronization is
+//!   amortized over the run and false sharing on the slot array is rare.
+//!
+//! The calling thread participates as a worker, so `par_map` spawns at most
+//! `workers - 1` threads and a 1-worker budget spawns none.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker-thread budget.
 pub const THREADS_ENV: &str = "COYOTE_THREADS";
+
+thread_local! {
+    /// True while this thread is executing inside a `par_map` section; a
+    /// nested call then runs inline instead of oversubscribing the machine.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII for [`IN_POOL`]: restores the previous value even if `f` panics, so
+/// a caller thread that survives an unwind does not stay marked busy.
+struct PoolGuard(bool);
+
+impl PoolGuard {
+    fn enter() -> PoolGuard {
+        PoolGuard(IN_POOL.with(|c| c.replace(true)))
+    }
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        IN_POOL.with(|c| c.set(prev));
+    }
+}
 
 /// Worker threads to use for fork-join sections.
 ///
@@ -41,14 +83,24 @@ pub fn thread_budget() -> usize {
 /// `f` receives `(index, &item)`. Results are written to per-index slots,
 /// so the returned `Vec` is ordered like `items` regardless of which worker
 /// ran which item. A panic in any worker propagates out of the scope.
+///
+/// Calls nested inside a running `par_map` section execute inline on the
+/// current worker (see the module docs), so fan-out composes without
+/// oversubscription.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let workers = thread_budget().min(items.len());
+    let n = items.len();
+    let workers = if IN_POOL.with(Cell::get) {
+        1 // Nested section: the outer fan-out already owns the cores.
+    } else {
+        thread_budget().min(n)
+    };
     if workers <= 1 {
+        let _guard = PoolGuard::enter();
         return items
             .iter()
             .enumerate()
@@ -56,21 +108,38 @@ where
             .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // ~4 claims per worker: enough slack for uneven items, few enough that
+    // sub-millisecond batches do one atomic op per worker, not per item.
+    let chunk = (n / (workers * 4)).max(1);
+    let work = || {
+        let _guard = PoolGuard::enter();
+        loop {
+            // detlint: allow(SRC005): the claim counter only picks which
+            // worker computes a slot; its value never reaches a result.
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for (i, item) in items
+                .iter()
+                .enumerate()
+                .take((start + chunk).min(n))
+                .skip(start)
+            {
+                // Uncontended by construction: each index has one claimant.
+                *slots[i].lock().expect("result slot poisoned") = Some(f(i, item));
+            }
+        }
+    };
     // detlint: allow(SRC006): this IS the sanctioned fan-out — results land
     // in per-index slots, so the merge below is input-ordered by construction.
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for _ in 0..workers - 1 {
             // detlint: allow(SRC006): worker of the sanctioned fan-out.
-            scope.spawn(|| loop {
-                // detlint: allow(SRC005): the claim counter only picks which
-                // worker computes a slot; its value never reaches a result.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let out = f(i, item);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-            });
+            scope.spawn(work); // Copy: the closure captures only shared refs.
         }
+        work(); // The caller is the last worker.
     });
     slots
         .into_iter()
@@ -126,5 +195,41 @@ mod tests {
         });
         let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
         assert!(distinct.len() > 1, "expected multiple workers");
+    }
+
+    #[test]
+    fn nested_sections_run_inline() {
+        // The inner par_map must not spawn: every inner item runs on the
+        // same thread as its outer item.
+        let outer: Vec<u32> = (0..8).collect();
+        let results = par_map(&outer, |_, _| {
+            let me = std::thread::current().id();
+            let inner: Vec<u32> = (0..16).collect();
+            let ids = par_map(&inner, |_, _| std::thread::current().id());
+            ids.into_iter().all(|id| id == me)
+        });
+        assert!(results.into_iter().all(|inline| inline));
+    }
+
+    #[test]
+    fn nested_results_still_input_ordered() {
+        let outer: Vec<u64> = (0..8).collect();
+        let out = par_map(&outer, |_, &x| {
+            let inner: Vec<u64> = (0..32).collect();
+            par_map(&inner, |_, &y| x * 100 + y)
+        });
+        for (x, row) in out.iter().enumerate() {
+            let want: Vec<u64> = (0..32).map(|y| x as u64 * 100 + y).collect();
+            assert_eq!(row, &want);
+        }
+    }
+
+    #[test]
+    fn caller_flag_restored_after_section() {
+        let items: Vec<u32> = (0..4).collect();
+        let _ = par_map(&items, |_, &x| x);
+        // A fresh top-level call after the section may parallelize again —
+        // i.e. the caller's IN_POOL flag was restored.
+        assert!(!IN_POOL.with(Cell::get));
     }
 }
