@@ -144,7 +144,7 @@ pub fn table3() -> ExperimentResult {
             p.register_built_shell(cfg.clone(), &art);
             let rcnfg = CRcnfg::new(&mut p, 1);
             let t = rcnfg
-                .reconfigure_shell_bytes(&mut p, art.shell_bitstream.bytes(), true)
+                .reconfigure_shell_parsed(&mut p, &art.shell_bitstream, true)
                 .expect("reconfigure");
             trials_kernel.push(t.kernel_latency.as_millis_f64());
             trials_total.push(t.total_latency.as_millis_f64());

@@ -53,6 +53,7 @@ const IDS: &[&str] = &[
     "ablation_mt",
     "claims",
     "scaling_des",
+    "reconfig_storm",
     "net_goodput",
     "net_fanin",
     "net_retransmit",
@@ -133,6 +134,7 @@ fn run_one(id: &str) -> Option<ExperimentResult> {
         ),
         "claims" => cached("claims", coyote_bench::claims::claims),
         "scaling_des" => cached("scaling_des", coyote_bench::scaling::scaling_des),
+        "reconfig_storm" => cached("reconfig_storm", coyote_bench::storm::reconfig_storm),
         "net_goodput" => cached("net_goodput", coyote_bench::netexp::net_goodput),
         "net_fanin" => cached("net_fanin", coyote_bench::netexp::net_fanin),
         "net_retransmit" => cached("net_retransmit", coyote_bench::netexp::net_retransmit),
@@ -233,6 +235,17 @@ fn record_wallclock(
     total: Duration,
     per_exp: &[(&str, Duration)],
 ) -> std::io::Result<()> {
+    append_run(wallclock_entry(label, threads, total, per_exp))
+}
+
+/// Build a plain run entry: the uniform shape every trajectory entry shares
+/// (`label`, `total_ms`, `experiments: [{id, wall_ms, ...}]`).
+fn wallclock_entry(
+    label: &str,
+    threads: usize,
+    total: Duration,
+    per_exp: &[(&str, Duration)],
+) -> Value {
     let experiments = per_exp
         .iter()
         .map(|(id, d)| {
@@ -242,38 +255,49 @@ fn record_wallclock(
             ])
         })
         .collect();
-    append_run(Value::Object(vec![
+    Value::Object(vec![
         ("label".into(), Value::Str(label.into())),
         ("threads".into(), Value::Int(threads as i128)),
         ("total_ms".into(), Value::Float(ms(total))),
         ("experiments".into(), Value::Array(experiments)),
-    ]))
+    ])
 }
 
-/// Append a `kind: "scaling"` entry: per-experiment wall-clock at every
-/// swept thread count plus the speedup of the widest sweep point over
-/// serial.
+/// Append a `kind: "scaling"` entry. The shape is a strict superset of the
+/// plain [`record_wallclock`] entry — `total_ms` and per-experiment
+/// `wall_ms` are the serial (lowest thread count) numbers, so every run in
+/// the trajectory file can be compared by the same two keys — with the full
+/// sweep carried in `*_by_threads` maps keyed by thread count.
 fn record_scaling(label: &str, selection: &[&str], sweeps: &[SweepPoint]) -> std::io::Result<()> {
+    append_run(scaling_entry(label, selection, sweeps))
+}
+
+/// Build a `kind: "scaling"` entry (see [`record_scaling`]).
+fn scaling_entry(label: &str, selection: &[&str], sweeps: &[SweepPoint]) -> Value {
     let (t_hi, _, total_hi, fp) = sweeps.last().expect("non-empty sweep");
     let (_, _, total_lo, _) = sweeps.first().expect("non-empty sweep");
     let experiments = selection
         .iter()
         .enumerate()
         .map(|(i, id)| {
-            let mut fields = vec![("id".into(), Value::Str((*id).into()))];
-            for (t, results, _, _) in sweeps {
-                fields.push((format!("wall_ms_t{t}"), Value::Float(ms(results[i].1))));
-            }
             let lo = sweeps.first().expect("non-empty sweep").1[i].1;
             let hi = sweeps.last().expect("non-empty sweep").1[i].1;
-            fields.push((
-                format!("speedup_t{t_hi}_vs_t1"),
-                Value::Float(speedup(lo, hi)),
-            ));
-            Value::Object(fields)
+            let by_threads = sweeps
+                .iter()
+                .map(|(t, results, _, _)| (t.to_string(), Value::Float(ms(results[i].1))))
+                .collect();
+            Value::Object(vec![
+                ("id".into(), Value::Str((*id).into())),
+                ("wall_ms".into(), Value::Float(ms(lo))),
+                ("wall_ms_by_threads".into(), Value::Object(by_threads)),
+                (
+                    format!("speedup_t{t_hi}_vs_t1"),
+                    Value::Float(speedup(lo, hi)),
+                ),
+            ])
         })
         .collect();
-    append_run(Value::Object(vec![
+    Value::Object(vec![
         ("label".into(), Value::Str(label.into())),
         ("kind".into(), Value::Str("scaling".into())),
         (
@@ -286,12 +310,13 @@ fn record_scaling(label: &str, selection: &[&str], sweeps: &[SweepPoint]) -> std
             ),
         ),
         ("fingerprint".into(), Value::Str(format!("{fp:016x}"))),
+        ("total_ms".into(), Value::Float(ms(*total_lo))),
         (
-            "totals_ms".into(),
-            Value::Array(
+            "totals_ms_by_threads".into(),
+            Value::Object(
                 sweeps
                     .iter()
-                    .map(|(_, _, d, _)| Value::Float(ms(*d)))
+                    .map(|(t, _, d, _)| (t.to_string(), Value::Float(ms(*d))))
                     .collect(),
             ),
         ),
@@ -300,7 +325,7 @@ fn record_scaling(label: &str, selection: &[&str], sweeps: &[SweepPoint]) -> std
             Value::Float(speedup(*total_lo, *total_hi)),
         ),
         ("experiments".into(), Value::Array(experiments)),
-    ]))
+    ])
 }
 
 /// `serial / parallel`, rounded to 0.001 (values > 1 mean parallel won).
@@ -485,6 +510,128 @@ fn main() {
                 per_exp.len(),
             ),
             Err(e) => eprintln!("warning: could not write {WALLCLOCK_FILE}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(v: &Value) -> &[(String, Value)] {
+        match v {
+            Value::Object(fields) => fields,
+            _ => panic!("expected object"),
+        }
+    }
+
+    fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+        obj(v)
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key {key}"))
+    }
+
+    fn result(id: &str) -> ExperimentResult {
+        ExperimentResult {
+            id: id.into(),
+            title: String::new(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// A scaling entry is a strict superset of the plain entry: same
+    /// `total_ms` + `experiments[{id, wall_ms}]` core, sweep detail in
+    /// `*_by_threads` maps, and no per-thread-suffixed keys.
+    #[test]
+    fn scaling_entry_shares_the_plain_schema() {
+        let sweeps: Vec<SweepPoint> = vec![
+            (
+                1,
+                vec![
+                    (result("a"), Duration::from_millis(10)),
+                    (result("b"), Duration::from_millis(20)),
+                ],
+                Duration::from_millis(30),
+                7,
+            ),
+            (
+                8,
+                vec![
+                    (result("a"), Duration::from_millis(5)),
+                    (result("b"), Duration::from_millis(40)),
+                ],
+                Duration::from_millis(45),
+                7,
+            ),
+        ];
+        let entry = scaling_entry("sweep", &["a", "b"], &sweeps);
+
+        assert!(matches!(get(&entry, "total_ms"), Value::Float(v) if *v == 30.0));
+        let by_threads = get(&entry, "totals_ms_by_threads");
+        assert!(matches!(get(by_threads, "1"), Value::Float(v) if *v == 30.0));
+        assert!(matches!(get(by_threads, "8"), Value::Float(v) if *v == 45.0));
+
+        let Value::Array(exps) = get(&entry, "experiments") else {
+            panic!("experiments must be an array");
+        };
+        assert_eq!(exps.len(), 2);
+        let a = &exps[0];
+        assert!(matches!(get(a, "id"), Value::Str(s) if s == "a"));
+        assert!(matches!(get(a, "wall_ms"), Value::Float(v) if *v == 10.0));
+        assert!(matches!(get(get(a, "wall_ms_by_threads"), "8"), Value::Float(v) if *v == 5.0));
+        assert!(matches!(get(a, "speedup_t8_vs_t1"), Value::Float(v) if *v == 2.0));
+        for e in exps {
+            for (k, _) in obj(e) {
+                assert!(!k.starts_with("wall_ms_t"), "legacy per-thread key {k}");
+            }
+        }
+    }
+
+    /// The checked-in trajectory file obeys the uniform schema, so a reader
+    /// can fold every entry — plain or scaling — with the same two keys.
+    #[test]
+    fn checked_in_trajectory_is_uniform() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../",
+            "BENCH_wallclock.json"
+        );
+        let raw = std::fs::read(path).expect("trajectory file present");
+        let doc = serde_json::value_from_slice(&raw).expect("valid JSON");
+        let Value::Array(runs) = get(&doc, "runs") else {
+            panic!("runs must be an array");
+        };
+        assert!(!runs.is_empty());
+        for run in runs {
+            let Value::Str(label) = get(run, "label") else {
+                panic!("label must be a string");
+            };
+            assert!(
+                matches!(get(run, "total_ms"), Value::Float(_) | Value::Int(_)),
+                "{label}: total_ms must be a number"
+            );
+            let Value::Array(exps) = get(run, "experiments") else {
+                panic!("{label}: experiments must be an array");
+            };
+            assert!(!exps.is_empty(), "{label}: no experiments");
+            for e in exps {
+                let Value::Str(id) = get(e, "id") else {
+                    panic!("{label}: experiment id must be a string");
+                };
+                assert!(
+                    matches!(get(e, "wall_ms"), Value::Float(_) | Value::Int(_)),
+                    "{label}/{id}: wall_ms must be a number"
+                );
+                for (k, _) in obj(e) {
+                    assert!(
+                        !k.starts_with("wall_ms_t"),
+                        "{label}/{id}: legacy per-thread key {k}"
+                    );
+                }
+            }
         }
     }
 }

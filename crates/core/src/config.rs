@@ -9,6 +9,14 @@ use coyote_mmu::MmuConfig;
 use coyote_net::SnifferConfig;
 use coyote_synth::{Ip, IpBlock};
 
+/// Default completion-ring size for the batched reconfiguration path
+/// (re-exported so config consumers don't need the driver crate).
+pub const DEFAULT_RECONFIG_RING_SLOTS: usize = coyote_driver::DEFAULT_RING_SLOTS;
+
+/// Default cap on frame runs per batched reconfiguration submission: half
+/// the default completion ring, so one full batch plus its retries fit.
+pub const DEFAULT_MAX_RECONFIG_BATCH: usize = 8;
+
 /// Which service groups the shell carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShellServices {
@@ -43,6 +51,13 @@ pub struct ShellConfig {
     /// Node identity: selects the platform's MAC/IP on the simulated
     /// network (distinct per platform in multi-node deployments).
     pub node_id: u16,
+    /// Completion-ring slots for the batched reconfiguration path. The
+    /// platform sizes the driver's writeback ring to this at load.
+    pub reconfig_ring_slots: usize,
+    /// Largest frame-run batch a single reconfiguration submission may
+    /// post. Must fit the ring: the engine writes one completion per
+    /// in-flight run and stalls when the ring is full (CF009).
+    pub max_reconfig_batch: usize,
 }
 
 /// Configuration errors.
@@ -89,6 +104,8 @@ impl ShellConfig {
             n_card_streams: 0,
             sniffer_config: None,
             node_id: 1,
+            reconfig_ring_slots: DEFAULT_RECONFIG_RING_SLOTS,
+            max_reconfig_batch: DEFAULT_MAX_RECONFIG_BATCH,
         }
     }
 
@@ -107,6 +124,8 @@ impl ShellConfig {
             n_card_streams: channels.min(16) as u8,
             sniffer_config: None,
             node_id: 1,
+            reconfig_ring_slots: DEFAULT_RECONFIG_RING_SLOTS,
+            max_reconfig_batch: DEFAULT_MAX_RECONFIG_BATCH,
         }
     }
 
@@ -125,6 +144,8 @@ impl ShellConfig {
             n_card_streams: channels.min(16) as u8,
             sniffer_config: None,
             node_id: 1,
+            reconfig_ring_slots: DEFAULT_RECONFIG_RING_SLOTS,
+            max_reconfig_batch: DEFAULT_MAX_RECONFIG_BATCH,
         }
     }
 
@@ -145,6 +166,17 @@ impl ShellConfig {
     /// Assign a distinct network identity (multi-node deployments).
     pub fn with_node_id(mut self, node_id: u16) -> ShellConfig {
         self.node_id = node_id;
+        self
+    }
+
+    /// Size the batched-reconfiguration control plane: `ring_slots`
+    /// completion-ring entries and at most `max_batch` frame runs per
+    /// submission. A ring smaller than the batch deadlocks by construction
+    /// (the engine stalls on writeback while software waits on the
+    /// doorbell) — `coyote-lint` refuses such a shell as CF009.
+    pub fn with_reconfig_ring(mut self, ring_slots: usize, max_batch: usize) -> ShellConfig {
+        self.reconfig_ring_slots = ring_slots;
+        self.max_reconfig_batch = max_batch;
         self
     }
 

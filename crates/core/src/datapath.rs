@@ -102,7 +102,14 @@ impl Platform {
         let mut completions = Vec::new();
 
         // Split off migrations; they ride the dedicated migration channel.
+        // Stale-TLB maintenance is *deferred*: each migration queues its
+        // page invalidation into a per-vFPGA epoch, and the epoch closes
+        // with a single coalesced shootdown (one TlbInvalidation interrupt
+        // per vFPGA per drain) before any transfer translates — so no
+        // access can observe a stale entry, but N migrations no longer cost
+        // N shootdowns.
         let mut transfers = Vec::new();
+        let mut epochs: BTreeMap<u8, (coyote_mmu::TlbEpoch, SimTime)> = BTreeMap::new();
         for inv in pending {
             match inv.oper {
                 Oper::MigrateToCard | Oper::MigrateToHost => {
@@ -115,23 +122,20 @@ impl Platform {
                     let (m, done) =
                         self.driver
                             .service_fault(start, inv.hpid, inv.sg.src_addr, wanted)?;
-                    // The moved mapping's stale TLB entries must go; the
-                    // shoot-down and the serviced fault surface as MSI-X
-                    // interrupts (§5.1's interrupt sources).
-                    self.vfpgas[inv.vfpga as usize]
-                        .mmu
-                        .invalidate_page(inv.hpid, m.vaddr);
+                    // Queue the stale entry for the epoch-close shootdown;
+                    // the serviced fault surfaces as MSI-X immediately
+                    // (§5.1's interrupt sources).
+                    let slot = epochs
+                        .entry(inv.vfpga)
+                        .or_insert_with(|| (coyote_mmu::TlbEpoch::new(), done));
+                    slot.0.invalidate_page(inv.hpid, m.vaddr);
+                    slot.1 = slot.1.max(done);
                     self.msix.raise(
                         1,
                         coyote_dma::IrqReason::PageFault {
                             vfpga: inv.vfpga,
                             vaddr: m.vaddr,
                         },
-                        done,
-                    );
-                    self.msix.raise(
-                        2,
-                        coyote_dma::IrqReason::TlbInvalidation { vfpga: inv.vfpga },
                         done,
                     );
                     self.driver.notify(
@@ -149,6 +153,14 @@ impl Platform {
                 }
                 _ => transfers.push(inv),
             }
+        }
+        // Close the migration epochs: one coalesced shootdown (and one
+        // TlbInvalidation interrupt) per touched vFPGA, ordered before the
+        // translation phase below.
+        for (vfpga, (epoch, done)) in epochs {
+            self.vfpgas[vfpga as usize].mmu.apply_epoch(epoch);
+            self.msix
+                .raise(2, coyote_dma::IrqReason::TlbInvalidation { vfpga }, done);
         }
         if transfers.is_empty() {
             completions.sort_by_key(|c| c.completed_at);

@@ -162,7 +162,9 @@ impl Platform {
         } else {
             CoyoteDriver::without_card_memory(config.device)
         };
-        let _ = &mut driver;
+        // Size the batched-reconfiguration writeback ring before anything
+        // can submit (resizing drops pending records).
+        driver.set_reconfig_ring_slots(config.reconfig_ring_slots);
         let vfpgas = (0..config.n_vfpgas)
             .map(|_| VfpgaState::new(&config))
             .collect();

@@ -50,6 +50,19 @@ impl CRcnfg {
         let bs = Bitstream::from_bytes(blob.to_vec()).map_err(|e| {
             PlatformError::Reconfig(coyote_driver::reconfig::ReconfigError::Bitstream(e))
         })?;
+        self.reconfigure_shell_parsed(platform, &bs, from_disk)
+    }
+
+    /// Reconfigure the shell from an already-parsed bitstream handle: the
+    /// extreme of §9.3's in-memory deployment, where repeat deployments of
+    /// a resident image skip the byte copy and content-hash lookup entirely.
+    /// Modeled latencies are identical to [`CRcnfg::reconfigure_shell_bytes`].
+    pub fn reconfigure_shell_parsed(
+        &self,
+        platform: &mut Platform,
+        bs: &Bitstream,
+        from_disk: bool,
+    ) -> Result<ReconfigTiming, PlatformError> {
         let digest = bs.digest();
         let new_config = platform
             .shell_registry
@@ -59,7 +72,7 @@ impl CRcnfg {
         let now = platform.now;
         let timing = platform
             .driver_mut()
-            .reconfigure_parsed(now, &bs, from_disk)
+            .reconfigure_parsed(now, bs, from_disk)
             .map_err(PlatformError::Reconfig)?;
 
         // Swap the dynamic layer to the new services.

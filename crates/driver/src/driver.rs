@@ -1,6 +1,7 @@
 //! The driver object: per-process state, memory management, fault service.
 
 use crate::irq::{EventFd, IrqEvent};
+use crate::ring::{CompletionRing, Doorbell, DEFAULT_RING_SLOTS};
 use coyote_fabric::config::{ConfigPort, ConfigPortKind, ConfigState};
 use coyote_fabric::DeviceKind;
 use coyote_mem::card::CardMemKind;
@@ -64,6 +65,10 @@ pub struct CoyoteDriver {
     /// The migration channel of §5.1 (host <-> card bulk transfers).
     migration_link: LinkModel,
     migrations: u64,
+    /// Reconfiguration submission doorbell (batched control plane).
+    pub(crate) doorbell: Doorbell,
+    /// Completion writeback ring for batched reconfiguration.
+    pub(crate) ring: CompletionRing,
 }
 
 impl CoyoteDriver {
@@ -83,6 +88,8 @@ impl CoyoteDriver {
             icap: ConfigPort::new(ConfigPortKind::CoyoteIcap),
             migration_link: LinkModel::new(params::HOST_LINK_BW, params::PCIE_LATENCY),
             migrations: 0,
+            doorbell: Doorbell::default(),
+            ring: CompletionRing::new(DEFAULT_RING_SLOTS),
         }
     }
 
@@ -170,6 +177,23 @@ impl CoyoteDriver {
     /// Completed host<->card migrations.
     pub fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    /// The reconfiguration completion ring (statistics, pending records).
+    pub fn completion_ring(&self) -> &CompletionRing {
+        &self.ring
+    }
+
+    /// The submission doorbell.
+    pub fn doorbell(&self) -> &Doorbell {
+        &self.doorbell
+    }
+
+    /// Resize the completion ring (platform load applies
+    /// `ShellConfig::reconfig_ring_slots`). Pending records are dropped, so
+    /// this is only sensible before any batch is submitted.
+    pub fn set_reconfig_ring_slots(&mut self, slots: usize) {
+        self.ring = CompletionRing::new(slots);
     }
 
     // ---------------------------------------------------------------

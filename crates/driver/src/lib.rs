@@ -29,8 +29,12 @@ pub mod driver;
 pub mod ioctl;
 pub mod irq;
 pub mod reconfig;
+pub mod ring;
 
 pub use driver::{CoyoteDriver, DriverError, Hpid};
 pub use ioctl::{Ioctl, IoctlReply};
 pub use irq::{EventFd, IrqEvent};
-pub use reconfig::{ReconfigError, ReconfigTiming, ResilientReconfig, VivadoBaseline};
+pub use reconfig::{
+    BatchedReconfig, ReconfigError, ReconfigTiming, ResilientReconfig, VivadoBaseline,
+};
+pub use ring::{Completion, CompletionRing, CompletionStatus, Doorbell, DEFAULT_RING_SLOTS};

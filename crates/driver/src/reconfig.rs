@@ -9,6 +9,7 @@
 //! driver re-insertion".
 
 use crate::driver::CoyoteDriver;
+use crate::ring::{Completion, CompletionStatus};
 use coyote_chaos::{FaultKind, RetryPolicy};
 use coyote_fabric::bitstream::{Bitstream, BitstreamError, BitstreamKind};
 use coyote_fabric::config::{ConfigError, ProgramError};
@@ -43,6 +44,16 @@ pub enum ReconfigError {
         /// Attempts made (equals the policy's `max_attempts`).
         attempts: u32,
     },
+    /// The batch holds more frame runs than the completion ring has slots:
+    /// the engine would stall on writeback while software waits for the
+    /// batch — deadlock by construction (lint rule CF009 catches this in
+    /// the shell config; this is the runtime guard).
+    RingTooSmall {
+        /// Completion-ring capacity.
+        slots: usize,
+        /// Frame runs in the refused batch.
+        batch: usize,
+    },
 }
 
 impl std::fmt::Display for ReconfigError {
@@ -52,6 +63,12 @@ impl std::fmt::Display for ReconfigError {
             ReconfigError::Config(e) => write!(f, "configuration rejected: {e}"),
             ReconfigError::RetriesExhausted { attempts } => {
                 write!(f, "reconfiguration failed after {attempts} attempts")
+            }
+            ReconfigError::RingTooSmall { slots, batch } => {
+                write!(
+                    f,
+                    "batch of {batch} frame runs cannot complete into a {slots}-slot ring"
+                )
             }
         }
     }
@@ -74,6 +91,31 @@ pub struct ResilientReconfig {
     pub rejects: u32,
     /// True when at least one attempt failed before success.
     pub recovered: bool,
+}
+
+/// The outcome of one batched, ring-completed reconfiguration.
+#[derive(Debug, Clone)]
+pub struct BatchedReconfig {
+    /// Timing of the overall submission (total latency from the original
+    /// request, failed runs and backoff included).
+    pub timing: ReconfigTiming,
+    /// Frame runs in the batch.
+    pub runs: u32,
+    /// Run-programming attempts made, successful ones included.
+    pub attempts: u32,
+    /// Runs that had to be re-queued after a fault (only the failed run is
+    /// re-copied and re-programmed, never the whole bitstream).
+    pub retried_runs: u32,
+    /// Attempts whose in-flight run copy was corrupted and caught by the
+    /// per-run CRC.
+    pub flips_detected: u32,
+    /// Attempts the configuration port transiently rejected.
+    pub rejects: u32,
+    /// True when at least one run failed before the batch succeeded.
+    pub recovered: bool,
+    /// Every completion record the submission produced, reaped from the
+    /// ring in writeback order.
+    pub completions: Vec<Completion>,
 }
 
 impl CoyoteDriver {
@@ -152,6 +194,47 @@ impl CoyoteDriver {
         from_disk: bool,
         policy: RetryPolicy,
     ) -> Result<ResilientReconfig, ReconfigError> {
+        let batched = self.reconfigure_batched(now, blob, from_disk, policy, None)?;
+        Ok(ResilientReconfig {
+            timing: batched.timing,
+            attempts: batched.attempts,
+            flips_detected: batched.flips_detected,
+            rejects: batched.rejects,
+            recovered: batched.recovered,
+        })
+    }
+
+    /// Load a partial bitstream through the batched control plane: split
+    /// the (pre-validated) image into contiguous frame runs, submit the
+    /// batch with one doorbell ring, stream each run through the ICAP with
+    /// one address setup + CRC check per run, and reap per-run completion
+    /// records from the writeback ring instead of blocking per op.
+    ///
+    /// `max_frames_per_run = None` submits the whole image as a single run,
+    /// which costs exactly what the unbatched resilient path cost —
+    /// [`CoyoteDriver::reconfigure_resilient`] is this call with one run.
+    ///
+    /// The recovery contract extends the unbatched one:
+    ///
+    /// * Chaos faults surface as completion statuses
+    ///   ([`CompletionStatus::FlipDetected`], [`CompletionStatus::Rejected`])
+    ///   rather than synchronous errors.
+    /// * A failed run is re-queued *alone* after the backoff delay: only
+    ///   its bytes are re-copied to kernel space and re-programmed; runs
+    ///   that already passed are not re-streamed.
+    /// * The image commits all-or-nothing after every run has passed, then
+    ///   verify-after-write compares the committed digest.
+    /// * When the attempt budget runs out the call returns
+    ///   [`ReconfigError::RetriesExhausted`] and the device keeps the
+    ///   previous image — no partial batch is ever visible.
+    pub fn reconfigure_batched(
+        &mut self,
+        now: SimTime,
+        blob: &[u8],
+        from_disk: bool,
+        policy: RetryPolicy,
+        max_frames_per_run: Option<u64>,
+    ) -> Result<BatchedReconfig, ReconfigError> {
         // Pre-validate the pristine copy: a genuinely bad image fails fast
         // instead of burning the retry budget on it.
         let pristine = Bitstream::from_bytes(blob.to_vec()).map_err(ReconfigError::Bitstream)?;
@@ -160,64 +243,154 @@ impl CoyoteDriver {
             BitstreamKind::Full | BitstreamKind::Shell => PartitionId::Shell,
             BitstreamKind::App { vfpga } => PartitionId::Vfpga(vfpga),
         };
+        let runs = pristine.frame_runs(max_frames_per_run);
+        if !self.ring.can_hold(runs.len()) {
+            return Err(ReconfigError::RingTooSmall {
+                slots: self.ring.slots(),
+                batch: runs.len(),
+            });
+        }
         let len = pristine.len();
         let read_done = if from_disk {
             now + params::BITSTREAM_DISK_BW.time_for(len)
         } else {
             now
         };
+        let op = self.doorbell.ring();
+
+        // The whole image is copied to kernel space once up front; retries
+        // of a failed run re-copy only that run's bytes.
+        let mut last_copy_done = read_done + params::KERNEL_COPY_BW.time_for(len);
+        let mut t = last_copy_done + params::RECONFIG_SETUP;
 
         let mut backoff = policy.backoff();
-        let mut attempt_start = read_done;
         let mut attempts = 0u32;
         let mut flips_detected = 0u32;
         let mut rejects = 0u32;
-        loop {
+        let mut retried_runs = 0u32;
+        let mut run_attempt = vec![0u32; runs.len()];
+        let mut completions: Vec<Completion> = Vec::with_capacity(runs.len());
+        // Retry loop over the run cursor: a fault re-queues only runs[idx].
+        let mut idx = 0usize;
+        while idx < runs.len() {
+            let run = &runs[idx];
+            run_attempt[idx] += 1;
             attempts += 1;
-            let copy_done = attempt_start + params::KERNEL_COPY_BW.time_for(len);
-            let program_start = copy_done + params::RECONFIG_SETUP;
-            let (icap, state) = self.icap_and_state();
-            match icap.program_blob(program_start, blob.to_vec(), state) {
-                Ok((_bs, xfer)) => {
-                    let committed = self.config_state().image(verify_at).map(|i| i.digest);
-                    if committed == Some(expect_digest) {
-                        let recovered = attempts > 1;
-                        if recovered {
-                            let kind = if flips_detected > 0 {
-                                FaultKind::BitstreamFlip
-                            } else {
-                                FaultKind::IcapReject
-                            };
-                            if let Some(inj) = self.icap_and_state().0.chaos_mut() {
-                                inj.record_recovered(kind, u64::from(attempts));
-                            }
-                        }
-                        return Ok(ResilientReconfig {
-                            timing: ReconfigTiming {
-                                read_done,
-                                copy_done,
-                                program_done: xfer.done,
-                                kernel_latency: xfer.done.since(copy_done),
-                                total_latency: xfer.done.since(now),
-                            },
-                            attempts,
-                            flips_detected,
-                            rejects,
-                            recovered,
-                        });
-                    }
-                    // Verify-after-write mismatch: retry like any fault.
+            let run_bytes = pristine.bytes()[run.byte_off..run.byte_off + run.byte_len].to_vec();
+            let (icap, _state) = self.icap_and_state();
+            let outcome = icap.program_run(t, run, run_bytes);
+            let (status, at) = match &outcome {
+                Ok(xfer) => (CompletionStatus::Done, xfer.done),
+                Err(ProgramError::Bitstream(_)) => (CompletionStatus::FlipDetected, t),
+                Err(ProgramError::Config(ConfigError::PortRejected)) => {
+                    (CompletionStatus::Rejected, t)
                 }
-                Err(ProgramError::Bitstream(_)) => flips_detected += 1,
-                Err(ProgramError::Config(ConfigError::PortRejected)) => rejects += 1,
-                // Device mismatch is permanent; no retry can fix it.
-                Err(ProgramError::Config(e)) => return Err(ReconfigError::Config(e)),
+                Err(ProgramError::Config(e)) => return Err(ReconfigError::Config(e.clone())),
+            };
+            if self
+                .ring
+                .push(Completion {
+                    op,
+                    run: run.index,
+                    attempt: run_attempt[idx],
+                    status,
+                    at,
+                })
+                .is_err()
+            {
+                // Software keeps up with the engine between retries: reap
+                // the ring and retry the writeback (the initial batch-size
+                // guard above is what prevents true deadlock).
+                completions.extend(self.ring.reap());
+                self.ring
+                    .push(Completion {
+                        op,
+                        run: run.index,
+                        attempt: run_attempt[idx],
+                        status,
+                        at,
+                    })
+                    .expect("freshly reaped ring has room");
             }
-            match backoff.next() {
-                Some(delay) => attempt_start = program_start + delay,
-                None => return Err(ReconfigError::RetriesExhausted { attempts }),
+            match outcome {
+                Ok(xfer) => {
+                    idx += 1;
+                    t = if idx < runs.len() {
+                        // Address setup for the next contiguous run.
+                        xfer.done + params::ICAP_RUN_SETUP
+                    } else {
+                        xfer.done
+                    };
+                }
+                Err(ProgramError::Bitstream(_)) | Err(ProgramError::Config(_)) => {
+                    if matches!(outcome, Err(ProgramError::Bitstream(_))) {
+                        flips_detected += 1;
+                    } else {
+                        rejects += 1;
+                    }
+                    match backoff.next() {
+                        Some(delay) => {
+                            retried_runs += 1;
+                            let attempt_start = t + delay;
+                            last_copy_done = attempt_start
+                                + params::KERNEL_COPY_BW.time_for(run.byte_len as u64);
+                            t = last_copy_done + params::RECONFIG_SETUP;
+                        }
+                        None => {
+                            completions.extend(self.ring.reap());
+                            return Err(ReconfigError::RetriesExhausted { attempts });
+                        }
+                    }
+                }
             }
         }
+        // Every run passed: commit all-or-nothing, then verify-after-write.
+        let program_done = t;
+        let (icap, state) = self.icap_and_state();
+        icap.commit_batch(state, &pristine, program_done)
+            .map_err(ReconfigError::Config)?;
+        completions.extend(self.ring.reap());
+        let committed = self.config_state().image(verify_at).map(|i| i.digest);
+        if committed != Some(expect_digest) {
+            // Unreachable with a healthy ConfigState (commit_batch just
+            // installed the digest we are checking), but keep the contract
+            // observable: a verify failure is terminal, not silent.
+            completions.push(Completion {
+                op,
+                run: runs.len().saturating_sub(1) as u32,
+                attempt: attempts,
+                status: CompletionStatus::VerifyFailed,
+                at: program_done,
+            });
+            return Err(ReconfigError::RetriesExhausted { attempts });
+        }
+        let recovered = attempts > runs.len() as u32;
+        if recovered {
+            let kind = if flips_detected > 0 {
+                FaultKind::BitstreamFlip
+            } else {
+                FaultKind::IcapReject
+            };
+            if let Some(inj) = self.icap_and_state().0.chaos_mut() {
+                inj.record_recovered(kind, u64::from(attempts));
+            }
+        }
+        Ok(BatchedReconfig {
+            timing: ReconfigTiming {
+                read_done,
+                copy_done: last_copy_done,
+                program_done,
+                kernel_latency: program_done.since(last_copy_done),
+                total_latency: program_done.since(now),
+            },
+            runs: runs.len() as u32,
+            attempts,
+            retried_runs,
+            flips_detected,
+            rejects,
+            recovered,
+            completions,
+        })
     }
 }
 

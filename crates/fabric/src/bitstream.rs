@@ -23,7 +23,8 @@
 //! 32+n*376 4    CRC-32 over everything before it
 //! ```
 
-use crate::crc::Crc32;
+use crate::cache::{content_hash64, BitstreamCache, CachedMeta};
+use crate::crc::{crc32, Crc32};
 use crate::device::{DeviceKind, FRAME_RECORD_BYTES};
 
 /// Header length in bytes.
@@ -206,17 +207,63 @@ impl Bitstream {
         }
         let crc = crc.finish();
         bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
-        Bitstream {
+        let bs = Bitstream {
             bytes,
             device,
             kind,
             frames,
             digest,
-        }
+        };
+        // A freshly assembled blob is valid by construction: prime the
+        // fleet-wide cache so even its *first* deployment skips the parse.
+        BitstreamCache::global().admit(&bs);
+        bs
     }
 
-    /// Parse and validate a blob.
+    /// Parse and validate a blob, consulting the process-wide
+    /// [`BitstreamCache`]: a content-hash hit skips the CRC and frame-scan
+    /// passes entirely (any mutation of the bytes changes the hash and
+    /// falls back to full validation).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Bitstream, BitstreamError> {
+        Bitstream::from_bytes_in(BitstreamCache::global(), bytes)
+    }
+
+    /// [`Bitstream::from_bytes`] against an explicit cache instance
+    /// (experiments that report cache statistics use a private cache so
+    /// concurrent unrelated traffic cannot perturb their counters).
+    pub fn from_bytes_in(
+        cache: &BitstreamCache,
+        bytes: Vec<u8>,
+    ) -> Result<Bitstream, BitstreamError> {
+        let hash = content_hash64(&bytes);
+        if let Some(meta) = cache.lookup(bytes.len() as u64, hash) {
+            if meta.matches_header(&bytes) {
+                return Ok(Bitstream {
+                    bytes,
+                    device: meta.device,
+                    kind: meta.kind,
+                    frames: meta.frames,
+                    digest: meta.digest,
+                });
+            }
+        }
+        let bs = Bitstream::parse_validated(bytes)?;
+        cache.insert(
+            bs.len(),
+            hash,
+            CachedMeta {
+                device: bs.device,
+                kind: bs.kind,
+                frames: bs.frames,
+                digest: bs.digest,
+            },
+        );
+        Ok(bs)
+    }
+
+    /// The uncached parse path: full header, CRC and frame-address
+    /// validation.
+    fn parse_validated(bytes: Vec<u8>) -> Result<Bitstream, BitstreamError> {
         if bytes.len() < HEADER_BYTES + 4 {
             return Err(BitstreamError::TooShort(bytes.len()));
         }
@@ -325,6 +372,67 @@ impl Bitstream {
                 (addr, &rec[4..])
             })
     }
+
+    /// Split this (already validated) bitstream into contiguous frame runs
+    /// for batched ICAP application: one address setup and one CRC check
+    /// per *run* instead of per frame. `max_frames_per_run = None` yields a
+    /// single run covering the whole blob, which programs in exactly the
+    /// time the unbatched path took.
+    ///
+    /// Run 0 absorbs the 32-byte header and the last run absorbs the
+    /// 4-byte CRC trailer, so the runs' byte lengths sum to `len()` and
+    /// streaming every run moves the same bytes as streaming the blob.
+    /// Each run carries a CRC-32 over its pristine byte range; a bit flip
+    /// anywhere in a run's bytes (header and trailer included) fails that
+    /// run's check without touching the others.
+    pub fn frame_runs(&self, max_frames_per_run: Option<u64>) -> Vec<FrameRun> {
+        let per = max_frames_per_run.unwrap_or(u64::MAX).max(1);
+        let n_runs = self.frames.div_ceil(per).max(1);
+        let total_len = self.bytes.len();
+        let mut runs = Vec::with_capacity(n_runs as usize);
+        for i in 0..n_runs {
+            let first_frame = i * per;
+            let frames = per.min(self.frames - first_frame);
+            let byte_off = if i == 0 {
+                0
+            } else {
+                HEADER_BYTES + first_frame as usize * FRAME_RECORD_BYTES
+            };
+            let byte_end = if i == n_runs - 1 {
+                total_len
+            } else {
+                HEADER_BYTES + (first_frame + frames) as usize * FRAME_RECORD_BYTES
+            };
+            runs.push(FrameRun {
+                index: i as u32,
+                first_frame,
+                frames,
+                byte_off,
+                byte_len: byte_end - byte_off,
+                crc: crc32(&self.bytes[byte_off..byte_end]),
+            });
+        }
+        runs
+    }
+}
+
+/// One contiguous run of frame records, as applied by the batched ICAP
+/// path (see [`Bitstream::frame_runs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRun {
+    /// Run index within the batch.
+    pub index: u32,
+    /// First frame covered by this run.
+    pub first_frame: u64,
+    /// Frames in this run.
+    pub frames: u64,
+    /// Byte offset of the run within the blob.
+    pub byte_off: usize,
+    /// Bytes streamed for this run (run 0 includes the header, the last
+    /// run includes the CRC trailer).
+    pub byte_len: usize,
+    /// CRC-32 over the pristine run bytes; the per-run integrity check.
+    pub crc: u32,
 }
 
 #[cfg(test)]
@@ -468,6 +576,66 @@ mod tests {
             Bitstream::from_bytes(bad_kind).unwrap_err(),
             BitstreamError::BadKind(7)
         );
+    }
+
+    #[test]
+    fn frame_runs_partition_the_blob_exactly() {
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 10, 3);
+        // Single run covers everything.
+        let single = bs.frame_runs(None);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].byte_off, 0);
+        assert_eq!(single[0].byte_len as u64, bs.len());
+        assert_eq!(single[0].frames, 10);
+        assert_eq!(single[0].crc, crc32(bs.bytes()));
+
+        // 4-frame runs: 4 + 4 + 2, contiguous, summing to the blob length.
+        let runs = bs.frame_runs(Some(4));
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs.iter().map(|r| r.frames).sum::<u64>(), 10);
+        assert_eq!(
+            runs.iter().map(|r| r.byte_len as u64).sum::<u64>(),
+            bs.len()
+        );
+        let mut off = 0;
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.index as usize, i);
+            assert_eq!(run.byte_off, off, "runs are contiguous");
+            let range = &bs.bytes()[run.byte_off..run.byte_off + run.byte_len];
+            assert_eq!(run.crc, crc32(range), "per-run CRC covers the run bytes");
+            off += run.byte_len;
+        }
+        assert_eq!(runs[0].byte_off, 0, "run 0 absorbs the header");
+        assert_eq!(off as u64, bs.len(), "last run absorbs the trailer");
+    }
+
+    #[test]
+    fn cache_hit_skips_validation_but_matches_full_parse() {
+        let cache = crate::cache::BitstreamCache::new(8);
+        let bs = Bitstream::assemble(DeviceKind::U280, BitstreamKind::App { vfpga: 2 }, 20, 42);
+        let first = Bitstream::from_bytes_in(&cache, bs.bytes().to_vec()).unwrap();
+        let second = Bitstream::from_bytes_in(&cache, bs.bytes().to_vec()).unwrap();
+        assert_eq!(first, second, "cached parse is byte-identical");
+        assert_eq!(second, bs);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "first parse validates fully");
+        assert_eq!(stats.hits, 1, "second parse is answered from the cache");
+    }
+
+    #[test]
+    fn mutated_blob_misses_cache_and_is_still_rejected() {
+        let cache = crate::cache::BitstreamCache::new(8);
+        let bs = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 12, 9);
+        Bitstream::from_bytes_in(&cache, bs.bytes().to_vec()).unwrap();
+        // Flip one payload bit: the content hash changes, so the cached
+        // entry cannot mask the corruption.
+        let mut corrupt = bs.bytes().to_vec();
+        corrupt[HEADER_BYTES + 100] ^= 0x01;
+        assert!(matches!(
+            Bitstream::from_bytes_in(&cache, corrupt),
+            Err(BitstreamError::CrcMismatch { .. })
+        ));
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! [`Bitstream`] occupies the port for `len / bandwidth` and then commits
 //! the image into the [`ConfigState`].
 
-use crate::bitstream::{Bitstream, BitstreamError, BitstreamKind};
+use crate::bitstream::{Bitstream, BitstreamError, BitstreamKind, FrameRun};
+use crate::crc::crc32;
 use crate::device::DeviceKind;
 use crate::floorplan::PartitionId;
 use coyote_chaos::{FaultKind, Injector};
@@ -306,6 +307,80 @@ impl ConfigPort {
         Ok((bs, xfer))
     }
 
+    /// Stream one frame run of an in-flight blob copy through the port.
+    ///
+    /// This is the batched counterpart of [`ConfigPort::program_blob`]: the
+    /// chaos injector is consulted once per run (a [`FaultKind::BitstreamFlip`]
+    /// flips one bit of the run's bytes, a [`FaultKind::IcapReject`] refuses
+    /// the request), then the run's CRC is checked against the pristine
+    /// value carried by `run` — one integrity check per run instead of per
+    /// frame. Nothing is committed here; the caller commits the whole image
+    /// via [`ConfigPort::commit_batch`] once every run has passed.
+    pub fn program_run(
+        &mut self,
+        now: SimTime,
+        run: &FrameRun,
+        run_bytes: Vec<u8>,
+    ) -> Result<Transfer, ProgramError> {
+        debug_assert_eq!(run_bytes.len(), run.byte_len, "run byte range mismatch");
+        let mut run_bytes = run_bytes;
+        let mut flipped = false;
+        if let Some(inj) = &mut self.chaos {
+            for fault in inj.next_at(now) {
+                match fault.kind {
+                    FaultKind::BitstreamFlip if !run_bytes.is_empty() => {
+                        let bit = if fault.param != 0 {
+                            fault.param
+                        } else {
+                            inj.derived(run_bytes.len() as u64)
+                        };
+                        let idx = (bit / 8) as usize % run_bytes.len();
+                        run_bytes[idx] ^= 1 << (bit % 8);
+                        flipped = true;
+                    }
+                    FaultKind::IcapReject => {
+                        inj.record_detected(FaultKind::IcapReject, 0);
+                        return Err(ProgramError::Config(ConfigError::PortRejected));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let computed = crc32(&run_bytes);
+        if computed != run.crc {
+            if flipped {
+                if let Some(inj) = &mut self.chaos {
+                    inj.record_detected(FaultKind::BitstreamFlip, 0);
+                }
+            }
+            return Err(ProgramError::Bitstream(BitstreamError::CrcMismatch {
+                stored: run.crc,
+                computed,
+            }));
+        }
+        Ok(self.link.transmit(now, run_bytes.len() as u64))
+    }
+
+    /// Commit a fully-programmed image after every frame run has passed its
+    /// integrity check. The runs already occupied the port via
+    /// [`ConfigPort::program_run`]; this only flips the device state, so
+    /// commit stays all-or-nothing exactly as on the unbatched path.
+    pub fn commit_batch(
+        &mut self,
+        state: &mut ConfigState,
+        bs: &Bitstream,
+        at: SimTime,
+    ) -> Result<(), ConfigError> {
+        if bs.device() != state.device() {
+            return Err(ConfigError::DeviceMismatch {
+                card: state.device(),
+                bitstream: bs.device(),
+            });
+        }
+        state.commit(bs, at);
+        Ok(())
+    }
+
     /// Total bytes ever streamed through this port.
     pub fn bytes_programmed(&self) -> u64 {
         self.link.bytes_total()
@@ -402,6 +477,69 @@ mod tests {
             b.start, a.done,
             "second programming queues behind the first"
         );
+    }
+
+    #[test]
+    fn batched_runs_move_the_same_bytes_in_the_same_time() {
+        let bs = shell_bs(33);
+        // Unbatched reference.
+        let mut ref_port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut ref_state = ConfigState::new(DeviceKind::U55C);
+        let ref_xfer = ref_port
+            .program(SimTime::ZERO, &bs, &mut ref_state)
+            .unwrap();
+
+        // Batched: 4 runs streamed back-to-back, then one commit.
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut state = ConfigState::new(DeviceKind::U55C);
+        let mut at = SimTime::ZERO;
+        for run in bs.frame_runs(Some(250)) {
+            let bytes = bs.bytes()[run.byte_off..run.byte_off + run.byte_len].to_vec();
+            let xfer = port.program_run(at, &run, bytes).unwrap();
+            at = xfer.done;
+        }
+        port.commit_batch(&mut state, &bs, at).unwrap();
+
+        assert_eq!(
+            at, ref_xfer.done,
+            "back-to-back runs take the unbatched time"
+        );
+        assert_eq!(port.bytes_programmed(), ref_port.bytes_programmed());
+        assert_eq!(state.image(PartitionId::Shell).unwrap().digest, 33);
+        assert_eq!(state.reconfig_count(), 1);
+    }
+
+    #[test]
+    fn corrupted_run_fails_its_crc_and_nothing_commits() {
+        let bs = shell_bs(44);
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let state = ConfigState::new(DeviceKind::U55C);
+        let runs = bs.frame_runs(Some(400));
+        let run = &runs[1];
+        let mut bytes = bs.bytes()[run.byte_off..run.byte_off + run.byte_len].to_vec();
+        bytes[17] ^= 0x80;
+        let err = port.program_run(SimTime::ZERO, run, bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            ProgramError::Bitstream(BitstreamError::CrcMismatch { .. })
+        ));
+        assert_eq!(state.reconfig_count(), 0, "nothing committed");
+        assert_eq!(
+            port.bytes_programmed(),
+            0,
+            "failed run never reached the port"
+        );
+    }
+
+    #[test]
+    fn commit_batch_rejects_device_mismatch() {
+        let bs = Bitstream::assemble(DeviceKind::U250, BitstreamKind::Shell, 10, 1);
+        let mut port = ConfigPort::new(ConfigPortKind::CoyoteIcap);
+        let mut state = ConfigState::new(DeviceKind::U55C);
+        assert!(matches!(
+            port.commit_batch(&mut state, &bs, SimTime::ZERO),
+            Err(ConfigError::DeviceMismatch { .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bitstream;
+pub mod cache;
 pub mod config;
 pub mod crc;
 pub mod device;
@@ -27,7 +28,8 @@ pub mod floorplan;
 pub mod resources;
 pub mod shard;
 
-pub use bitstream::{Bitstream, BitstreamError, BitstreamKind, HEADER_BYTES};
+pub use bitstream::{Bitstream, BitstreamError, BitstreamKind, FrameRun, HEADER_BYTES};
+pub use cache::{content_hash64, BitstreamCache, CacheStats};
 pub use config::{ConfigError, ConfigPort, ConfigPortKind, ConfigState, ProgramError};
 pub use crc::crc32;
 pub use device::{Device, DeviceKind, FRAMES_PER_TILE, FRAME_PAYLOAD_BYTES, FRAME_RECORD_BYTES};

@@ -1,4 +1,4 @@
-//! Configuration lints (CF001–CF007): shell, QP and MMU parameter checks.
+//! Configuration lints (CF001–CF009): shell, QP and MMU parameter checks.
 //!
 //! These rules catch configurations that *parse* fine and even *boot* fine
 //! but then deadlock, starve or fail to schedule at run time. The flagship
@@ -225,7 +225,8 @@ pub fn lint_mmu(unit: &str, mmu: &MmuConfig) -> Report {
     report
 }
 
-/// Lint a full shell configuration (CF005, CF006, plus the MMU rules).
+/// Lint a full shell configuration (CF005, CF006, CF009, plus the MMU
+/// rules).
 pub fn lint_shell(unit: &str, cfg: &ShellConfig) -> Report {
     let mut report = Report::new();
     let loc = |path: &str| Location::new(format!("config:{unit}"), path);
@@ -251,6 +252,32 @@ pub fn lint_shell(unit: &str, cfg: &ShellConfig) -> Report {
             loc("shell.n_card_streams"),
             format!("{} card streams (0-16 supported)", cfg.n_card_streams),
         ));
+    }
+
+    // CF009: the batched-reconfiguration writeback ring must hold one
+    // completion record per run of the largest batch the deployment will
+    // submit. The driver posts every run of a batch before waiting on the
+    // doorbell, so a smaller ring deadlocks by construction: the engine
+    // stalls on writeback with the ring full while software waits for the
+    // doorbell count the stalled engine can never reach.
+    if cfg.reconfig_ring_slots < cfg.max_reconfig_batch {
+        report.push(
+            Diagnostic::new(
+                "CF009",
+                Severity::Error,
+                loc("shell.reconfig_ring_slots"),
+                format!(
+                    "completion ring of {} slots cannot hold a full reconfiguration batch of \
+                     {} runs: the ICAP engine stalls on writeback while software waits on the \
+                     doorbell — deadlock by construction",
+                    cfg.reconfig_ring_slots, cfg.max_reconfig_batch
+                ),
+            )
+            .with_suggestion(format!(
+                "raise reconfig_ring_slots to at least {}, or cap max_reconfig_batch at {}",
+                cfg.max_reconfig_batch, cfg.reconfig_ring_slots
+            )),
+        );
     }
 
     report.extend(lint_mmu(unit, &cfg.mmu));
@@ -394,6 +421,22 @@ mod tests {
             let r = lint_shell("t", &cfg);
             assert!(r.is_clean(), "{}", r.render_human());
         }
+    }
+
+    #[test]
+    fn undersized_completion_ring_flagged() {
+        let mut cfg = ShellConfig::host_only(2);
+        cfg = cfg.with_reconfig_ring(4, 8);
+        let r = lint_shell("t", &cfg);
+        assert_eq!(r.of_rule("CF009").count(), 1, "{}", r.render_human());
+        assert!(r.has_errors());
+        // validate() deliberately does not refuse this — it is lint-only —
+        // so CF005 must not also fire.
+        assert_eq!(r.of_rule("CF005").count(), 0, "{}", r.render_human());
+
+        // Ring exactly one batch deep: fine.
+        let exact = ShellConfig::host_only(2).with_reconfig_ring(8, 8);
+        assert!(lint_shell("t", &exact).is_clean());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! * [`lint_bitstream`] — offline blob verification without the ICAP load
 //!   path, including deployment checks (BS001–BS006).
 //! * [`lint_shell`] / [`lint_qp`] / [`lint_mmu`] — configurations that
-//!   would deadlock, starve or fail to schedule (CF001–CF007).
+//!   would deadlock, starve or fail to schedule (CF001–CF009).
 //! * [`lint_trace`] / [`lint_fault_trace`] — DES schedules whose outcome
 //!   depends on event insertion order, and fault traces merged outside the
 //!   canonical order (DS001–DS005).

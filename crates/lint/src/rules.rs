@@ -228,6 +228,14 @@ pub const CATALOG: &[RuleInfo] = &[
             "fault plan outruns the retry budget: injected loss rate leaves the recovery path \
              an unrecoverable residual failure probability",
     },
+    RuleInfo {
+        id: "CF009",
+        layer: Layer::Config,
+        severity: Severity::Error,
+        description:
+            "reconfiguration completion ring smaller than the largest batch one submission may \
+             post: the ICAP engine stalls on writeback while software waits on the doorbell",
+    },
     // --- DES ---------------------------------------------------------
     RuleInfo {
         id: "DS001",

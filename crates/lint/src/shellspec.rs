@@ -9,7 +9,9 @@
 //! not just what the runtime structs hold.
 
 use crate::config::QpSpec;
-use coyote::config::{ShellConfig, ShellServices};
+use coyote::config::{
+    ShellConfig, ShellServices, DEFAULT_MAX_RECONFIG_BATCH, DEFAULT_RECONFIG_RING_SLOTS,
+};
 use coyote_fabric::DeviceKind;
 use coyote_mem::PageSize;
 use coyote_mmu::{MmuConfig, TlbConfig};
@@ -51,6 +53,15 @@ pub struct MmuSpec {
     pub ltlb: TlbSpec,
 }
 
+/// Batched-reconfiguration control-plane sizing in the spec file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigSpec {
+    /// Completion-ring slots the driver's writeback ring is sized to.
+    pub ring_slots: u64,
+    /// Largest frame-run batch one reconfiguration may submit.
+    pub max_batch_runs: u64,
+}
+
 /// QP transport contract in the spec file (see [`QpSpec`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QpSpecFile {
@@ -89,6 +100,8 @@ pub struct ShellSpec {
     pub mmu: Option<MmuSpec>,
     /// QP transport contract; linted only when present.
     pub qp: Option<QpSpecFile>,
+    /// Batched-reconfiguration sizing; driver defaults when absent.
+    pub reconfig: Option<ReconfigSpec>,
 }
 
 fn clamp_u8(v: u64) -> u8 {
@@ -141,6 +154,14 @@ impl ShellSpec {
                 None
             },
             node_id: u16::try_from(self.node_id).unwrap_or(u16::MAX),
+            reconfig_ring_slots: self
+                .reconfig
+                .as_ref()
+                .map_or(DEFAULT_RECONFIG_RING_SLOTS, |r| r.ring_slots as usize),
+            max_reconfig_batch: self
+                .reconfig
+                .as_ref()
+                .map_or(DEFAULT_MAX_RECONFIG_BATCH, |r| r.max_batch_runs as usize),
         })
     }
 
@@ -188,6 +209,10 @@ mod tests {
                 max_msg_bytes: 262_144,
                 ack_on_window_fill: true,
             }),
+            reconfig: Some(ReconfigSpec {
+                ring_slots: 16,
+                max_batch_runs: 8,
+            }),
         }
     }
 
@@ -215,11 +240,14 @@ mod tests {
         let mut spec = sample();
         spec.mmu = None;
         spec.qp = None;
+        spec.reconfig = None;
         let text = spec.to_json();
         let back = ShellSpec::from_json(&text).unwrap();
         assert_eq!(back.mmu, None);
         let cfg = back.to_shell_config().unwrap();
         assert_eq!(cfg.mmu.stlb.sets, MmuConfig::default_2m().stlb.sets);
+        assert_eq!(cfg.reconfig_ring_slots, DEFAULT_RECONFIG_RING_SLOTS);
+        assert_eq!(cfg.max_reconfig_batch, DEFAULT_MAX_RECONFIG_BATCH);
         assert!(back.qp_spec().is_none());
     }
 

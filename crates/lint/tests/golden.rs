@@ -93,6 +93,12 @@ fn config_fixtures_fire_their_rule_at_the_exact_location() {
             "config:cf007-oversized-tlb",
             "mmu",
         ),
+        (
+            "cf009_ring_too_small.json",
+            "CF009",
+            "config:cf009-ring-too-small",
+            "shell.reconfig_ring_slots",
+        ),
     ];
     for (file, rule, unit, path) in cases {
         let r = lint_shell_spec(&fixture(file));
@@ -748,9 +754,9 @@ fn every_catalog_rule_has_golden_coverage() {
     let covered = [
         "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "FP001", "FP002", "FP003",
         "FP004", "FP005", "FP006", "FP007", "BS001", "BS002", "BS003", "BS004", "BS005", "BS006",
-        "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "DS001", "DS002",
-        "DS003", "DS004", "DS005", "DS006", "SRC001", "SRC002", "SRC003", "SRC004", "SRC005",
-        "SRC006", "SRC007",
+        "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "CF009", "DS001",
+        "DS002", "DS003", "DS004", "DS005", "DS006", "SRC001", "SRC002", "SRC003", "SRC004",
+        "SRC005", "SRC006", "SRC007",
     ];
     for rule in coyote_lint::CATALOG {
         assert!(

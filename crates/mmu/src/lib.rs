@@ -23,6 +23,6 @@ pub mod mmu;
 pub mod space;
 pub mod tlb;
 
-pub use mmu::{Mmu, MmuConfig, TranslateOutcome, VirtServer};
+pub use mmu::{EpochReport, Mmu, MmuConfig, TlbEpoch, TranslateOutcome, VirtServer};
 pub use space::{AddressSpace, Fault, Mapping, MemLocation, Translation};
 pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -93,6 +93,62 @@ impl TranslateOutcome {
     }
 }
 
+/// Deferred TLB maintenance collected over one reconfiguration epoch.
+///
+/// Page unmaps and process teardowns queue here instead of issuing a TLB
+/// invalidation each; [`Mmu::apply_epoch`] coalesces the queue (duplicates
+/// folded, page invalidations subsumed by a whole-process one) and applies
+/// it with a *single* shootdown at epoch close. Ordering contract: an epoch
+/// must be applied before any translation that could observe the stale
+/// entries — the datapath closes it at the end of its migration phase,
+/// before data transfers translate.
+#[derive(Debug, Clone, Default)]
+pub struct TlbEpoch {
+    pages: Vec<(u32, u64)>,
+    procs: Vec<u32>,
+}
+
+impl TlbEpoch {
+    /// An empty epoch.
+    pub fn new() -> TlbEpoch {
+        TlbEpoch::default()
+    }
+
+    /// Queue a single-page invalidation (post-migration unmap).
+    pub fn invalidate_page(&mut self, hpid: u32, vaddr: u64) {
+        self.pages.push((hpid, vaddr));
+    }
+
+    /// Queue a whole-process invalidation (teardown, vFPGA reset).
+    pub fn invalidate_process(&mut self, hpid: u32) {
+        self.procs.push(hpid);
+    }
+
+    /// Nothing queued.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty() && self.procs.is_empty()
+    }
+
+    /// Invalidation requests queued (before coalescing).
+    pub fn pending(&self) -> usize {
+        self.pages.len() + self.procs.len()
+    }
+}
+
+/// What [`Mmu::apply_epoch`] actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Distinct page invalidations applied.
+    pub pages_invalidated: u64,
+    /// Distinct process invalidations applied.
+    pub procs_invalidated: u64,
+    /// Queued requests folded away (duplicates and pages subsumed by a
+    /// whole-process invalidation) — per-op traffic the batch saved.
+    pub coalesced: u64,
+    /// True if a shootdown was issued (the epoch was non-empty).
+    pub shootdown: bool,
+}
+
 /// The per-vFPGA MMU.
 #[derive(Debug, Clone)]
 pub struct Mmu {
@@ -102,6 +158,7 @@ pub struct Mmu {
     faults: u64,
     chaos: Option<Injector>,
     shootdowns: u64,
+    epoch_shootdowns: u64,
 }
 
 impl Mmu {
@@ -114,6 +171,7 @@ impl Mmu {
             faults: 0,
             chaos: None,
             shootdowns: 0,
+            epoch_shootdowns: 0,
         }
     }
 
@@ -290,6 +348,45 @@ impl Mmu {
         self.stlb.invalidate_page(hpid, vaddr);
         self.ltlb.invalidate_page(hpid, vaddr);
     }
+
+    /// Apply a deferred-maintenance epoch: coalesce the queued requests and
+    /// execute them under a single shootdown.
+    ///
+    /// Coalescing is deterministic (sort + dedup, no hash iteration): a
+    /// page queued twice invalidates once, and pages of a process that is
+    /// being invalidated wholesale are subsumed entirely.
+    pub fn apply_epoch(&mut self, epoch: TlbEpoch) -> EpochReport {
+        if epoch.is_empty() {
+            return EpochReport::default();
+        }
+        let queued = epoch.pending() as u64;
+        let mut procs = epoch.procs;
+        procs.sort_unstable();
+        procs.dedup();
+        let mut pages = epoch.pages;
+        pages.sort_unstable();
+        pages.dedup();
+        pages.retain(|(hpid, _)| procs.binary_search(hpid).is_err());
+        for hpid in &procs {
+            self.invalidate_process(*hpid);
+        }
+        for (hpid, vaddr) in &pages {
+            self.invalidate_page(*hpid, *vaddr);
+        }
+        self.epoch_shootdowns += 1;
+        EpochReport {
+            pages_invalidated: pages.len() as u64,
+            procs_invalidated: procs.len() as u64,
+            coalesced: queued - pages.len() as u64 - procs.len() as u64,
+            shootdown: true,
+        }
+    }
+
+    /// Epoch-close shootdowns issued so far (one per non-empty
+    /// [`Mmu::apply_epoch`], however many invalidations it carried).
+    pub fn epoch_shootdowns(&self) -> u64 {
+        self.epoch_shootdowns
+    }
 }
 
 /// The shared memory-virtualization pipeline (translation slot + crossbar
@@ -453,6 +550,91 @@ mod tests {
         mmu.invalidate_page(1, va);
         let out = mmu.translate(1, va, false, None, &space);
         assert!(matches!(out, TranslateOutcome::MissFilled { .. }));
+    }
+
+    #[test]
+    fn epoch_coalesces_and_applies_once() {
+        let mut mmu = Mmu::new(MmuConfig::default_2m());
+        let (space, va) = space_with(PageSize::Small, MemLocation::Host);
+        mmu.translate(1, va, false, None, &space);
+        assert_eq!(mmu.stlb().occupancy(), 1);
+
+        let mut epoch = TlbEpoch::new();
+        // The same page queued three times, plus an unrelated process.
+        epoch.invalidate_page(1, va);
+        epoch.invalidate_page(1, va);
+        epoch.invalidate_page(1, va);
+        epoch.invalidate_process(9);
+        let report = mmu.apply_epoch(epoch);
+        assert_eq!(report.pages_invalidated, 1);
+        assert_eq!(report.procs_invalidated, 1);
+        assert_eq!(report.coalesced, 2, "duplicate page requests folded");
+        assert!(report.shootdown);
+        assert_eq!(mmu.epoch_shootdowns(), 1);
+        // The entry is gone: next access refills via the driver.
+        assert!(matches!(
+            mmu.translate(1, va, false, None, &space),
+            TranslateOutcome::MissFilled { .. }
+        ));
+    }
+
+    #[test]
+    fn epoch_process_invalidation_subsumes_its_pages() {
+        let mut mmu = Mmu::new(MmuConfig::default_2m());
+        let (space, va) = space_with(PageSize::Small, MemLocation::Host);
+        mmu.translate(7, va, false, None, &space);
+
+        let mut epoch = TlbEpoch::new();
+        epoch.invalidate_page(7, va);
+        epoch.invalidate_process(7);
+        let report = mmu.apply_epoch(epoch);
+        assert_eq!(report.procs_invalidated, 1);
+        assert_eq!(report.pages_invalidated, 0, "page subsumed by process");
+        assert_eq!(report.coalesced, 1);
+        assert_eq!(mmu.stlb().occupancy(), 0);
+    }
+
+    #[test]
+    fn empty_epoch_issues_no_shootdown() {
+        let mut mmu = Mmu::new(MmuConfig::default_2m());
+        let report = mmu.apply_epoch(TlbEpoch::new());
+        assert_eq!(report, EpochReport::default());
+        assert_eq!(mmu.epoch_shootdowns(), 0);
+    }
+
+    #[test]
+    fn epoch_matches_eager_invalidation() {
+        // Batched maintenance must leave the TLBs in exactly the state
+        // per-op invalidation would.
+        let mut space = AddressSpace::new();
+        let pages: Vec<u64> = (0..8)
+            .map(|_| {
+                space
+                    .map_fresh(4096, PageSize::Small, MemLocation::Host, 0x100_0000, true)
+                    .vaddr
+            })
+            .collect();
+        let mut eager = Mmu::new(MmuConfig::default_2m());
+        let mut batched = Mmu::new(MmuConfig::default_2m());
+        for &va in &pages {
+            eager.translate(3, va, false, None, &space);
+            batched.translate(3, va, false, None, &space);
+        }
+        let mut epoch = TlbEpoch::new();
+        for &va in &pages[..4] {
+            eager.invalidate_page(3, va);
+            epoch.invalidate_page(3, va);
+        }
+        batched.apply_epoch(epoch);
+        for (i, &va) in pages.iter().enumerate() {
+            let e = eager.translate(3, va, false, None, &space);
+            let b = batched.translate(3, va, false, None, &space);
+            assert_eq!(
+                matches!(e, TranslateOutcome::Hit { .. }),
+                matches!(b, TranslateOutcome::Hit { .. }),
+                "page {i} diverged"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * **Chunked claiming.** Workers claim runs of indices (≈4 chunks per
 //!   worker) rather than single items, so the per-claim synchronization is
 //!   amortized over the run and false sharing on the slot array is rare.
+//! * **Min-work threshold.** Batches below [`MIN_PAR_ITEMS`] run inline on
+//!   the caller: spawning a worker for one or two items costs more than the
+//!   loop itself, and the output is bit-identical either way.
 //!
 //! The calling thread participates as a worker, so `par_map` spawns at most
 //! `workers - 1` threads and a 1-worker budget spawns none.
@@ -44,6 +47,11 @@ thread_local! {
     /// nested call then runs inline instead of oversubscribing the machine.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
+
+/// Batches smaller than this run inline on the caller: with one or two
+/// items a spawned worker can never beat the caller's loop, so the scope
+/// setup (thread spawn + slot allocation) would be pure overhead.
+const MIN_PAR_ITEMS: usize = 3;
 
 /// RAII for [`IN_POOL`]: restores the previous value even if `f` panics, so
 /// a caller thread that survives an unwind does not stay marked busy.
@@ -94,8 +102,10 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let n = items.len();
-    let workers = if IN_POOL.with(Cell::get) {
-        1 // Nested section: the outer fan-out already owns the cores.
+    // Run inline when nested (the outer fan-out already owns the cores) or
+    // when the batch is too small to amortize a spawn.
+    let workers = if IN_POOL.with(Cell::get) || n < MIN_PAR_ITEMS {
+        1
     } else {
         thread_budget().min(n)
     };
@@ -222,6 +232,21 @@ mod tests {
             let want: Vec<u64> = (0..32).map(|y| x as u64 * 100 + y).collect();
             assert_eq!(row, &want);
         }
+    }
+
+    #[test]
+    fn tiny_batches_run_inline_on_the_caller() {
+        // Below the min-work threshold no worker is spawned: every item
+        // executes on the calling thread, results unchanged.
+        let me = std::thread::current().id();
+        let items: Vec<u32> = (0..MIN_PAR_ITEMS as u32 - 1).collect();
+        let ids = par_map(&items, |_, _| std::thread::current().id());
+        assert!(ids.into_iter().all(|id| id == me));
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u32, x);
+            x + 1
+        });
+        assert_eq!(out, vec![1, 2]);
     }
 
     #[test]

@@ -91,6 +91,12 @@ pub const MCAP_BW: Bandwidth = Bandwidth(145_000_000);
 /// Table 3: kernel latency 51.6 ms at 800 MB/s for a ~37 MB bitstream
 /// leaves ~5 ms of fixed cost.
 pub const RECONFIG_SETUP: SimDuration = SimDuration(5_000_000_000); // 5 ms
+/// Per-run address setup on the batched ICAP path: selecting the start
+/// frame for the *next* contiguous run (a handful of control words through
+/// the port). Charged between runs of a batch; the first run's setup is
+/// part of [`RECONFIG_SETUP`], so a single-run batch costs exactly what
+/// the unbatched path costs.
+pub const ICAP_RUN_SETUP: SimDuration = SimDuration(2_000_000); // 2 us
 /// Sequential read bandwidth of the disk holding partial bitstreams.
 /// Derived from Table 3: (total - kernel) latency of scenario #1 is
 /// 484.6 ms for ~37.3 MB => ~13 ms/MB, split between disk read and the

@@ -391,6 +391,142 @@ fn retry_cost_is_bounded_by_the_backoff_schedule() {
     assert!(overhead <= cap, "overhead {overhead} vs cap {cap}");
 }
 
+// --- Batched reconfiguration faults -----------------------------------
+
+use coyote_driver::CompletionStatus;
+
+/// 2000 shell frames split into 8 contiguous runs of 250.
+const BATCH_FRAMES_PER_RUN: u64 = 250;
+
+#[test]
+fn batched_icap_reject_mid_batch_requeues_only_that_run() {
+    let (mut drv, _) = driver_with_shell(11);
+    let next = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 2_000, 22);
+    // Op 3 is the fourth `program_run` of the batch: a mid-batch transient
+    // reject, with three runs already streamed and four still queued.
+    let plan = FaultPlan::new(5).icap_reject_at(3);
+    drv.attach_icap_chaos(plan.injector(Domain::Reconfig));
+
+    let r = drv
+        .reconfigure_batched(
+            SimTime::ZERO,
+            next.bytes(),
+            false,
+            RetryPolicy::reconfig_default(),
+            Some(BATCH_FRAMES_PER_RUN),
+        )
+        .unwrap();
+    assert_eq!(r.runs, 8);
+    assert_eq!(r.attempts, r.runs + 1, "one extra attempt, not a resubmit");
+    assert_eq!(r.retried_runs, 1, "only the rejected run is re-queued");
+    assert_eq!(r.rejects, 1);
+    assert_eq!(r.flips_detected, 0);
+    assert!(r.recovered);
+    assert_eq!(shell_digest(&drv), next.digest(), "commit on verified pass");
+
+    // The ring writeback tells the same story: one Rejected record for run
+    // 3's first attempt, a Done for its second, and every completion clean
+    // otherwise — runs that already passed were never re-streamed.
+    assert_eq!(r.completions.len(), r.attempts as usize);
+    let rejected: Vec<_> = r
+        .completions
+        .iter()
+        .filter(|c| c.status == CompletionStatus::Rejected)
+        .collect();
+    assert_eq!((rejected[0].run, rejected[0].attempt), (3, 1));
+    assert_eq!(rejected.len(), 1);
+    assert!(r
+        .completions
+        .iter()
+        .any(|c| c.run == 3 && c.attempt == 2 && c.status == CompletionStatus::Done));
+    assert!(r
+        .completions
+        .iter()
+        .filter(|c| c.run != 3)
+        .all(|c| c.attempt == 1 && c.status == CompletionStatus::Done));
+    assert_eq!(
+        drv.completion_ring().high_water(),
+        r.attempts as usize,
+        "the batch-size guard held: the ring absorbed every writeback"
+    );
+}
+
+#[test]
+fn batched_exhausted_budget_never_commits_a_partial_batch() {
+    let (mut drv, shell) = driver_with_shell(11);
+    let before = shell_digest(&drv);
+    assert_eq!(before, shell.digest());
+    let next = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 2_000, 22);
+    // Every attempt's in-flight run copy gets a deterministic flip: the
+    // first run can never pass, so the whole batch must fail closed.
+    let plan = FaultPlan::new(3).bitstream_flip_rate(1.0);
+    drv.attach_icap_chaos(plan.injector(Domain::Reconfig));
+
+    let policy = RetryPolicy::reconfig_default();
+    let err = drv
+        .reconfigure_batched(
+            SimTime::ZERO,
+            next.bytes(),
+            false,
+            policy,
+            Some(BATCH_FRAMES_PER_RUN),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ReconfigError::RetriesExhausted {
+            attempts: policy.max_attempts
+        }
+    );
+    // All-or-nothing: seven runs never started, the flipped one never
+    // committed, and the previously active image is still in place.
+    assert_eq!(shell_digest(&drv), before);
+    let trace = drv.icap_chaos().unwrap().trace();
+    assert_eq!(
+        trace.of_kind(TraceKind::Injected).count(),
+        policy.max_attempts as usize
+    );
+    assert_eq!(trace.of_kind(TraceKind::Recovered).count(), 0);
+}
+
+#[test]
+fn batched_fault_trace_fingerprint_is_worker_count_invariant() {
+    // A fleet of faulted batched reconfigurations fanned out over 1, 4 and
+    // 8 workers: every tenant's FaultTrace — and the canonical merged
+    // trace — must hash bit-identically regardless of the worker count.
+    let fleet = || -> (u64, Vec<u64>) {
+        let tenants: Vec<u64> = (0..12).collect();
+        let traces: Vec<FaultTrace> = coyote_sim::par_map(&tenants, |_, &t| {
+            let (mut drv, _) = driver_with_shell(11);
+            let next = Bitstream::assemble(DeviceKind::U55C, BitstreamKind::Shell, 2_000, 100 + t);
+            let plan = FaultPlan::new(1_000 + t).bitstream_flip_at(1, 17 + t * 8);
+            drv.attach_icap_chaos(plan.injector(Domain::Reconfig));
+            let r = drv
+                .reconfigure_batched(
+                    SimTime::ZERO,
+                    next.bytes(),
+                    false,
+                    RetryPolicy::reconfig_default(),
+                    Some(BATCH_FRAMES_PER_RUN),
+                )
+                .unwrap();
+            assert!(r.recovered);
+            drv.icap_chaos().unwrap().trace().clone()
+        });
+        let per_tenant: Vec<u64> = traces.iter().map(FaultTrace::hash).collect();
+        (FaultTrace::merged(traces).hash(), per_tenant)
+    };
+    let mut runs = Vec::new();
+    for workers in ["1", "4", "8"] {
+        std::env::set_var(coyote_sim::par::THREADS_ENV, workers);
+        runs.push(fleet());
+    }
+    std::env::remove_var(coyote_sim::par::THREADS_ENV);
+    assert!(runs[0].1.iter().all(|&h| h != 0));
+    assert_eq!(runs[0], runs[1], "1 vs 4 workers");
+    assert_eq!(runs[1], runs[2], "4 vs 8 workers");
+}
+
 // --- DMA faults -------------------------------------------------------
 
 use coyote_dma::{DmaJob, XdmaDir, XdmaEngine};
