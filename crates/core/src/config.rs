@@ -17,6 +17,12 @@ pub const DEFAULT_RECONFIG_RING_SLOTS: usize = coyote_driver::DEFAULT_RING_SLOTS
 /// the default completion ring, so one full batch plus its retries fit.
 pub const DEFAULT_MAX_RECONFIG_BATCH: usize = 8;
 
+/// Default number of reconfiguration batches that may be in flight against
+/// one completion ring at once. The single-driver deployments of §6 submit
+/// one batch at a time; fleet-style deployments sharing a ring across
+/// tenants raise this, and the completion ring must scale with it (CF009).
+pub const DEFAULT_MAX_CONCURRENT_RECONFIGS: usize = 1;
+
 /// Which service groups the shell carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShellServices {
@@ -58,6 +64,12 @@ pub struct ShellConfig {
     /// post. Must fit the ring: the engine writes one completion per
     /// in-flight run and stalls when the ring is full (CF009).
     pub max_reconfig_batch: usize,
+    /// Reconfiguration batches that may be in flight against the shared
+    /// completion ring concurrently. The ring must hold
+    /// `max_reconfig_batch * max_concurrent_reconfigs` completions or a
+    /// full fleet submission wedges the ICAP engine on writeback (CF009,
+    /// and the WF001 wait-for cycle in `coyote-lint --platform`).
+    pub max_concurrent_reconfigs: usize,
 }
 
 /// Configuration errors.
@@ -106,6 +118,7 @@ impl ShellConfig {
             node_id: 1,
             reconfig_ring_slots: DEFAULT_RECONFIG_RING_SLOTS,
             max_reconfig_batch: DEFAULT_MAX_RECONFIG_BATCH,
+            max_concurrent_reconfigs: DEFAULT_MAX_CONCURRENT_RECONFIGS,
         }
     }
 
@@ -126,6 +139,7 @@ impl ShellConfig {
             node_id: 1,
             reconfig_ring_slots: DEFAULT_RECONFIG_RING_SLOTS,
             max_reconfig_batch: DEFAULT_MAX_RECONFIG_BATCH,
+            max_concurrent_reconfigs: DEFAULT_MAX_CONCURRENT_RECONFIGS,
         }
     }
 
@@ -146,6 +160,7 @@ impl ShellConfig {
             node_id: 1,
             reconfig_ring_slots: DEFAULT_RECONFIG_RING_SLOTS,
             max_reconfig_batch: DEFAULT_MAX_RECONFIG_BATCH,
+            max_concurrent_reconfigs: DEFAULT_MAX_CONCURRENT_RECONFIGS,
         }
     }
 
@@ -178,6 +193,25 @@ impl ShellConfig {
         self.reconfig_ring_slots = ring_slots;
         self.max_reconfig_batch = max_batch;
         self
+    }
+
+    /// Declare how many reconfiguration batches may share the completion
+    /// ring concurrently (fleet deployments driving one control plane).
+    /// The ring must then hold `max_batch * concurrency` completions.
+    pub fn with_reconfig_concurrency(mut self, concurrency: usize) -> ShellConfig {
+        self.max_concurrent_reconfigs = concurrency;
+        self
+    }
+
+    /// The wait facts of the reconfiguration control plane, in the form
+    /// the driver exports them: the static precondition for the
+    /// software -> doorbell -> engine -> ring hold-and-wait cycle.
+    pub fn ring_wait_facts(&self) -> coyote_driver::RingWaitFacts {
+        coyote_driver::RingWaitFacts {
+            slots: self.reconfig_ring_slots,
+            max_batch: self.max_reconfig_batch,
+            concurrent: self.max_concurrent_reconfigs.max(1),
+        }
     }
 
     /// This node's MAC address on the simulated fabric.

@@ -37,4 +37,6 @@ pub use irq::{EventFd, IrqEvent};
 pub use reconfig::{
     BatchedReconfig, ReconfigError, ReconfigTiming, ResilientReconfig, VivadoBaseline,
 };
-pub use ring::{Completion, CompletionRing, CompletionStatus, Doorbell, DEFAULT_RING_SLOTS};
+pub use ring::{
+    Completion, CompletionRing, CompletionStatus, Doorbell, RingWaitFacts, DEFAULT_RING_SLOTS,
+};

@@ -21,6 +21,39 @@ use std::collections::VecDeque;
 /// `ShellConfig::reconfig_ring_slots` when a platform loads).
 pub const DEFAULT_RING_SLOTS: usize = 16;
 
+/// The static wait facts of one completion ring, exported for the
+/// whole-platform analyzer (`coyote-lint --platform`).
+///
+/// The runtime guard (`ReconfigError::RingTooSmall`) and the static
+/// wait-for-graph rule (WF001) must agree on when the ICAP engine can
+/// stall on writeback; this struct is the single definition both key on:
+/// with `concurrent` batches of up to `max_batch` runs in flight against
+/// one ring, the engine blocks iff the ring cannot hold every in-flight
+/// completion at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingWaitFacts {
+    /// Completion-ring capacity.
+    pub slots: usize,
+    /// Largest frame-run batch one submission may post.
+    pub max_batch: usize,
+    /// Batches that may be in flight against the ring concurrently.
+    pub concurrent: usize,
+}
+
+impl RingWaitFacts {
+    /// Slots the ring needs so no writeback can ever block: one completion
+    /// per run of every concurrently in-flight batch.
+    pub fn required_slots(&self) -> usize {
+        self.max_batch.saturating_mul(self.concurrent.max(1))
+    }
+
+    /// True when a full concurrent load can wedge the engine on writeback:
+    /// the `engine -> ring` edge of the platform wait-for graph exists.
+    pub fn engine_waits_on_ring(&self) -> bool {
+        self.slots < self.required_slots()
+    }
+}
+
 /// Terminal status of one frame-run submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompletionStatus {
@@ -187,6 +220,46 @@ mod tests {
         assert!(!ring.can_hold(1));
         ring.reap();
         assert!(ring.can_hold(2));
+    }
+
+    #[test]
+    fn wait_facts_mirror_ring_occupancy() {
+        // The static predicate and the live ring agree: with
+        // `concurrent - 1` unreaped batches resident, the next batch fits
+        // iff the facts say the engine never waits on the ring.
+        for (slots, batch, concurrent) in [(16, 8, 1), (16, 8, 2), (24, 8, 3), (7, 8, 1)] {
+            let facts = RingWaitFacts {
+                slots,
+                max_batch: batch,
+                concurrent,
+            };
+            let mut ring = CompletionRing::new(slots);
+            let mut stalled = false;
+            for _ in 0..concurrent {
+                if !ring.can_hold(batch) {
+                    stalled = true;
+                    break;
+                }
+                for run in 0..batch {
+                    ring.push(record(run as u32)).unwrap();
+                }
+            }
+            assert_eq!(
+                facts.engine_waits_on_ring(),
+                stalled,
+                "{slots}/{batch}/{concurrent}"
+            );
+        }
+        assert_eq!(
+            RingWaitFacts {
+                slots: 8,
+                max_batch: 4,
+                concurrent: 0
+            }
+            .required_slots(),
+            4,
+            "zero concurrency clamps to one batch"
+        );
     }
 
     #[test]

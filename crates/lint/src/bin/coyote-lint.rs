@@ -6,10 +6,14 @@
 //!
 //! PATHs ending in .json are shell specifications; .bin are bitstreams.
 //! With --source, PATHs are .rs files or directories scanned recursively
-//! (the coyote-detlint determinism analyzer, SRC001-SRC007).
+//! (the coyote-detlint determinism analyzer, SRC001-SRC007). With
+//! --platform, PATHs are shell specs (or directories of them) analyzed as
+//! whole platforms: the cross-layer resource graph plus the PG/WF/CAP/ISO
+//! rule families.
 //!
 //! Options:
 //!   --source        treat paths as Rust source (files or directories)
+//!   --platform      whole-platform analysis of shell specs (files or dirs)
 //!   --json          machine-readable JSON report on stdout
 //!   --allow <RULE>  suppress a rule (repeatable)
 //!   --deny <RULE>   promote a rule to error severity (repeatable)
@@ -23,19 +27,21 @@
 //! ```
 
 use coyote_lint::{
-    lint_bitstream, lint_shell_spec, lint_source, lint_source_tree, LintConfig, Report, ShellSpec,
+    lint_bitstream, lint_platform, lint_shell_spec, lint_source, lint_source_tree, LintConfig,
+    Report, ShellSpec,
 };
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: coyote-lint [--source] [--json] [--allow RULE]... [--deny RULE]... \
-                     [--strict] [--catalog] <path>...";
+const USAGE: &str = "usage: coyote-lint [--source|--platform] [--json] [--allow RULE]... \
+                     [--deny RULE]... [--strict] [--catalog] <path>...";
 
 fn main() -> ExitCode {
     // detlint: allow(SRC007): CLI argument plumbing, not model state.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut source = false;
+    let mut platform = false;
     let mut strict = false;
     let mut config = LintConfig::new();
     let mut paths: Vec<String> = Vec::new();
@@ -45,6 +51,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--source" => source = true,
+            "--platform" => platform = true,
             "--strict" => strict = true,
             "--catalog" => {
                 print!("{}", coyote_lint::render_catalog());
@@ -86,6 +93,8 @@ fn main() -> ExitCode {
     for path in &paths {
         let result = if source {
             lint_source_path(path)
+        } else if platform {
+            lint_platform_path(path)
         } else {
             lint_path(path)
         };
@@ -126,6 +135,33 @@ fn lint_path(path: &str) -> Result<Report, String> {
         Ok(lint_bitstream(name, &bytes, None))
     } else {
         Err("unsupported file type (expected .json shell spec or .bin bitstream)".to_string())
+    }
+}
+
+fn lint_platform_path(path: &str) -> Result<Report, String> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        // Deterministic scan order: sorted .json entries.
+        let mut specs: Vec<std::path::PathBuf> = std::fs::read_dir(p)
+            .map_err(|e| e.to_string())?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        specs.sort();
+        if specs.is_empty() {
+            return Err("directory holds no .json shell specs".to_string());
+        }
+        let mut report = Report::new();
+        for spec in specs {
+            report.extend(lint_platform_path(&spec.to_string_lossy())?);
+        }
+        Ok(report)
+    } else if path.ends_with(".json") {
+        let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+        let spec = ShellSpec::from_json(&text).map_err(|e| format!("bad shell spec: {e}"))?;
+        Ok(lint_platform(&spec))
+    } else {
+        Err("unsupported platform path (expected a .json shell spec or a directory)".to_string())
     }
 }
 

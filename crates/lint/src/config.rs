@@ -255,27 +255,31 @@ pub fn lint_shell(unit: &str, cfg: &ShellConfig) -> Report {
     }
 
     // CF009: the batched-reconfiguration writeback ring must hold one
-    // completion record per run of the largest batch the deployment will
-    // submit. The driver posts every run of a batch before waiting on the
+    // completion record per run of *every batch that may be in flight at
+    // once*. The driver posts every run of a batch before waiting on the
     // doorbell, so a smaller ring deadlocks by construction: the engine
     // stalls on writeback with the ring full while software waits for the
-    // doorbell count the stalled engine can never reach.
-    if cfg.reconfig_ring_slots < cfg.max_reconfig_batch {
+    // doorbell count the stalled engine can never reach. The same bound is
+    // what puts the engine->ring waits-on edge into the platform wait-for
+    // graph, where WF001 reports it as a full cycle (`--platform`).
+    let concurrent = cfg.max_concurrent_reconfigs.max(1);
+    let required = cfg.max_reconfig_batch.saturating_mul(concurrent);
+    if cfg.reconfig_ring_slots < required {
         report.push(
             Diagnostic::new(
                 "CF009",
                 Severity::Error,
                 loc("shell.reconfig_ring_slots"),
                 format!(
-                    "completion ring of {} slots cannot hold a full reconfiguration batch of \
-                     {} runs: the ICAP engine stalls on writeback while software waits on the \
-                     doorbell — deadlock by construction",
-                    cfg.reconfig_ring_slots, cfg.max_reconfig_batch
+                    "completion ring of {} slots cannot hold {} concurrent batch(es) of {} \
+                     runs ({} slots needed): the ICAP engine stalls on writeback while \
+                     software waits on the doorbell — deadlock by construction",
+                    cfg.reconfig_ring_slots, concurrent, cfg.max_reconfig_batch, required
                 ),
             )
             .with_suggestion(format!(
-                "raise reconfig_ring_slots to at least {}, or cap max_reconfig_batch at {}",
-                cfg.max_reconfig_batch, cfg.reconfig_ring_slots
+                "raise reconfig_ring_slots to at least {required}, cap max_reconfig_batch, \
+                 or lower max_concurrent_reconfigs; `--platform` prints the full WF001 cycle"
             )),
         );
     }
@@ -437,6 +441,19 @@ mod tests {
         // Ring exactly one batch deep: fine.
         let exact = ShellConfig::host_only(2).with_reconfig_ring(8, 8);
         assert!(lint_shell("t", &exact).is_clean());
+
+        // Concurrency multiplies the bound: two in-flight batches of 8
+        // need 16 slots, so the same 8-slot ring is now refused.
+        let concurrent = ShellConfig::host_only(2)
+            .with_reconfig_ring(8, 8)
+            .with_reconfig_concurrency(2);
+        let r = lint_shell("t", &concurrent);
+        assert_eq!(r.of_rule("CF009").count(), 1, "{}", r.render_human());
+        assert!(r.render_human().contains("16 slots needed"));
+        let sized = ShellConfig::host_only(2)
+            .with_reconfig_ring(16, 8)
+            .with_reconfig_concurrency(2);
+        assert!(lint_shell("t", &sized).is_clean());
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   source-level determinism analyzer: hash-order iteration, wall-clock
 //!   and entropy escapes, float reductions in `par_map`, relaxed atomics,
 //!   ad-hoc threads, environment reads (SRC001–SRC007).
+//! * [`lint_platform`] — the whole-platform analyzer: joins everything
+//!   above into one typed resource graph ([`PlatformGraph`]) and runs the
+//!   cross-layer families on it — graph construction (PG001–PG002),
+//!   global wait-for cycles (WF001–WF004), capacity feasibility
+//!   (CAP001–CAP003) and tenant isolation (ISO001–ISO002).
 //!
 //! All rules emit [`Diagnostic`]s into a [`Report`]; [`LintConfig`] applies
 //! per-rule allow/deny; the `coyote-lint` binary renders reports as text or
@@ -32,6 +37,7 @@ pub mod des;
 pub mod diag;
 pub mod floorplan;
 pub mod netlist;
+pub mod platform;
 pub mod rules;
 pub mod shellspec;
 pub mod source;
@@ -42,6 +48,7 @@ pub use des::{lint_fault_trace, lint_shard_lookahead, lint_trace};
 pub use diag::{Diagnostic, LintConfig, Location, Report, Severity};
 pub use floorplan::{lint_floorplan, PartitionDemand};
 pub use netlist::lint_netlist;
+pub use platform::{build_platform_graph, lint_platform, PlatformGraph};
 pub use rules::{render_catalog, rule, Layer, RuleInfo, CATALOG};
 pub use shellspec::ShellSpec;
 pub use source::{lint_source, lint_source_tree};

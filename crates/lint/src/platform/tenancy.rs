@@ -1,0 +1,111 @@
+//! Tenant-isolation rules (ISO001–ISO002): reachability over the graph.
+//!
+//! A tenant's traffic must stay inside the resources it owns plus the
+//! services the platform *declares* shared. ISO001 walks the `feeds`
+//! subgraph from every region a tenant owns and refuses any path that
+//! lands on another tenant's resource — printing the path, because the
+//! leak is usually indirect (a `streams_to` hop away). ISO002 catches the
+//! quieter variant: two tenants mapping onto the same shell service that
+//! the platform section never declared shared, which is how accidental
+//! covert channels and noisy-neighbour surprises are provisioned.
+
+use super::graph::{EdgeKind, NodeKind, PlatformGraph};
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use crate::shellspec::ShellSpec;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run ISO001–ISO002 on a spec and its built graph.
+pub fn check(spec: &ShellSpec, g: &PlatformGraph) -> Report {
+    let mut report = Report::new();
+    let Some(platform) = &spec.platform else {
+        return report; // isolation is only promised once tenants exist
+    };
+    let loc = |path: String| Location::new(g.unit().to_string(), path);
+
+    // ---------------------------------------------------------- ISO001
+    // Data reachability across a tenant boundary. Start only from owned
+    // regions (the points where tenant logic runs) and follow data flow.
+    let mut flagged: BTreeSet<(String, usize)> = BTreeSet::new();
+    for (start, node) in g.nodes().iter().enumerate() {
+        if node.kind != NodeKind::VfpgaRegion {
+            continue;
+        }
+        let Some(tenant) = node.owner.clone() else {
+            continue;
+        };
+        for (reached, path) in g.reach(start, &[EdgeKind::Feeds]) {
+            let target = &g.nodes()[reached];
+            let Some(theirs) = &target.owner else {
+                continue;
+            };
+            if *theirs == tenant || !flagged.insert((tenant.clone(), reached)) {
+                continue;
+            }
+            let chain: Vec<&str> = path.iter().map(|&i| g.nodes()[i].id.as_str()).collect();
+            report.push(
+                Diagnostic::new(
+                    "ISO001",
+                    Severity::Error,
+                    loc(format!("platform.tenant({tenant})")),
+                    format!(
+                        "tenant '{tenant}' data reaches '{}' owned by tenant '{theirs}': \
+                         {}",
+                        target.id,
+                        chain.join(" -> ")
+                    ),
+                )
+                .with_suggestion(
+                    "remove the cross-tenant stream, or move both endpoints into one tenant",
+                ),
+            );
+        }
+    }
+
+    // ---------------------------------------------------------- ISO002
+    // Shared-service usage that the platform never declares. The MapsTo
+    // edges record which tenant registered onto which shell service.
+    let declared: BTreeSet<&str> = platform
+        .shared_services
+        .iter()
+        .flatten()
+        .map(|s| s.as_str())
+        .collect();
+    let mut users: BTreeMap<usize, BTreeSet<&str>> = BTreeMap::new();
+    for e in g.edges_of(EdgeKind::MapsTo) {
+        if g.nodes()[e.to].kind != NodeKind::Service {
+            continue;
+        }
+        if let Some(owner) = &g.nodes()[e.from].owner {
+            users.entry(e.to).or_default().insert(owner.as_str());
+        }
+    }
+    for (svc, tenants) in users {
+        if tenants.len() < 2 {
+            continue;
+        }
+        let id = &g.nodes()[svc].id;
+        let short = id.strip_prefix("svc.").unwrap_or(id);
+        if declared.contains(short) {
+            continue;
+        }
+        let names: Vec<&str> = tenants.iter().copied().collect();
+        report.push(
+            Diagnostic::new(
+                "ISO002",
+                Severity::Error,
+                loc("platform.shared_services".to_string()),
+                format!(
+                    "service '{short}' is used by tenants {} but is not declared in \
+                     platform.shared_services",
+                    names.join(", ")
+                ),
+            )
+            .with_suggestion(
+                "declare the service shared (accepting the contention), or give each \
+                 tenant a private path",
+            ),
+        );
+    }
+
+    report
+}

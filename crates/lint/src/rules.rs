@@ -22,6 +22,8 @@ pub enum Layer {
     Des,
     /// The workspace's own Rust source (the `coyote-detlint` analyzer).
     Source,
+    /// The joined cross-layer platform resource graph (`--platform`).
+    Platform,
 }
 
 impl Layer {
@@ -34,6 +36,7 @@ impl Layer {
             Layer::Config => "config",
             Layer::Des => "des",
             Layer::Source => "source",
+            Layer::Platform => "platform",
         }
     }
 }
@@ -339,6 +342,92 @@ pub const CATALOG: &[RuleInfo] = &[
         description:
             "environment read (std::env::var) in model code: results silently depend on the \
              process environment",
+    },
+    // --- Platform (cross-layer resource graph) -----------------------
+    RuleInfo {
+        id: "PG001",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description:
+            "graph construction conflict: duplicate tenant name or one vFPGA region claimed \
+             by two tenants",
+    },
+    RuleInfo {
+        id: "PG002",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description:
+            "dangling reference: a tenant names a region, stream target or service the shell \
+             does not have",
+    },
+    RuleInfo {
+        id: "WF001",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description:
+            "hold-and-wait cycle in the global wait-for graph: a chain of resources and \
+             actors waits back on itself (generalizes CF001/CF009 to any length)",
+    },
+    RuleInfo {
+        id: "WF002",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description: "unsatisfiable wait: a party waits on a resource with zero capacity",
+    },
+    RuleInfo {
+        id: "WF003",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description:
+            "orphaned wait: a party waits on a producer this shell never instantiates",
+    },
+    RuleInfo {
+        id: "WF004",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description:
+            "cross-tenant hold-and-wait: a tenant holds its own resources while waiting on \
+             another tenant's",
+    },
+    RuleInfo {
+        id: "CAP001",
+        layer: Layer::Platform,
+        severity: Severity::Warning,
+        description:
+            "declared tenant rate exceeds the min-cut of its path (host link, memory \
+             channels, RoCE link at the tenant's share)",
+    },
+    RuleInfo {
+        id: "CAP002",
+        layer: Layer::Platform,
+        severity: Severity::Warning,
+        description:
+            "aggregate reconfiguration demand exceeds the ICAP beat rate: batches queue \
+             without bound",
+    },
+    RuleInfo {
+        id: "CAP003",
+        layer: Layer::Platform,
+        severity: Severity::Warning,
+        description:
+            "RDMA window below the declared rate's bandwidth-delay product: the flow \
+             stalls-and-bursts under its promise",
+    },
+    RuleInfo {
+        id: "ISO001",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description:
+            "tenant data flow reaches another tenant's resource (reachability over the \
+             feeds subgraph, path printed)",
+    },
+    RuleInfo {
+        id: "ISO002",
+        layer: Layer::Platform,
+        severity: Severity::Error,
+        description:
+            "two tenants use a shell service the platform never declared shared \
+             (undeclared contention / covert channel)",
     },
 ];
 

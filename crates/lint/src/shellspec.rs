@@ -10,7 +10,8 @@
 
 use crate::config::QpSpec;
 use coyote::config::{
-    ShellConfig, ShellServices, DEFAULT_MAX_RECONFIG_BATCH, DEFAULT_RECONFIG_RING_SLOTS,
+    ShellConfig, ShellServices, DEFAULT_MAX_CONCURRENT_RECONFIGS, DEFAULT_MAX_RECONFIG_BATCH,
+    DEFAULT_RECONFIG_RING_SLOTS,
 };
 use coyote_fabric::DeviceKind;
 use coyote_mem::PageSize;
@@ -29,7 +30,7 @@ pub struct TlbSpec {
 }
 
 impl TlbSpec {
-    fn to_config(&self) -> Result<TlbConfig, String> {
+    pub(crate) fn to_config(&self) -> Result<TlbConfig, String> {
         let page = match self.page.to_ascii_lowercase().as_str() {
             "4k" => PageSize::Small,
             "2m" => PageSize::Huge2M,
@@ -60,6 +61,40 @@ pub struct ReconfigSpec {
     pub ring_slots: u64,
     /// Largest frame-run batch one reconfiguration may submit.
     pub max_batch_runs: u64,
+    /// Batches allowed in flight concurrently; the driver default (1)
+    /// when absent.
+    pub max_concurrent: Option<u64>,
+}
+
+/// One tenant of the platform: the regions it owns, the services it uses
+/// and the rates it promises. Linted by the PG/WF/CAP/ISO rule families.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Unique tenant name.
+    pub name: String,
+    /// vFPGA regions this tenant owns (disjoint across tenants).
+    pub vfpgas: Vec<u64>,
+    /// Shell services the tenant's regions use: `host`, `mem`, `net`,
+    /// `sniffer`.
+    pub services: Vec<String>,
+    /// Regions (by index) the tenant streams data into.
+    pub streams_to: Option<Vec<u64>>,
+    /// Declared sustained data rate in Gbit/s, checked by CAP001/CAP003.
+    pub rate_gbps: Option<f64>,
+    /// Declared reconfiguration rate in regions/s, checked by CAP002.
+    pub reconfigs_per_s: Option<f64>,
+}
+
+/// The optional multi-tenant platform section of a spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// The tenants sharing this shell.
+    pub tenants: Vec<TenantSpec>,
+    /// Services tenants are *declared* to share (ISO002 refuses undeclared
+    /// multi-tenant service use).
+    pub shared_services: Option<Vec<String>>,
+    /// Per-stream credit-pool depth; the simulator default when absent.
+    pub stream_credits: Option<u64>,
 }
 
 /// QP transport contract in the spec file (see [`QpSpec`]).
@@ -102,6 +137,9 @@ pub struct ShellSpec {
     pub qp: Option<QpSpecFile>,
     /// Batched-reconfiguration sizing; driver defaults when absent.
     pub reconfig: Option<ReconfigSpec>,
+    /// Multi-tenant platform declaration; platform rules (PG/WF/CAP/ISO)
+    /// check it when present.
+    pub platform: Option<PlatformSpec>,
 }
 
 fn clamp_u8(v: u64) -> u8 {
@@ -162,6 +200,11 @@ impl ShellSpec {
                 .reconfig
                 .as_ref()
                 .map_or(DEFAULT_MAX_RECONFIG_BATCH, |r| r.max_batch_runs as usize),
+            max_concurrent_reconfigs: self
+                .reconfig
+                .as_ref()
+                .and_then(|r| r.max_concurrent)
+                .map_or(DEFAULT_MAX_CONCURRENT_RECONFIGS, |c| c as usize),
         })
     }
 
@@ -212,7 +255,9 @@ mod tests {
             reconfig: Some(ReconfigSpec {
                 ring_slots: 16,
                 max_batch_runs: 8,
+                max_concurrent: None,
             }),
+            platform: None,
         }
     }
 

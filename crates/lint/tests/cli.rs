@@ -123,6 +123,75 @@ fn directory_scan_aggregates_findings() {
     assert_eq!(out.stdout, again.stdout);
 }
 
+// -------------------------------------------------------------- platform
+
+#[test]
+fn platform_mode_reports_the_wait_for_cycle() {
+    let out = run(&["--platform", &fixture("platform/wf001_ring_cycle.json")]);
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("WF001"), "{text}");
+    assert!(
+        text.contains("software -> reconfig.doorbell -> reconfig.engine -> reconfig.ring"),
+        "the rendered diagnostic must print the full cycle:\n{text}"
+    );
+}
+
+#[test]
+fn platform_mode_is_clean_on_the_clean_fixture_and_gates_under_strict() {
+    let out = run(&["--platform", &fixture("platform/clean_platform.json")]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stdout));
+
+    let out = run(&[
+        "--platform",
+        "--strict",
+        &fixture("platform/iso001_cross_tenant_reach.json"),
+    ]);
+    assert_eq!(code(&out), 2, "--strict gates error findings at 2");
+
+    // CAP rules are warnings: reported but never a failure without --deny.
+    let out = run(&[
+        "--platform",
+        "--strict",
+        &fixture("platform/cap001_rate_overrun.json"),
+    ]);
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("CAP001"));
+    let out = run(&[
+        "--platform",
+        "--strict",
+        "--deny",
+        "CAP001",
+        &fixture("platform/cap001_rate_overrun.json"),
+    ]);
+    assert_eq!(
+        code(&out),
+        2,
+        "--deny promotes the advisory to a gate failure"
+    );
+}
+
+#[test]
+fn platform_directory_scan_aggregates_and_is_deterministic() {
+    let out = run(&["--platform", &fixture("platform")]);
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in ["PG001", "WF001", "CAP002", "ISO002"] {
+        assert!(text.contains(rule), "directory scan must report {rule}");
+    }
+    let again = run(&["--platform", &fixture("platform")]);
+    assert_eq!(out.stdout, again.stdout);
+}
+
+#[test]
+fn platform_mode_rejects_non_spec_paths() {
+    assert_eq!(
+        code(&run(&["--platform", &fixture("src/src001_bad.rs")])),
+        2
+    );
+    assert_eq!(code(&run(&["--platform", "/nonexistent/shell.json"])), 2);
+}
+
 // ------------------------------------------------------------------ JSON
 
 #[test]
@@ -161,7 +230,8 @@ fn catalog_lists_the_new_rule_families() {
     let text = String::from_utf8_lossy(&out.stdout);
     for rule in [
         "SRC001", "SRC002", "SRC003", "SRC004", "SRC005", "SRC006", "SRC007", "DS003", "DS004",
-        "DS005",
+        "DS005", "PG001", "PG002", "WF001", "WF002", "WF003", "WF004", "CAP001", "CAP002",
+        "CAP003", "ISO001", "ISO002",
     ] {
         assert!(text.contains(rule), "--catalog must list {rule}");
     }

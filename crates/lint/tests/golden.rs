@@ -745,6 +745,119 @@ fn src_severities_match_the_catalog() {
     }
 }
 
+// --------------------------------------------------------------- platform
+
+fn platform_fixture(name: &str) -> Report {
+    let path = format!("{}/fixtures/platform/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let spec = ShellSpec::from_json(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    coyote_lint::lint_platform(&spec)
+}
+
+#[test]
+fn platform_fixtures_fire_their_rule_at_the_exact_location() {
+    let cases = [
+        (
+            "pg001_duplicate_tenant.json",
+            "PG001",
+            "platform:pg001-duplicate-tenant",
+            "platform.tenants",
+        ),
+        (
+            "pg002_dangling_vfpga.json",
+            "PG002",
+            "platform:pg002-dangling-vfpga",
+            "platform.tenant(alice)",
+        ),
+        (
+            "wf001_ring_cycle.json",
+            "WF001",
+            "platform:wf001-ring-cycle",
+            "cycle(software)",
+        ),
+        (
+            "wf002_zero_credits.json",
+            "WF002",
+            "platform:wf002-zero-credits",
+            "credits.host(0)",
+        ),
+        (
+            "wf003_orphaned_qp.json",
+            "WF003",
+            "platform:wf003-orphaned-qp",
+            "svc.net",
+        ),
+        (
+            "wf004_cross_tenant_credits.json",
+            "WF004",
+            "platform:wf004-cross-tenant-credits",
+            "credits.host(1)",
+        ),
+        (
+            "cap001_rate_overrun.json",
+            "CAP001",
+            "platform:cap001-rate-overrun",
+            "platform.tenant(alice).rate_gbps",
+        ),
+        (
+            "cap002_icap_overrun.json",
+            "CAP002",
+            "platform:cap002-icap-overrun",
+            "platform.reconfigs_per_s",
+        ),
+        (
+            "cap003_window_underrun.json",
+            "CAP003",
+            "platform:cap003-window-underrun",
+            "qp.window",
+        ),
+        (
+            "iso001_cross_tenant_reach.json",
+            "ISO001",
+            "platform:iso001-cross-tenant-reach",
+            "platform.tenant(alice)",
+        ),
+        (
+            "iso002_undeclared_shared_service.json",
+            "ISO002",
+            "platform:iso002-undeclared-shared-service",
+            "platform.shared_services",
+        ),
+    ];
+    for (file, rule, unit, path) in cases {
+        let r = platform_fixture(file);
+        assert_fires(&r, rule, unit, path);
+        let expected = coyote_lint::rule(rule).unwrap().severity;
+        assert_eq!(
+            r.of_rule(rule).next().unwrap().severity,
+            expected,
+            "{rule} severity must match the catalog"
+        );
+    }
+}
+
+#[test]
+fn clean_platform_fixture_produces_zero_diagnostics() {
+    let r = platform_fixture("clean_platform.json");
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn wf001_diagnostic_prints_the_full_cycle() {
+    // The whole hold/wait chain must be in the message, edge by edge —
+    // that is the point of generalizing CF009 into a graph rule.
+    let r = platform_fixture("wf001_ring_cycle.json");
+    let d = r.of_rule("WF001").next().expect("WF001 fires");
+    let msg = &d.message;
+    for leg in [
+        "software -> reconfig.doorbell -> reconfig.engine -> reconfig.ring -> software",
+        "reconfig.engine -> reconfig.ring:",
+        "reconfig.ring -> software:",
+    ] {
+        assert!(msg.contains(leg), "missing '{leg}' in:\n{msg}");
+    }
+}
+
 // ------------------------------------------------------------ the catalog
 
 #[test]
@@ -756,8 +869,13 @@ fn every_catalog_rule_has_golden_coverage() {
         "FP004", "FP005", "FP006", "FP007", "BS001", "BS002", "BS003", "BS004", "BS005", "BS006",
         "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "CF009", "DS001",
         "DS002", "DS003", "DS004", "DS005", "DS006", "SRC001", "SRC002", "SRC003", "SRC004",
-        "SRC005", "SRC006", "SRC007",
+        "SRC005", "SRC006", "SRC007", "PG001", "PG002", "WF001", "WF002", "WF003", "WF004",
+        "CAP001", "CAP002", "CAP003", "ISO001", "ISO002",
     ];
+    assert!(
+        coyote_lint::CATALOG.len() >= 53,
+        "the catalog must not shrink below the platform-rule count"
+    );
     for rule in coyote_lint::CATALOG {
         assert!(
             covered.contains(&rule.id),

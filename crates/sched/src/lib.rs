@@ -19,6 +19,6 @@ pub mod interleave;
 pub mod packetizer;
 pub mod shard;
 
-pub use credits::CreditTable;
+pub use credits::{CreditTable, CreditWaitFacts};
 pub use interleave::{ChaosDrain, Delivered, Interleaver};
 pub use packetizer::{packetize, packetize_iter, Packet, PacketIter};
