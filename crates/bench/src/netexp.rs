@@ -285,6 +285,24 @@ pub fn net_chaos() -> ExperimentResult {
     );
     assert!(dropped > 0, "the seeded 1% plan must fire at least once");
     println!("net_chaos: seed {seed:#x} fault-trace hash {hash:016x}");
+    // `--record`: capture a chaos-armed storm keyed on the same seed, so
+    // the run leaves a replayable artifact with a fault stream to bisect
+    // (the NIC harness itself is exercised above; the recording carries
+    // the injector behaviour through the replay format's fault trace).
+    if crate::recording::dir().is_some() {
+        use coyote_replay::{Recording, StormConfig};
+        let (seeds, hops) = if quick() { (32, 12) } else { (96, 48) };
+        let cfg = StormConfig::platform(seeds, hops).with_chaos(seed);
+        let rec = Recording::record(cfg, coyote_sim::thread_budget().max(2));
+        if let Some(path) = crate::recording::save("net_chaos", &rec) {
+            println!(
+                "net_chaos: recorded {} faults over {} events -> {}",
+                rec.faults.len(),
+                rec.trace.len(),
+                path.display()
+            );
+        }
+    }
     let rows = vec![Row::new("1% seeded loss", "goodput Gbit/s", goodput)
         .with("frames", frames as f64)
         .with("dropped", dropped as f64)];

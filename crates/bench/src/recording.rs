@@ -1,0 +1,45 @@
+//! Where `coyote-bench --record <dir>` points.
+//!
+//! Experiments that can capture a replay recording (`scaling_des`,
+//! `net_chaos`) consult this module; when no directory was set they skip
+//! recording entirely, so the default bench run pays nothing. The
+//! directory is set once in `main` before any experiment runs, which
+//! makes the plain `OnceLock` handoff race-free under the experiment
+//! fan-out.
+
+use coyote_replay::Recording;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+static DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Set the recording directory (once, before experiments run). Returns
+/// false if a directory was already set.
+pub fn set_dir(dir: &str) -> bool {
+    DIR.set(PathBuf::from(dir)).is_ok()
+}
+
+/// The recording directory, if `--record` was given.
+pub fn dir() -> Option<&'static Path> {
+    DIR.get().map(PathBuf::as_path)
+}
+
+/// Write `rec` as `<dir>/<name>.cyt` when recording is enabled. Returns
+/// the path written, `None` when recording is off. I/O failures warn and
+/// return `None` rather than failing the experiment: the measurement is
+/// the product, the recording is a debugging artifact.
+pub fn save(name: &str, rec: &Recording) -> Option<PathBuf> {
+    let dir = dir()?;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: --record {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.cyt"));
+    match rec.write_to(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: --record {}: {e}", path.display());
+            None
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! The sharded-engine scaling experiment (`scaling_des`).
+//! The sharded-engine scaling experiment (`scaling_des`) and the
+//! record/replay overhead experiment (`replay_overhead`).
 //!
 //! Drives the platform shard topology — net, DMA, fabric and scheduler,
 //! exactly the four concurrent hardware domains of the shell — with a
@@ -7,12 +8,14 @@
 //! count, same final worlds, same canonical FNV-64 trace fingerprint. The
 //! `scaling` sweep of the CLI reuses this experiment at 1/2/4/8 threads to
 //! measure how the conservative-window engine scales.
+//!
+//! The storm itself lives in `coyote-replay` ([`coyote_replay::run_storm`])
+//! so a `--record` run can capture it as a `.cyt` recording byte-identical
+//! to what this experiment measures; `replay_overhead` quantifies what that
+//! capture costs (contract: < 10% over the plain run).
 
 use crate::report::{ExperimentResult, Row};
-use coyote_sim::{
-    EventTag, ShardCtx, ShardedSimulation, SimDuration, SimTime, DOMAIN_DMA, DOMAIN_FABRIC,
-    DOMAIN_NET, DOMAIN_SCHED,
-};
+use coyote_replay::{run_storm, Recording, StormConfig, StormRun};
 
 /// CI smoke mode: fewer seeds and hops, same paths and assertions.
 fn quick() -> bool {
@@ -21,88 +24,50 @@ fn quick() -> bool {
     std::env::var_os("COYOTE_BENCH_QUICK").is_some()
 }
 
-const ORDER: [u64; 4] = [DOMAIN_NET, DOMAIN_DMA, DOMAIN_FABRIC, DOMAIN_SCHED];
-
-/// Egress lookahead of each platform domain (the link promises posts obey).
-fn egress(domain: u64) -> SimDuration {
-    match domain {
-        DOMAIN_NET => coyote_net::shard::shard_lookahead(),
-        DOMAIN_DMA => coyote_dma::shard::shard_lookahead(),
-        DOMAIN_FABRIC => coyote_fabric::shard::shard_lookahead(),
-        DOMAIN_SCHED => coyote_sched::shard::shard_lookahead(),
-        _ => unreachable!("platform domains only"),
-    }
-}
-
-fn mix(x: u64) -> u64 {
-    // splitmix64 finalizer: cheap, well-scrambled, deterministic.
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// One hop of the storm: fold state into the owning shard's world, then
-/// post onward to a pseudo-randomly chosen *other* domain with exactly the
-/// legal minimum delay (the egress lookahead) — the worst case for the
-/// conservative windows.
-fn hop(
-    hops_left: u32,
-    state: u64,
-) -> impl FnOnce(&mut u64, &mut ShardCtx<'_, u64>) + Send + 'static {
-    move |w, ctx| {
-        *w = w.wrapping_add(mix(state ^ ctx.now().as_ps()));
-        if hops_left == 0 {
-            return;
-        }
-        let cur = ORDER
-            .iter()
-            .position(|&d| d == ctx.domain())
-            .expect("event on a platform shard");
-        let dst = ORDER[(cur + 1 + (state as usize % 3)) % ORDER.len()];
-        ctx.post_after(
-            dst,
-            egress(ctx.domain()),
-            EventTag::target(state % 8).priority((state % 251) as u8),
-            hop(hops_left - 1, mix(state)),
-        )
-        .expect("post respects the declared lookahead");
-    }
+/// Storm size: quick mode shrinks the workload, not the paths.
+fn storm_config() -> StormConfig {
+    let (seeds, hops) = if quick() { (64, 24) } else { (192, 96) };
+    StormConfig::platform(seeds, hops)
 }
 
 /// Run the storm on `workers` threads; returns (events, worlds, hash).
+#[cfg(test)]
 fn run(workers: usize, seeds: u64, hops: u32) -> (u64, [u64; 4], u64) {
-    let topo = coyote::platform_topology();
-    let mut sim = ShardedSimulation::new(topo, vec![0u64; 4]).expect("platform topology is valid");
-    sim.record_trace();
-    for s in 0..seeds {
-        let domain = ORDER[(s % 4) as usize];
-        sim.seed(
-            domain,
-            SimTime::ZERO + SimDuration::from_ns(s),
-            EventTag::target(s % 8).priority((s % 251) as u8),
-            hop(hops, mix(s)),
-        )
-        .expect("seeding onto a platform shard");
-    }
-    sim.run_with_workers(workers);
-    let worlds = [
-        *sim.world_of(DOMAIN_NET).expect("net world"),
-        *sim.world_of(DOMAIN_DMA).expect("dma world"),
-        *sim.world_of(DOMAIN_FABRIC).expect("fabric world"),
-        *sim.world_of(DOMAIN_SCHED).expect("sched world"),
-    ];
-    (sim.events_executed(), worlds, sim.take_trace().hash())
+    summarize(&run_storm(&StormConfig::platform(seeds, hops), workers))
+}
+
+/// The identity triple the bit-identity checks compare.
+fn summarize(run: &StormRun) -> (u64, [u64; 4], u64) {
+    let worlds: [u64; 4] = run
+        .worlds
+        .as_slice()
+        .try_into()
+        .expect("platform storm has exactly four shards");
+    (run.events, worlds, run.trace_hash)
 }
 
 /// The experiment: serial vs full-budget runs of the sharded engine over
 /// the platform topology must be bit-identical.
 pub fn scaling_des() -> ExperimentResult {
-    let (seeds, hops) = if quick() { (64, 24) } else { (192, 96) };
+    let cfg = storm_config();
     let budget = coyote_sim::thread_budget().max(2);
-    let serial = run(1, seeds, hops);
-    let parallel = run(budget, seeds, hops);
+    let serial_run = run_storm(&cfg, 1);
+    let serial = summarize(&serial_run);
+    let parallel = summarize(&run_storm(&cfg, budget));
     let identical = serial == parallel;
+    // `--record`: the serial run becomes the reference `.cyt` artifact —
+    // verifying it on any worker count re-proves the identity this
+    // experiment asserts.
+    if crate::recording::dir().is_some() {
+        let rec = Recording::from_run(cfg, 1, serial_run);
+        if let Some(path) = crate::recording::save("scaling_des", &rec) {
+            println!(
+                "scaling_des: recorded {} events -> {}",
+                rec.trace.len(),
+                path.display()
+            );
+        }
+    }
     let rows = vec![
         Row::new("events executed", "events", serial.0 as f64),
         Row::new("shards", "count", 4.0),
@@ -128,6 +93,74 @@ pub fn scaling_des() -> ExperimentResult {
     }
 }
 
+/// Recording overhead on `scaling_des`: time the experiment's real work —
+/// one serial run plus one full-budget run — without and with the capture
+/// path (`--record`'s recording build + serialization to the `.cyt` byte
+/// image), warm-up plus best-of-5 each, and report the overhead. Contract:
+/// capture costs < 10% of the runs it rides on, because the recorder wraps
+/// the trace and hashes the engine already keeps — it never re-executes
+/// and never re-hashes.
+pub fn replay_overhead() -> ExperimentResult {
+    use std::time::{Duration, Instant};
+    let cfg = storm_config();
+    let budget = coyote_sim::thread_budget().max(2);
+    let mut plain = Duration::MAX;
+    let mut recorded = Duration::MAX;
+    let mut events = 0u64;
+    let mut image_bytes = 0usize;
+    // Iteration 0 is the warm-up (thread pool, allocator, caches): it runs
+    // both arms but its timings are discarded.
+    for iter in 0..6 {
+        // detlint: allow(SRC002): wall-clock is the measurand of this
+        // experiment; it never enters any simulated value.
+        let t0 = Instant::now();
+        let run = run_storm(&cfg, 1);
+        run_storm(&cfg, budget);
+        let plain_elapsed = t0.elapsed();
+        events = run.events;
+
+        // detlint: allow(SRC002): wall-clock is the measurand (see above).
+        let t1 = Instant::now();
+        let serial = run_storm(&cfg, 1);
+        run_storm(&cfg, budget);
+        let rec = Recording::from_run(cfg, 1, serial);
+        let image = rec.to_bytes();
+        let recorded_elapsed = t1.elapsed();
+        image_bytes = image.len();
+        if iter > 0 {
+            plain = plain.min(plain_elapsed);
+            recorded = recorded.min(recorded_elapsed);
+        }
+    }
+    let overhead_pct = if plain.as_nanos() == 0 {
+        0.0
+    } else {
+        ((recorded.as_secs_f64() / plain.as_secs_f64() - 1.0) * 1e5).round() / 1e3
+    };
+    let within = overhead_pct < 10.0;
+    let rows = vec![
+        Row::new("events executed", "events", events as f64),
+        Row::new("plain runs (best of 5)", "ms", plain.as_secs_f64() * 1e3),
+        Row::new(
+            "runs + record (best of 5)",
+            "ms",
+            recorded.as_secs_f64() * 1e3,
+        ),
+        Row::new("recording overhead", "%", overhead_pct),
+        Row::new("recording size", "bytes", image_bytes as f64),
+    ];
+    ExperimentResult {
+        id: "replay_overhead".into(),
+        title: "Record/replay: capture overhead on the scaling_des storm".into(),
+        rows,
+        verdict: if within {
+            format!("PASS: recording overhead {overhead_pct:.3}% < 10% contract")
+        } else {
+            format!("FAIL: recording overhead {overhead_pct:.3}% exceeds the 10% contract")
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +178,13 @@ mod tests {
     fn experiment_passes() {
         std::env::set_var("COYOTE_BENCH_QUICK", "1");
         let r = scaling_des();
+        assert!(r.verdict.starts_with("PASS"), "{}", r.verdict);
+    }
+
+    #[test]
+    fn recording_overhead_is_within_contract() {
+        std::env::set_var("COYOTE_BENCH_QUICK", "1");
+        let r = replay_overhead();
         assert!(r.verdict.starts_with("PASS"), "{}", r.verdict);
     }
 }

@@ -33,6 +33,11 @@
 //!   windows are exactly as wide as the lookahead promises; an event that
 //!   undercuts its link can land inside a window the destination shard has
 //!   already executed past, so no deterministic order exists for it.
+//! * **DS007** — replay divergence: two runs of one recorded workload
+//!   disagree on an event. The determinism contract says worker threads
+//!   decide *who computes*, never *what happened*, so any disagreement is a
+//!   happens-before violation upstream of the first divergent `EventKey`.
+//!   `coyote-replay bisect` finds that key and reports it through this rule.
 
 use crate::diag::{Diagnostic, Location, Report, Severity};
 use coyote_chaos::FaultTrace;
@@ -316,6 +321,52 @@ pub fn lint_fault_trace(unit: &str, trace: &FaultTrace) -> Report {
             );
         }
     }
+    report
+}
+
+/// DS007: render a replay divergence found by `coyote-replay bisect` as a
+/// lint diagnostic.
+///
+/// The bisector does the search; this function owns the diagnostic shape so
+/// replay divergences render exactly like every other determinism finding
+/// (same `trace:<unit>` / `t=<ps>ps` location grammar, same report/JSON
+/// plumbing, same golden-test coverage). Inputs are plain fields so the
+/// replay crate can depend on lint without lint depending back:
+///
+/// * `unit` — the recorded workload (e.g. `platform-storm`).
+/// * `index` — index of the first divergent event in the canonical trace.
+/// * `at_ps` — timestamp of the expected event at that index.
+/// * `detail` — rendered expected-vs-actual comparison.
+/// * `suspects` — the rule families the field-level diff implicates
+///   (e.g. `["DS001", "DS005"]` for a same-instant priority flip).
+pub fn lint_replay_divergence(
+    unit: &str,
+    index: usize,
+    at_ps: u64,
+    detail: &str,
+    suspects: &[&str],
+) -> Report {
+    let mut report = Report::new();
+    let suggestion = if suspects.is_empty() {
+        "re-record both sides and bisect again; if the divergence persists, audit \
+         the model change between the two recordings"
+            .to_string()
+    } else {
+        format!(
+            "audit the {} rule family at this instant (run coyote-lint over the \
+             recorded trace), then re-record",
+            suspects.join("/"),
+        )
+    };
+    report.push(
+        Diagnostic::new(
+            "DS007",
+            Severity::Error,
+            loc(unit, at_ps),
+            format!("replay diverged at event[{index}]: {detail}"),
+        )
+        .with_suggestion(suggestion),
+    );
     report
 }
 

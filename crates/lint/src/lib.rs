@@ -44,7 +44,7 @@ pub mod source;
 
 pub use bitstream::{lint_bitstream, DeployContext};
 pub use config::{lint_fault_plan, lint_mmu, lint_qp, lint_shell, QpSpec};
-pub use des::{lint_fault_trace, lint_shard_lookahead, lint_trace};
+pub use des::{lint_fault_trace, lint_replay_divergence, lint_shard_lookahead, lint_trace};
 pub use diag::{Diagnostic, LintConfig, Location, Report, Severity};
 pub use floorplan::{lint_floorplan, PartitionDemand};
 pub use netlist::lint_netlist;

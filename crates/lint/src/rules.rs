@@ -286,6 +286,15 @@ pub const CATALOG: &[RuleInfo] = &[
              conservative window cannot order it, so determinism across worker counts is \
              forfeit",
     },
+    RuleInfo {
+        id: "DS007",
+        layer: Layer::Des,
+        severity: Severity::Error,
+        description:
+            "replay divergence: two runs of one recorded workload disagree on an event — a \
+             happens-before violation upstream of the first divergent EventKey (tie-break, \
+             lookahead or source-level nondeterminism)",
+    },
     // --- Source (coyote-detlint) -------------------------------------
     RuleInfo {
         id: "SRC001",

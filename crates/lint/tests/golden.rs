@@ -646,6 +646,36 @@ fn ds005_pop_order_contradicts_priorities() {
 }
 
 #[test]
+fn ds007_replay_divergence() {
+    // The bisector found event[17] of the platform-storm recording differing
+    // in priority; the diagnostic must land at the canonical trace location
+    // with error severity and name the suspect rule families.
+    let r = coyote_lint::lint_replay_divergence(
+        "platform-storm",
+        17,
+        4200,
+        "expected priority=9, actual priority=8 (at=4200ps target=3)",
+        &["DS001", "DS005"],
+    );
+    assert_fires(&r, "DS007", "trace:platform-storm", "t=4200ps");
+    assert!(r.has_errors());
+    let d = r.of_rule("DS007").next().unwrap();
+    assert!(d.message.contains("event[17]"), "{}", d.message);
+    assert!(
+        d.suggestion
+            .as_deref()
+            .unwrap_or("")
+            .contains("DS001/DS005"),
+        "suggestion names the suspect families: {:?}",
+        d.suggestion
+    );
+
+    // Without suspects the suggestion falls back to re-record guidance.
+    let r = coyote_lint::lint_replay_divergence("ring-storm", 0, 0, "fault trace diverged", &[]);
+    assert_fires(&r, "DS007", "trace:ring-storm", "t=0ps");
+}
+
+#[test]
 fn ds006_below_lookahead_shard_crossing() {
     // An event crossing from the net shard domain to the DMA shard domain
     // with a 1ns delay, against a link that promises 5ns lookahead: the
@@ -868,9 +898,9 @@ fn every_catalog_rule_has_golden_coverage() {
         "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "FP001", "FP002", "FP003",
         "FP004", "FP005", "FP006", "FP007", "BS001", "BS002", "BS003", "BS004", "BS005", "BS006",
         "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "CF009", "DS001",
-        "DS002", "DS003", "DS004", "DS005", "DS006", "SRC001", "SRC002", "SRC003", "SRC004",
-        "SRC005", "SRC006", "SRC007", "PG001", "PG002", "WF001", "WF002", "WF003", "WF004",
-        "CAP001", "CAP002", "CAP003", "ISO001", "ISO002",
+        "DS002", "DS003", "DS004", "DS005", "DS006", "DS007", "SRC001", "SRC002", "SRC003",
+        "SRC004", "SRC005", "SRC006", "SRC007", "PG001", "PG002", "WF001", "WF002", "WF003",
+        "WF004", "CAP001", "CAP002", "CAP003", "ISO001", "ISO002",
     ];
     assert!(
         coyote_lint::CATALOG.len() >= 53,

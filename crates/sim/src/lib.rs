@@ -69,7 +69,7 @@ pub use link::{LinkModel, Transfer};
 pub use par::{par_map, thread_budget};
 pub use pipeline::PipelineModel;
 pub use rng::Xorshift64Star;
-pub use shard::{PostError, ShardCtx, ShardTrace, ShardTraceEntry, ShardedSimulation};
+pub use shard::{EventKey, PostError, ShardCtx, ShardTrace, ShardTraceEntry, ShardedSimulation};
 pub use time::{Bandwidth, Freq, SimDuration, SimTime};
 pub use window::{
     horizons, ShardId, ShardSpec, Topology, TopologyError, DOMAIN_DMA, DOMAIN_FABRIC, DOMAIN_NET,

@@ -104,14 +104,25 @@ impl std::error::Error for PostError {}
 /// Same-instant events order by canonical [`EventTag`] fields (priority,
 /// then domain, then target; undeclared fields sort last), then by origin
 /// `(shard, seq)` — both assigned deterministically at scheduling time.
+///
+/// Public because it is the *address* of an event across runs: the
+/// record/replay layer (`coyote-replay`) bisects two traces to the first
+/// differing `EventKey`, and a divergence diagnosis names the event by
+/// exactly these fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey {
-    at: SimTime,
-    priority: u8,
-    domain: u64,
-    target: u64,
-    origin: ShardId,
-    origin_seq: u64,
+pub struct EventKey {
+    /// Execution instant.
+    pub at: SimTime,
+    /// Same-instant priority (`u8::MAX` when undeclared).
+    pub priority: u8,
+    /// Subsystem domain (`u64::MAX` when undeclared).
+    pub domain: u64,
+    /// Target component (`u64::MAX` when undeclared).
+    pub target: u64,
+    /// Shard that scheduled the event.
+    pub origin: ShardId,
+    /// Per-origin scheduling sequence number.
+    pub origin_seq: u64,
 }
 
 impl EventKey {
@@ -201,6 +212,21 @@ impl ShardTraceEntry {
             self.origin,
             self.origin_seq,
         )
+    }
+
+    /// The event's [`EventKey`] — its globally unique, run-independent
+    /// address. Two correct runs of the same workload produce the same key
+    /// sequence; the replay bisector reports the first key where they
+    /// don't.
+    pub fn event_key(&self) -> EventKey {
+        EventKey {
+            at: SimTime(self.at_ps),
+            priority: self.priority.unwrap_or(u8::MAX),
+            domain: self.domain.unwrap_or(u64::MAX),
+            target: self.target.unwrap_or(u64::MAX),
+            origin: self.origin,
+            origin_seq: self.origin_seq,
+        }
     }
 }
 
@@ -994,6 +1020,54 @@ mod tests {
             .skip(1)
             .all(|e| e.src_domain.is_some()));
         assert_ne!(trace.hash(), ShardTrace::default().hash());
+    }
+
+    /// Adversarial canonical-merge test: `FaultTrace::merged`'s ordering is
+    /// pinned by unit tests, but the shard engine's round-barrier merge
+    /// feeds `ShardTrace::merged` with per-shard vectors in whatever order
+    /// workers report. Permute the arrival order every way (including
+    /// splitting one shard's entries across pieces, as multiple rounds do)
+    /// and assert the merged trace — entries and hash — never moves.
+    #[test]
+    fn merge_is_arrival_order_independent() {
+        let mut sim = ShardedSimulation::new(ping_pong_topology(), vec![0u64, 0u64]).unwrap();
+        sim.record_trace();
+        sim.seed(1, SimTime::ZERO, EventTag::default(), hop(12))
+            .unwrap();
+        sim.run_with_workers(2);
+        let canonical = sim.take_trace();
+        assert_eq!(canonical.len(), 13);
+
+        // Regroup the canonical entries by owning shard, then present the
+        // pieces to merged() in every permutation and with one shard's
+        // entries split into interleaved halves.
+        let by_shard: Vec<Vec<ShardTraceEntry>> = (0..2)
+            .map(|s| {
+                canonical
+                    .entries()
+                    .iter()
+                    .copied()
+                    .filter(|e| e.shard == s)
+                    .collect()
+            })
+            .collect();
+        let a = by_shard[0].clone();
+        let b = by_shard[1].clone();
+        let (a_even, a_odd): (Vec<_>, Vec<_>) =
+            a.iter().copied().enumerate().partition(|(i, _)| i % 2 == 0);
+        let a_even: Vec<ShardTraceEntry> = a_even.into_iter().map(|(_, e)| e).collect();
+        let a_odd: Vec<ShardTraceEntry> = a_odd.into_iter().map(|(_, e)| e).collect();
+        let arrivals: Vec<Vec<Vec<ShardTraceEntry>>> = vec![
+            vec![a.clone(), b.clone()],
+            vec![b.clone(), a.clone()],
+            vec![b.clone(), a_odd.clone(), a_even.clone()],
+            vec![a_odd, b, a_even],
+        ];
+        for (i, pieces) in arrivals.into_iter().enumerate() {
+            let merged = ShardTrace::merged(pieces);
+            assert_eq!(merged, canonical, "arrival permutation {i}");
+            assert_eq!(merged.hash(), canonical.hash(), "arrival permutation {i}");
+        }
     }
 
     #[test]
