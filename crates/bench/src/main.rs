@@ -353,6 +353,10 @@ fn run_scaling(selection: &[&str], label: &str, gate: bool) -> i32 {
         let start = Instant::now();
         let results = run_selection(selection);
         let total = start.elapsed();
+        // detlint: allow(IPA001): the wall-clock element of each (result,
+        // duration) tuple is destructured away inside `fingerprint` — only
+        // the tuple travels, never the timing; the taint is the analyzer's
+        // tuple-field-insensitive over-approximation.
         let fp = fingerprint(&results);
         println!(
             "scaling: threads={t:<2} total {:>10.1} ms  fingerprint {fp:016x}",

@@ -59,6 +59,9 @@ pub fn scaling_des() -> ExperimentResult {
     // verifying it on any worker count re-proves the identity this
     // experiment asserts.
     if crate::recording::dir().is_some() {
+        // detlint: allow(IPA001): quick mode selects the workload size; the
+        // chosen cfg travels inside the artifact, so replay and verify are
+        // self-consistent per mode.
         let rec = Recording::from_run(cfg, 1, serial_run);
         if let Some(path) = crate::recording::save("scaling_des", &rec) {
             println!(
@@ -123,6 +126,8 @@ pub fn replay_overhead() -> ExperimentResult {
         let t1 = Instant::now();
         let serial = run_storm(&cfg, 1);
         run_storm(&cfg, budget);
+        // detlint: allow(IPA001): quick mode selects the workload size; the
+        // recording here only measures capture overhead and is discarded.
         let rec = Recording::from_run(cfg, 1, serial);
         let image = rec.to_bytes();
         let recorded_elapsed = t1.elapsed();

@@ -1,0 +1,16 @@
+//! Seeded IPA001: hash-order iteration escapes through a 3-deep helper
+//! chain into a trace fingerprint (the analyzer prints the full chain).
+use std::collections::HashMap;
+
+fn leaf(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+fn mid(m: &HashMap<u32, u32>) -> Vec<u32> {
+    leaf(m)
+}
+
+fn top(m: &HashMap<u32, u32>) -> u64 {
+    let order = mid(m);
+    fingerprint_of(1, &order, 2, 3)
+}

@@ -1,0 +1,18 @@
+//! Clean counterpart to ipa001_chain.rs: an explicit sort launders the
+//! hash order deterministically before it can travel.
+use std::collections::HashMap;
+
+fn leaf(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+fn mid(m: &HashMap<u32, u32>) -> Vec<u32> {
+    leaf(m)
+}
+
+fn top(m: &HashMap<u32, u32>) -> u64 {
+    let order = mid(m);
+    fingerprint_of(1, &order, 2, 3)
+}

@@ -1,0 +1,11 @@
+//! Seeded IPA002: an environment read crosses a shard boundary through a
+//! cross-shard post.
+
+fn skew() -> u64 {
+    std::env::var("COYOTE_SKEW").map(|v| v.len() as u64).unwrap_or(1)
+}
+
+fn drive(ctx: &mut ShardCtx) {
+    let delay = skew();
+    ctx.post_after(delay, 7, 40);
+}

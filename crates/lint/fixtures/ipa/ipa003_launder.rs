@@ -1,0 +1,13 @@
+//! Seeded IPA003: taint laundered through an intermediate collection on
+//! its way to a fingerprint.
+use std::collections::HashMap;
+
+fn order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+fn publish(m: &HashMap<u32, u32>) -> u64 {
+    let mut staged = Vec::new();
+    staged.extend(order(m));
+    fingerprint_of(4, &staged, 2, 3)
+}

@@ -1,0 +1,7 @@
+//! Seeded IPA004: a public fn returns hash-ordered iteration; callers
+//! outside the workspace inherit the nondeterminism.
+use std::collections::HashMap;
+
+pub fn visit_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

@@ -1,0 +1,9 @@
+//! Clean counterpart to ipa005_stale.rs: the directive still matches a
+//! raw SRC002 finding on its governed line.
+
+fn stamp() -> u64 {
+    // detlint: allow(SRC002): harness self-timing, never enters the model
+    let t = Instant::now();
+    let _ = t;
+    0
+}

@@ -1,0 +1,8 @@
+//! Seeded IPA005: the suppression below survived a refactor that removed
+//! the wall-clock read it once sanctioned.
+
+fn elapsed_ms() -> u64 {
+    // detlint: allow(SRC002): harness self-timing (removed in a refactor)
+    let t = 7u64;
+    t
+}

@@ -6,13 +6,17 @@
 //!
 //! PATHs ending in .json are shell specifications; .bin are bitstreams.
 //! With --source, PATHs are .rs files or directories scanned recursively
-//! (the coyote-detlint determinism analyzer, SRC001-SRC007). With
-//! --platform, PATHs are shell specs (or directories of them) analyzed as
-//! whole platforms: the cross-layer resource graph plus the PG/WF/CAP/ISO
-//! rule families.
+//! (the coyote-detlint determinism analyzer, SRC001-SRC007). With --ipa,
+//! PATHs are workspace roots (or .rs files) analyzed as one call graph:
+//! interprocedural taint from the SRC nondeterminism classes to the
+//! determinism sinks, plus the suppression-drift audit (IPA001-IPA005).
+//! With --platform, PATHs are shell specs (or directories of them)
+//! analyzed as whole platforms: the cross-layer resource graph plus the
+//! PG/WF/CAP/ISO rule families.
 //!
 //! Options:
 //!   --source        treat paths as Rust source (files or directories)
+//!   --ipa           interprocedural taint analysis of a workspace root
 //!   --platform      whole-platform analysis of shell specs (files or dirs)
 //!   --json          machine-readable JSON report on stdout
 //!   --allow <RULE>  suppress a rule (repeatable)
@@ -27,20 +31,20 @@
 //! ```
 
 use coyote_lint::{
-    lint_bitstream, lint_platform, lint_shell_spec, lint_source, lint_source_tree, LintConfig,
-    Report, ShellSpec,
+    lint_bitstream, lint_ipa_sources, lint_ipa_workspace, lint_platform, lint_shell_spec,
+    lint_source, lint_source_tree, LintConfig, Report, ShellSpec,
 };
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: coyote-lint [--source|--platform] [--json] [--allow RULE]... \
+const USAGE: &str = "usage: coyote-lint [--source|--ipa|--platform] [--json] [--allow RULE]... \
                      [--deny RULE]... [--strict] [--catalog] <path>...";
 
 fn main() -> ExitCode {
-    // detlint: allow(SRC007): CLI argument plumbing, not model state.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut source = false;
+    let mut ipa = false;
     let mut platform = false;
     let mut strict = false;
     let mut config = LintConfig::new();
@@ -51,6 +55,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--source" => source = true,
+            "--ipa" => ipa = true,
             "--platform" => platform = true,
             "--strict" => strict = true,
             "--catalog" => {
@@ -91,7 +96,9 @@ fn main() -> ExitCode {
 
     let mut report = Report::new();
     for path in &paths {
-        let result = if source {
+        let result = if ipa {
+            lint_ipa_path(path)
+        } else if source {
             lint_source_path(path)
         } else if platform {
             lint_platform_path(path)
@@ -162,6 +169,18 @@ fn lint_platform_path(path: &str) -> Result<Report, String> {
         Ok(lint_platform(&spec))
     } else {
         Err("unsupported platform path (expected a .json shell spec or a directory)".to_string())
+    }
+}
+
+fn lint_ipa_path(path: &str) -> Result<Report, String> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        lint_ipa_workspace(p).map_err(|e| e.to_string())
+    } else if path.ends_with(".rs") {
+        let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+        Ok(lint_ipa_sources(&[(path.to_string(), text)]))
+    } else {
+        Err("unsupported ipa path (expected a workspace directory or a .rs file)".to_string())
     }
 }
 

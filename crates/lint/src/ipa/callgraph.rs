@@ -1,0 +1,214 @@
+//! Conservative call-graph construction over the indexed workspace.
+//!
+//! Call sites are recognized by token shape — an identifier directly
+//! followed by `(` that is not a keyword head (`if (..)`, `match (..)`) or
+//! a macro (`name!(..)` never matches because `!` sits between). Each site
+//! records its callee name, an optional `Path ::` qualifier, and — for
+//! method calls — the receiver identifier, plus the argument token span.
+//!
+//! Resolution is deliberately *bounded* conservatism: a callee name
+//! resolves to (1) functions in the same file, else (2) functions whose
+//! qualified path matches a `use` import of that name, else (3) same-crate
+//! functions, else (4) the unique workspace-wide function of that name.
+//! Ambiguous names with none of those anchors stay unresolved — a
+//! fully-closed-over-all-homonyms graph would drown the taint pass in
+//! cross-crate false paths, and the per-file SRC rules still cover every
+//! local hazard. The trade is documented in DESIGN.md's interprocedural
+//! taint contract.
+
+use super::index::{is_non_call_keyword, Workspace};
+use crate::source::lex::{Token, TokenKind};
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Callee simple name.
+    pub callee: String,
+    /// `Qualifier :: callee(..)` — the last path segment before the name.
+    pub qualifier: Option<String>,
+    /// `recv . callee(..)` — the identifier directly before the dot.
+    pub receiver: Option<String>,
+    /// Is this a method call (`.name(`)?
+    pub is_method: bool,
+    /// 1-based line of the callee identifier.
+    pub line: u32,
+    /// Token index of the callee identifier (for span filtering).
+    pub tok: usize,
+    /// Argument token span inside the parens: `[start, end)`.
+    pub args: (usize, usize),
+}
+
+/// Extract every call site in `tokens[range]`.
+pub fn call_sites(tokens: &[Token], range: (usize, usize)) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let (lo, hi) = range;
+    let hi = hi.min(tokens.len());
+    for i in lo..hi {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || is_non_call_keyword(t) {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !next.is_punct('(') {
+            continue;
+        }
+        // Argument span: match the parens.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < hi {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let is_method = i > lo && tokens[i - 1].is_punct('.');
+        let receiver = if is_method && i >= 2 {
+            let r = &tokens[i - 2];
+            (r.kind == TokenKind::Ident).then(|| r.text.clone())
+        } else {
+            None
+        };
+        let qualifier = if !is_method
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].kind == TokenKind::Ident
+        {
+            Some(tokens[i - 3].text.clone())
+        } else {
+            None
+        };
+        out.push(CallSite {
+            callee: t.text.clone(),
+            qualifier,
+            receiver,
+            is_method,
+            line: t.line,
+            tok: i,
+            args: (i + 2, j),
+        });
+    }
+    out
+}
+
+/// Resolve a call site to candidate function indices, most specific
+/// anchor first. Empty when no anchor binds the name.
+pub fn resolve(ws: &Workspace, file: usize, cs: &CallSite) -> Vec<usize> {
+    let Some(cands) = ws.by_name.get(&cs.callee) else {
+        return Vec::new();
+    };
+
+    // 1. Same file.
+    let same_file: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&f| ws.fns[f].file == file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+
+    // 2. Imported: `use path::to::name;` — accept candidates whose
+    // qualified path ends with the import's last two segments.
+    if let Some(path) = ws.files[file].imports.get(&cs.callee) {
+        let segs: Vec<&str> = path.split("::").collect();
+        if segs.len() >= 2 {
+            let suffix = format!("{}::{}", segs[segs.len() - 2], segs[segs.len() - 1]);
+            let imported: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&f| ws.fns[f].qualified.ends_with(&suffix))
+                .collect();
+            if !imported.is_empty() {
+                return imported;
+            }
+        }
+    }
+
+    // 3. Same crate (first module segment matches).
+    let crate_of = |m: &str| m.split("::").next().unwrap_or("").to_string();
+    let this_crate = crate_of(&ws.files[file].module);
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&f| crate_of(&ws.files[ws.fns[f].file].module) == this_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+
+    // 4. Unique workspace-wide.
+    if cands.len() == 1 {
+        return cands.clone();
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::lex::lex;
+
+    fn sites(src: &str) -> Vec<CallSite> {
+        let toks = lex(src).tokens;
+        let n = toks.len();
+        call_sites(&toks, (0, n))
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls_are_distinguished() {
+        let s = sites("fn f() { helper(1); t.hash(); FaultTrace::merged(ts); }");
+        let names: Vec<&str> = s.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["f", "helper", "hash", "merged"]);
+        assert!(s[2].is_method);
+        assert_eq!(s[2].receiver.as_deref(), Some("t"));
+        assert_eq!(s[3].qualifier.as_deref(), Some("FaultTrace"));
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let s = sites("fn f(x: u32) { if (x > 0) { println!(\"{x}\"); } match (x) { _ => {} } }");
+        let names: Vec<&str> = s.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["f"], "if/match/println! are not call sites");
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_import_then_crate() {
+        let ws = Workspace::index(&[
+            (
+                "crates/a/src/lib.rs".into(),
+                "fn shared() {}\nfn caller() { shared(); }".into(),
+            ),
+            ("crates/b/src/lib.rs".into(), "pub fn shared() {}".into()),
+        ]);
+        let body = ws.fns[1].body;
+        let cs = call_sites(&ws.files[0].tokens, body);
+        let targets = resolve(&ws, 0, &cs[0]);
+        assert_eq!(targets, vec![0], "same-file wins over the b-crate homonym");
+    }
+
+    #[test]
+    fn unresolvable_homonyms_stay_unresolved() {
+        let ws = Workspace::index(&[
+            ("crates/a/src/lib.rs".into(), "pub fn dup() {}".into()),
+            ("crates/b/src/lib.rs".into(), "pub fn dup() {}".into()),
+            (
+                "crates/c/src/lib.rs".into(),
+                "fn caller() { dup(); }".into(),
+            ),
+        ]);
+        let body = ws.fns[2].body;
+        let cs = call_sites(&ws.files[2].tokens, body);
+        assert!(
+            resolve(&ws, 2, &cs[0]).is_empty(),
+            "two foreign crates define dup; no anchor picks one"
+        );
+    }
+}

@@ -20,6 +20,10 @@
 //!   source-level determinism analyzer: hash-order iteration, wall-clock
 //!   and entropy escapes, float reductions in `par_map`, relaxed atomics,
 //!   ad-hoc threads, environment reads (SRC001–SRC007).
+//! * [`lint_ipa_workspace`] / [`lint_ipa_sources`] — the interprocedural
+//!   determinism taint analyzer: workspace call graph, source→sink taint
+//!   propagation with full call chains, suppression-drift audit
+//!   (IPA001–IPA005).
 //! * [`lint_platform`] — the whole-platform analyzer: joins everything
 //!   above into one typed resource graph ([`PlatformGraph`]) and runs the
 //!   cross-layer families on it — graph construction (PG001–PG002),
@@ -36,6 +40,7 @@ pub mod config;
 pub mod des;
 pub mod diag;
 pub mod floorplan;
+pub mod ipa;
 pub mod netlist;
 pub mod platform;
 pub mod rules;
@@ -47,6 +52,7 @@ pub use config::{lint_fault_plan, lint_mmu, lint_qp, lint_shell, QpSpec};
 pub use des::{lint_fault_trace, lint_replay_divergence, lint_shard_lookahead, lint_trace};
 pub use diag::{Diagnostic, LintConfig, Location, Report, Severity};
 pub use floorplan::{lint_floorplan, PartitionDemand};
+pub use ipa::{lint_ipa_sources, lint_ipa_workspace};
 pub use netlist::lint_netlist;
 pub use platform::{build_platform_graph, lint_platform, PlatformGraph};
 pub use rules::{render_catalog, rule, Layer, RuleInfo, CATALOG};

@@ -24,6 +24,9 @@ pub enum Layer {
     Source,
     /// The joined cross-layer platform resource graph (`--platform`).
     Platform,
+    /// Interprocedural determinism taint analysis over the whole
+    /// workspace call graph (`--ipa`).
+    Interproc,
 }
 
 impl Layer {
@@ -37,6 +40,7 @@ impl Layer {
             Layer::Des => "des",
             Layer::Source => "source",
             Layer::Platform => "platform",
+            Layer::Interproc => "interproc",
         }
     }
 }
@@ -437,6 +441,48 @@ pub const CATALOG: &[RuleInfo] = &[
         description:
             "two tenants use a shell service the platform never declared shared \
              (undeclared contention / covert channel)",
+    },
+    // --- Interprocedural taint (--ipa) --------------------------------
+    RuleInfo {
+        id: "IPA001",
+        layer: Layer::Interproc,
+        severity: Severity::Error,
+        description:
+            "a nondeterministic value (hash order, wall clock, entropy, ...) returned by one \
+             function reaches a determinism sink (trace fingerprint, merge, recording) in \
+             another — the full call chain is printed",
+    },
+    RuleInfo {
+        id: "IPA002",
+        layer: Layer::Interproc,
+        severity: Severity::Error,
+        description:
+            "tainted value crosses a shard boundary through a cross-shard post: every worker \
+             count now observes a different event stream",
+    },
+    RuleInfo {
+        id: "IPA003",
+        layer: Layer::Interproc,
+        severity: Severity::Warning,
+        description:
+            "taint laundered through an intermediate collection (push/insert/extend) before \
+             reaching a sink: the hazard survives the copy unless the collection is sorted",
+    },
+    RuleInfo {
+        id: "IPA004",
+        layer: Layer::Interproc,
+        severity: Severity::Warning,
+        description:
+            "public function returns hash-ordered iteration: callers outside the analysis \
+             horizon inherit the nondeterminism with no sink to anchor a diagnostic on",
+    },
+    RuleInfo {
+        id: "IPA005",
+        layer: Layer::Interproc,
+        severity: Severity::Warning,
+        description:
+            "stale `detlint: allow` suppression: the directive matches no raw finding on its \
+             governed line, so it silently pre-approves the next hazard that lands there",
     },
 ];
 

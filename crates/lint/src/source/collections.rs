@@ -19,10 +19,10 @@ use super::Finding;
 use std::collections::BTreeSet;
 
 /// Hash-collection type names.
-const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+pub(crate) const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 
 /// Methods whose callbacks observe bucket order.
-const ITER_METHODS: [&str; 11] = [
+pub(crate) const ITER_METHODS: [&str; 11] = [
     "iter",
     "iter_mut",
     "keys",
@@ -37,7 +37,7 @@ const ITER_METHODS: [&str; 11] = [
 ];
 
 /// Names in this file bound to a hash-collection type.
-fn hash_bound_names(tokens: &[Token]) -> BTreeSet<String> {
+pub(crate) fn hash_bound_names(tokens: &[Token]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (i, t) in tokens.iter().enumerate() {
         if !HASH_TYPES.iter().any(|h| t.is_ident(h)) {

@@ -68,6 +68,11 @@ pub struct SourceFile {
     /// `detlint: allow(RULE, ...)` directives: line → suppressed rule ids.
     /// A directive suppresses findings on its own line and the next line.
     pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// The raw directives as written, before own-line propagation: the
+    /// comment line each `detlint: allow(...)` sits on, with its rule set.
+    /// The suppression-drift audit (IPA005) keys on these — `allows` also
+    /// holds the derived governed-line entries, which are not directives.
+    pub directives: BTreeMap<u32, BTreeSet<String>>,
 }
 
 impl SourceFile {
@@ -268,6 +273,7 @@ pub fn lex(text: &str) -> SourceFile {
     // An own-line directive governs the first *code* line after it, however
     // many comment lines the justification spans. Token lines are
     // nondecreasing, so a forward scan resolves each directive.
+    out.directives = out.allows.clone();
     let mut extra: Vec<(u32, BTreeSet<String>)> = Vec::new();
     for (&dir_line, rules) in &out.allows {
         if let Some(tok) = out.tokens.iter().find(|t| t.line > dir_line) {

@@ -28,13 +28,13 @@
 
 pub mod lex;
 
-mod atomics;
-mod clock;
-mod collections;
-mod entropy;
-mod envdep;
-mod parfloat;
-mod threads;
+pub(crate) mod atomics;
+pub(crate) mod clock;
+pub(crate) mod collections;
+pub(crate) mod entropy;
+pub(crate) mod envdep;
+pub(crate) mod parfloat;
+pub(crate) mod threads;
 
 use crate::diag::{Diagnostic, Location, Report};
 use crate::rules;
@@ -45,10 +45,28 @@ use std::path::{Path, PathBuf};
 /// One raw finding from a rule module, before allow-directive filtering
 /// and severity lookup.
 pub(crate) struct Finding {
-    rule: &'static str,
-    line: u32,
-    message: String,
-    suggestion: Option<String>,
+    pub(crate) rule: &'static str,
+    pub(crate) line: u32,
+    pub(crate) message: String,
+    pub(crate) suggestion: Option<String>,
+}
+
+/// Run all seven SRC checks over a (cfg(test)-stripped) token stream and
+/// return the raw findings, pre-suppression, sorted by (line, rule).
+/// `lint_source` filters these through the allow directives; the
+/// interprocedural suppression-drift audit (IPA005) instead compares them
+/// *against* the directives to find stale ones.
+pub(crate) fn raw_findings(tokens: &[lex::Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    collections::check(tokens, &mut findings);
+    clock::check(tokens, &mut findings);
+    entropy::check(tokens, &mut findings);
+    parfloat::check(tokens, &mut findings);
+    atomics::check(tokens, &mut findings);
+    threads::check(tokens, &mut findings);
+    envdep::check(tokens, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
 }
 
 /// Analyze one source file's text. `unit` names the file in diagnostics
@@ -57,18 +75,7 @@ pub(crate) struct Finding {
 pub fn lint_source(unit: &str, text: &str) -> Report {
     let file = lex::lex(text);
     let tokens = lex::strip_cfg_test(file.tokens.clone());
-
-    let mut findings = Vec::new();
-    collections::check(&tokens, &mut findings);
-    clock::check(&tokens, &mut findings);
-    entropy::check(&tokens, &mut findings);
-    parfloat::check(&tokens, &mut findings);
-    atomics::check(&tokens, &mut findings);
-    threads::check(&tokens, &mut findings);
-    envdep::check(&tokens, &mut findings);
-
-    // Stable emission order: by line, then rule id.
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    let findings = raw_findings(&tokens);
 
     let mut report = Report::new();
     for f in findings {
@@ -100,8 +107,9 @@ const SKIP_DIRS: [&str; 7] = [
 ];
 
 /// Recursively collect `.rs` files under `root`, sorted, honoring
-/// [`SKIP_DIRS`].
-fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+/// [`SKIP_DIRS`]. Shared with the interprocedural analyzer so both scans
+/// see the same tree.
+pub(crate) fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(root)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()

@@ -192,6 +192,69 @@ fn platform_mode_rejects_non_spec_paths() {
     assert_eq!(code(&run(&["--platform", "/nonexistent/shell.json"])), 2);
 }
 
+// ------------------------------------------------------------------- ipa
+
+#[test]
+fn ipa_mode_reports_the_full_call_chain() {
+    let out = run(&["--ipa", &fixture("ipa/ipa001_chain.rs")]);
+    assert_eq!(code(&out), 1, "IPA001 is error severity");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("IPA001"), "{text}");
+    assert!(
+        text.contains("leaf (") && text.contains("-> mid (") && text.contains("-> top ("),
+        "the rendered diagnostic must print the helper chain hop by hop:\n{text}"
+    );
+    assert!(
+        text.contains("-> fingerprint_of ("),
+        "the chain must end at the sink:\n{text}"
+    );
+}
+
+#[test]
+fn ipa_strict_gates_on_taint_errors_and_passes_clean() {
+    let out = run(&["--ipa", "--strict", &fixture("ipa/ipa001_chain.rs")]);
+    assert_eq!(code(&out), 2, "--strict turns the taint path into a gate failure");
+    let out = run(&["--ipa", "--strict", &fixture("ipa/ipa001_clean.rs")]);
+    assert_eq!(code(&out), 0);
+    // Warning-severity IPA rules report without failing the gate.
+    let out = run(&["--ipa", "--strict", &fixture("ipa/ipa005_stale.rs")]);
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("IPA005"));
+}
+
+#[test]
+fn ipa_directory_scan_joins_files_into_one_workspace() {
+    // Pointing --ipa at the fixture directory indexes every file into one
+    // call graph and reports each seeded violation, deterministically.
+    let out = run(&["--ipa", &fixture("ipa")]);
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in ["IPA001", "IPA002", "IPA003", "IPA004", "IPA005"] {
+        assert!(text.contains(rule), "directory scan must report {rule}");
+    }
+    let again = run(&["--ipa", &fixture("ipa")]);
+    assert_eq!(out.stdout, again.stdout, "ipa scan must be deterministic");
+}
+
+#[test]
+fn ipa_json_carries_the_chain_and_round_trips() {
+    let path = fixture("ipa/ipa001_chain.rs");
+    let out = run(&["--ipa", "--json", &path]);
+    assert_eq!(code(&out), 1);
+    let parsed: Report =
+        serde_json::from_slice(&out.stdout).expect("stdout must be a valid Report");
+    assert_eq!(parsed.diagnostics.len(), 1);
+    let d = &parsed.diagnostics[0];
+    assert_eq!(d.rule_id, "IPA001");
+    assert_eq!(d.location.path, "L15");
+    assert!(d.location.unit.starts_with("ipa:"));
+    assert!(
+        d.message.contains("-> top (") && d.message.contains("-> fingerprint_of ("),
+        "the JSON message must carry the same chain as the human rendering: {}",
+        d.message
+    );
+}
+
 // ------------------------------------------------------------------ JSON
 
 #[test]
@@ -231,7 +294,7 @@ fn catalog_lists_the_new_rule_families() {
     for rule in [
         "SRC001", "SRC002", "SRC003", "SRC004", "SRC005", "SRC006", "SRC007", "DS003", "DS004",
         "DS005", "PG001", "PG002", "WF001", "WF002", "WF003", "WF004", "CAP001", "CAP002",
-        "CAP003", "ISO001", "ISO002",
+        "CAP003", "ISO001", "ISO002", "IPA001", "IPA002", "IPA003", "IPA004", "IPA005",
     ] {
         assert!(text.contains(rule), "--catalog must list {rule}");
     }

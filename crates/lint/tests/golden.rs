@@ -775,6 +775,72 @@ fn src_severities_match_the_catalog() {
     }
 }
 
+// ------------------------------------------------- interprocedural (ipa)
+
+fn ipa_fixture(name: &str) -> Report {
+    let path = format!("{}/fixtures/ipa/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    coyote_lint::lint_ipa_sources(&[(name.to_string(), text)])
+}
+
+#[test]
+fn ipa_rules_fire_on_seeded_fixtures_at_exact_locations() {
+    let cases = [
+        ("ipa001_chain.rs", "IPA001", "L15"),
+        ("ipa002_post.rs", "IPA002", "L10"),
+        ("ipa003_launder.rs", "IPA003", "L12"),
+        ("ipa004_pub_iter.rs", "IPA004", "L5"),
+        ("ipa005_stale.rs", "IPA005", "L5"),
+    ];
+    for (file, rule, line) in cases {
+        let r = ipa_fixture(file);
+        assert_fires(&r, rule, &format!("ipa:{file}"), line);
+        // The seeded fixture trips exactly its own rule, nothing else.
+        assert_eq!(
+            r.diagnostics.len(),
+            1,
+            "{file} must fire only {rule}:\n{}",
+            r.render_human()
+        );
+        let expected = coyote_lint::rule(rule).unwrap().severity;
+        assert_eq!(
+            r.of_rule(rule).next().unwrap().severity,
+            expected,
+            "{rule} severity must match the catalog"
+        );
+    }
+}
+
+#[test]
+fn clean_ipa_fixtures_produce_zero_diagnostics() {
+    for file in ["ipa001_clean.rs", "ipa005_live.rs"] {
+        let r = ipa_fixture(file);
+        assert!(r.is_clean(), "{file}:\n{}", r.render_human());
+    }
+}
+
+#[test]
+fn ipa001_diagnostic_prints_the_full_call_chain() {
+    // The 3-deep helper chain (HashMap iter -> helper -> helper -> trace
+    // hash) must appear hop by hop — that is the point of going
+    // interprocedural instead of per-file.
+    let r = ipa_fixture("ipa001_chain.rs");
+    let d = r.of_rule("IPA001").next().expect("IPA001 fires");
+    assert!(
+        d.message.contains(
+            "leaf (ipa001_chain.rs:L5) -> mid (ipa001_chain.rs:L9) -> \
+             top (ipa001_chain.rs:L13) -> fingerprint_of (ipa001_chain.rs:L15)"
+        ),
+        "full chain missing in:\n{}",
+        d.message
+    );
+    assert!(
+        d.message.contains("across 2 call boundaries"),
+        "boundary count missing in:\n{}",
+        d.message
+    );
+}
+
 // --------------------------------------------------------------- platform
 
 fn platform_fixture(name: &str) -> Report {
@@ -900,11 +966,12 @@ fn every_catalog_rule_has_golden_coverage() {
         "CF001", "CF002", "CF003", "CF004", "CF005", "CF006", "CF007", "CF008", "CF009", "DS001",
         "DS002", "DS003", "DS004", "DS005", "DS006", "DS007", "SRC001", "SRC002", "SRC003",
         "SRC004", "SRC005", "SRC006", "SRC007", "PG001", "PG002", "WF001", "WF002", "WF003",
-        "WF004", "CAP001", "CAP002", "CAP003", "ISO001", "ISO002",
+        "WF004", "CAP001", "CAP002", "CAP003", "ISO001", "ISO002", "IPA001", "IPA002", "IPA003",
+        "IPA004", "IPA005",
     ];
     assert!(
-        coyote_lint::CATALOG.len() >= 53,
-        "the catalog must not shrink below the platform-rule count"
+        coyote_lint::CATALOG.len() >= 58,
+        "the catalog must not shrink below the interprocedural-rule count"
     );
     for rule in coyote_lint::CATALOG {
         assert!(
@@ -925,5 +992,21 @@ fn every_catalog_rule_has_golden_coverage() {
                 "missing fixture {path}"
             );
         }
+    }
+    // Same for the interprocedural fixtures (bad per rule + the two cleans).
+    for name in [
+        "ipa001_chain.rs",
+        "ipa001_clean.rs",
+        "ipa002_post.rs",
+        "ipa003_launder.rs",
+        "ipa004_pub_iter.rs",
+        "ipa005_stale.rs",
+        "ipa005_live.rs",
+    ] {
+        let path = format!("{}/fixtures/ipa/{name}", env!("CARGO_MANIFEST_DIR"));
+        assert!(
+            std::path::Path::new(&path).exists(),
+            "missing fixture {path}"
+        );
     }
 }

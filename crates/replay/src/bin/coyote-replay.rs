@@ -29,7 +29,6 @@ const USAGE: &str = "usage: coyote-replay <record|verify|bisect> [options] <path
                      \x20 bisect [--json] <a.cyt> <b.cyt>";
 
 fn main() -> ExitCode {
-    // detlint: allow(SRC007): CLI argument plumbing, not model state.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
@@ -92,7 +91,11 @@ fn cmd_record(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
 
+    // detlint: allow(IPA001): the env-derived default for `workers` only
+    // sets the fan-out width; the recorded trace is worker-invariant, proven
+    // by the scaling gate and re-proven by `verify --workers N` on any count.
     let rec = Recording::record(cfg, workers);
+    // detlint: allow(IPA001): same worker-invariance as above.
     if let Err(e) = rec.write_to(Path::new(&out)) {
         eprintln!("coyote-replay: {out}: {e}");
         return ExitCode::from(2);
@@ -101,6 +104,7 @@ fn cmd_record(args: &[String]) -> ExitCode {
         "recorded {} events, {} faults -> {out} (fingerprint {:016x})",
         rec.trace.len(),
         rec.faults.len(),
+        // detlint: allow(IPA001): same worker-invariance as above.
         rec.fingerprint()
     );
     ExitCode::SUCCESS
